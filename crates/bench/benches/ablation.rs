@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`.
+//!
+//! Each ablation runs the same small scenario under both settings and
+//! reports wall time; the delivered-throughput/latency deltas are printed
+//! once per bench (stderr) for inspection:
+//!
+//! * `ablation_arbiter` — random (paper) vs round-robin output/lane
+//!   arbitration;
+//! * `ablation_vc_mux` — fair flit-level round-robin (paper) vs
+//!   winner-holds VC multiplexing;
+//! * `ablation_transmit_order` — reverse-topological (paper) vs build
+//!   order channel processing;
+//! * `ablation_vc_count` — VMIN with 2 vs 4 virtual channels (§6 future
+//!   work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet::switch::{ArbiterKind, VcMuxPolicy};
+use minnet::{Experiment, NetworkSpec};
+use minnet_sim::TransmitOrder;
+use minnet_traffic::MessageSizeDist;
+
+fn quick(spec: NetworkSpec) -> Experiment {
+    let mut e = Experiment::paper_default(spec);
+    e.sizes = MessageSizeDist::Fixed(64);
+    e.sim.warmup = 500;
+    e.sim.measure = 4_000;
+    e
+}
+
+fn report_once(name: &str, a_label: &str, a: &Experiment, b_label: &str, b: &Experiment) {
+    let ra = a.run(0.6).expect("ablation arm runs");
+    let rb = b.run(0.6).expect("ablation arm runs");
+    eprintln!(
+        "[{name}] {a_label}: acc={:.3} lat={:.1}us | {b_label}: acc={:.3} lat={:.1}us",
+        ra.accepted_flits_per_node_cycle,
+        ra.mean_latency_us(),
+        rb.accepted_flits_per_node_cycle,
+        rb.mean_latency_us()
+    );
+}
+
+fn bench_pair(c: &mut Criterion, group_name: &str, arms: [(&str, &Experiment); 2]) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, exp) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), exp, |b, exp| {
+            b.iter(|| exp.run(0.6).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_arbiter(c: &mut Criterion) {
+    let random = quick(NetworkSpec::dmin(2));
+    let mut rr = random.clone();
+    rr.sim.alloc = ArbiterKind::RoundRobin;
+    report_once("ablation_arbiter", "random", &random, "round-robin", &rr);
+    bench_pair(c, "ablation_arbiter", [("random", &random), ("round_robin", &rr)]);
+}
+
+fn ablation_vc_mux(c: &mut Criterion) {
+    let fair = quick(NetworkSpec::vmin(2));
+    let mut wh = fair.clone();
+    wh.sim.vc_mux = VcMuxPolicy::WinnerHolds;
+    report_once("ablation_vc_mux", "round-robin", &fair, "winner-holds", &wh);
+    bench_pair(c, "ablation_vc_mux", [("round_robin", &fair), ("winner_holds", &wh)]);
+}
+
+fn ablation_transmit_order(c: &mut Criterion) {
+    let topo = quick(NetworkSpec::tmin());
+    let mut build = topo.clone();
+    build.sim.transmit_order = TransmitOrder::BuildOrder;
+    report_once(
+        "ablation_transmit_order",
+        "reverse-topo",
+        &topo,
+        "build-order",
+        &build,
+    );
+    bench_pair(
+        c,
+        "ablation_transmit_order",
+        [("reverse_topo", &topo), ("build_order", &build)],
+    );
+}
+
+fn ablation_vc_count(c: &mut Criterion) {
+    let v2 = quick(NetworkSpec::vmin(2));
+    let v4 = quick(NetworkSpec::vmin(4));
+    report_once("ablation_vc_count", "vcs=2", &v2, "vcs=4", &v4);
+    bench_pair(c, "ablation_vc_count", [("vc2", &v2), ("vc4", &v4)]);
+}
+
+fn ablation_buffer_depth(c: &mut Criterion) {
+    let d1 = quick(NetworkSpec::tmin());
+    let mut d4 = d1.clone();
+    d4.sim.buffer_depth = 4;
+    report_once("ablation_buffer_depth", "depth=1", &d1, "depth=4", &d4);
+    bench_pair(c, "ablation_buffer_depth", [("depth1", &d1), ("depth4", &d4)]);
+}
+
+criterion_group!(
+    benches,
+    ablation_arbiter,
+    ablation_vc_mux,
+    ablation_transmit_order,
+    ablation_vc_count,
+    ablation_buffer_depth
+);
+criterion_main!(benches);

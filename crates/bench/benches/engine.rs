@@ -1,0 +1,44 @@
+//! Engine microbenchmarks: simulation cycles/second for each of the four
+//! network designs at moderate load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet::{Experiment, NetworkSpec};
+use minnet_traffic::MessageSizeDist;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cycles");
+    group.sample_size(10);
+    for spec in NetworkSpec::paper_lineup() {
+        let mut exp = Experiment::paper_default(spec);
+        exp.sizes = MessageSizeDist::Fixed(64);
+        exp.sim.warmup = 500;
+        exp.sim.measure = 5_000;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &exp,
+            |b, exp| {
+                b.iter(|| exp.run(0.5).expect("simulation runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn engine_load_scaling(c: &mut Criterion) {
+    // Cost per cycle grows with in-flight worms; measure light vs heavy.
+    let mut group = c.benchmark_group("engine_load");
+    group.sample_size(10);
+    for load in [0.1f64, 0.9] {
+        let mut exp = Experiment::paper_default(NetworkSpec::dmin(2));
+        exp.sizes = MessageSizeDist::Fixed(64);
+        exp.sim.warmup = 500;
+        exp.sim.measure = 5_000;
+        group.bench_with_input(BenchmarkId::from_parameter(load), &exp, |b, exp| {
+            b.iter(|| exp.run(load).expect("simulation runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, engine_load_scaling);
+criterion_main!(benches);

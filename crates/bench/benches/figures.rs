@@ -1,0 +1,32 @@
+//! One Criterion bench per paper figure: a quick (short-window, single
+//! mid-grid load) variant of every curve bundle in the catalogue. The
+//! full reproduction lives in the `figures` binary; these benches keep
+//! every experiment wired into `cargo bench` and track engine-performance
+//! regressions per scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet_bench::all_figures;
+
+fn figure_quick_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    for fig in all_figures() {
+        // First curve of each figure, mid-grid load, small windows.
+        let (label, exp) = &fig.curves[0];
+        let mut exp = exp.clone();
+        exp.sim.warmup = 500;
+        exp.sim.measure = 3_000;
+        let load = fig.loads[fig.loads.len() / 2];
+        group.bench_with_input(
+            BenchmarkId::new(fig.id, label),
+            &(exp, load),
+            |b, (exp, load)| {
+                b.iter(|| exp.run(*load).expect("figure curve runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure_quick_runs);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Routing-kernel microbenchmarks: candidate computation, exhaustive path
+//! enumeration, and deadlock analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet_routing::{dependency_graph, enumerate_paths, find_cycle, DependencyRule, RouteLogic};
+use minnet_topology::{build_bmin, build_unidir, Geometry, UnidirKind};
+
+fn route_candidates(c: &mut Criterion) {
+    let g = Geometry::new(4, 3);
+    let mut group = c.benchmark_group("route_candidates");
+    let nets = [
+        ("tmin", build_unidir(g, UnidirKind::Cube, 1)),
+        ("dmin", build_unidir(g, UnidirKind::Cube, 2)),
+        ("bmin", build_bmin(g)),
+    ];
+    for (name, net) in &nets {
+        let logic = RouteLogic::for_kind(net.kind);
+        group.bench_with_input(BenchmarkId::from_parameter(name), net, |b, net| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                // Route every injected header once.
+                for s in 0..64u32 {
+                    let d = (s + 17) % 64;
+                    logic.candidates(net, s, d, net.inject[s as usize], &mut out);
+                    std::hint::black_box(&out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn path_enumeration(c: &mut Criterion) {
+    let g = Geometry::new(4, 3);
+    let net = build_bmin(g);
+    c.bench_function("enumerate_turnaround_paths_0_to_63", |b| {
+        b.iter(|| std::hint::black_box(enumerate_paths(&net, RouteLogic::Turnaround, 0, 63)));
+    });
+}
+
+fn deadlock_analysis(c: &mut Criterion) {
+    let g = Geometry::new(4, 3);
+    let net = build_bmin(g);
+    c.bench_function("cdg_build_and_check", |b| {
+        b.iter(|| {
+            let adj = dependency_graph(&net, DependencyRule::Paper);
+            std::hint::black_box(find_cycle(&adj))
+        });
+    });
+}
+
+criterion_group!(benches, route_candidates, path_enumeration, deadlock_analysis);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # minnet-bench
+//!
+//! The benchmark harness that regenerates every evaluation figure of the
+//! paper (§5, Figs. 16–20) plus the extension studies listed in
+//! `DESIGN.md`. [`figures`] defines one experiment bundle per figure; the
+//! `figures` binary sweeps them and writes paper-style series (text +
+//! CSV); the Criterion benches in `benches/` time the engine, the routing
+//! kernels, a quick variant of every figure, and the design-choice
+//! ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{all_figures, figure_by_id, FigureDef};

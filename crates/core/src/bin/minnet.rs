@@ -1,0 +1,379 @@
+//! `minnet` — command-line front end for the wormhole-MIN simulator.
+//!
+//! ```text
+//! minnet info     --network bmin --k 4 --n 3
+//! minnet simulate --network dmin --load 0.5
+//! minnet sweep    --network vmin --loads 0.1,0.3,0.5,0.7 --csv out.csv
+//! minnet saturate --network tmin --pattern hotspot:0.05
+//! minnet partition --wiring butterfly --clusters msd
+//! ```
+//!
+//! Run `minnet help` for the full option list.
+
+use minnet::routing::{dependency_graph, find_cycle, DependencyRule};
+use minnet::partition::UnidirPartitionAnalysis;
+use minnet::traffic::{Clustering, MessageSizeDist, TrafficPattern};
+use minnet::{
+    curve_csv, curve_table, find_saturation, latency_throughput_curve, saturation_load,
+    Experiment, NetworkSpec,
+};
+use minnet_topology::{BitCube, Geometry, UnidirKind};
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    println!(
+        "minnet — switch-based wormhole network simulator (Ni, Gui & Moore reproduction)
+
+USAGE: minnet <command> [options]
+
+COMMANDS
+  info        print network facts (channels, switches, paths, deadlock check)
+  simulate    one run at a fixed offered load
+  sweep       latency-throughput curve over several loads
+  saturate    bisection search for the maximum sustainable load
+  partition   static partitionability analysis (contention / balance)
+  help        this text
+
+COMMON OPTIONS
+  --network tmin|dmin|vmin|bmin     network design           [tmin]
+  --wiring cube|butterfly|omega|baseline   unidirectional wiring [cube]
+  --dilation N     DMIN dilation                             [2]
+  --vcs N          VMIN virtual channels                     [2]
+  --k N --n N      geometry (N = k^n nodes)                  [4, 3]
+  --pattern uniform|hotspot:<x>|shuffle|butterfly:<i>        [uniform]
+  --clusters global|msd|lsd|halves   node clustering         [global]
+  --rates a,b,..   per-cluster relative rates
+  --sizes paper|fixed:<len>|bimodal:<s>,<l>,<p>              [paper]
+  --load F         offered load (simulate)                   [0.5]
+  --loads a,b,..   offered loads (sweep)                     [0.1..0.9]
+  --warmup N --measure N --seed N --buffer-depth N --threads N
+  --csv PATH       also write the sweep as CSV"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    opts: HashMap<String, String>,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let cmd = it.next().unwrap_or_else(|| "help".into());
+    let mut opts = HashMap::new();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            eprintln!("unexpected argument {key:?}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("--{name} needs a value");
+            usage();
+        };
+        opts.insert(name.to_string(), value);
+    }
+    Args { cmd, opts }
+}
+
+fn parse_f64(a: &Args, key: &str, default: f64) -> f64 {
+    a.opts
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--{key}: {e}"))))
+        .unwrap_or(default)
+}
+
+fn parse_u64(a: &Args, key: &str, default: u64) -> u64 {
+    a.opts
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--{key}: {e}"))))
+        .unwrap_or(default)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn wiring(a: &Args) -> UnidirKind {
+    match a.opts.get("wiring").map(String::as_str) {
+        None | Some("cube") => UnidirKind::Cube,
+        Some("butterfly") => UnidirKind::Butterfly,
+        Some("omega") => UnidirKind::Omega,
+        Some("baseline") => UnidirKind::Baseline,
+        Some(other) => die(&format!("unknown wiring {other:?}")),
+    }
+}
+
+fn network(a: &Args) -> NetworkSpec {
+    let w = wiring(a);
+    match a.opts.get("network").map(String::as_str) {
+        None | Some("tmin") => NetworkSpec::Tmin(w),
+        Some("dmin") => NetworkSpec::Dmin(w, parse_u64(a, "dilation", 2) as u8),
+        Some("vmin") => NetworkSpec::Vmin(w, parse_u64(a, "vcs", 2) as u8),
+        Some("bmin") => NetworkSpec::Bmin,
+        Some(other) => die(&format!("unknown network {other:?}")),
+    }
+}
+
+fn geometry(a: &Args) -> Geometry {
+    Geometry::new(parse_u64(a, "k", 4) as u32, parse_u64(a, "n", 3) as u32)
+}
+
+fn pattern(a: &Args) -> TrafficPattern {
+    match a.opts.get("pattern").map(String::as_str) {
+        None | Some("uniform") => TrafficPattern::Uniform,
+        Some("shuffle") => TrafficPattern::SHUFFLE,
+        Some(p) => {
+            if let Some(x) = p.strip_prefix("hotspot:") {
+                TrafficPattern::HotSpot {
+                    extra: x.parse().unwrap_or_else(|e| die(&format!("hotspot: {e}"))),
+                }
+            } else if let Some(i) = p.strip_prefix("butterfly:") {
+                TrafficPattern::butterfly(
+                    i.parse().unwrap_or_else(|e| die(&format!("butterfly: {e}"))),
+                )
+            } else {
+                die(&format!("unknown pattern {p:?}"))
+            }
+        }
+    }
+}
+
+fn clustering(a: &Args, g: &Geometry) -> Clustering {
+    let msd_or_lsd = |fix_msd: bool| -> Clustering {
+        let free = std::iter::repeat_n('X', g.n() as usize - 1).collect::<String>();
+        let pats: Vec<String> = (0..g.k())
+            .map(|v| {
+                if fix_msd {
+                    format!("{v}{free}")
+                } else {
+                    format!("{free}{v}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+        Clustering::cubes_from_patterns(g, &refs).unwrap_or_else(|e| die(&e))
+    };
+    match a.opts.get("clusters").map(String::as_str) {
+        None | Some("global") => Clustering::Global,
+        Some("msd") => msd_or_lsd(true),
+        Some("lsd") => msd_or_lsd(false),
+        Some("halves") => {
+            if !g.k().is_power_of_two() {
+                die("--clusters halves needs k to be a power of two");
+            }
+            let bits = g.n() * g.k().trailing_zeros();
+            let top = 1u32 << (bits - 1);
+            Clustering::BitCubes(vec![BitCube::new(g, top, 0), BitCube::new(g, top, top)])
+        }
+        Some(other) => die(&format!("unknown clustering {other:?}")),
+    }
+}
+
+fn sizes(a: &Args) -> MessageSizeDist {
+    match a.opts.get("sizes").map(String::as_str) {
+        None | Some("paper") => MessageSizeDist::PAPER,
+        Some(s) => {
+            if let Some(len) = s.strip_prefix("fixed:") {
+                MessageSizeDist::Fixed(len.parse().unwrap_or_else(|e| die(&format!("fixed: {e}"))))
+            } else if let Some(rest) = s.strip_prefix("bimodal:") {
+                let parts: Vec<&str> = rest.split(',').collect();
+                if parts.len() != 3 {
+                    die("bimodal needs short,long,p_short");
+                }
+                MessageSizeDist::Bimodal {
+                    short: parts[0].parse().unwrap_or_else(|e| die(&format!("{e}"))),
+                    long: parts[1].parse().unwrap_or_else(|e| die(&format!("{e}"))),
+                    p_short: parts[2].parse().unwrap_or_else(|e| die(&format!("{e}"))),
+                }
+            } else {
+                die(&format!("unknown sizes {s:?}"))
+            }
+        }
+    }
+}
+
+fn experiment(a: &Args) -> Experiment {
+    let g = geometry(a);
+    let mut exp = Experiment {
+        geometry: g,
+        network: network(a),
+        pattern: pattern(a),
+        clustering: clustering(a, &g),
+        rates: a.opts.get("rates").map(|r| {
+            r.split(',')
+                .map(|x| x.parse().unwrap_or_else(|e| die(&format!("rates: {e}"))))
+                .collect()
+        }),
+        sizes: sizes(a),
+        sim: Default::default(),
+    };
+    exp.sim.warmup = parse_u64(a, "warmup", 20_000);
+    exp.sim.measure = parse_u64(a, "measure", 100_000);
+    exp.sim.seed = parse_u64(a, "seed", exp.sim.seed);
+    exp.sim.buffer_depth = parse_u64(a, "buffer-depth", 1) as u16;
+    exp
+}
+
+fn threads(a: &Args) -> usize {
+    a.opts
+        .get("threads")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--threads: {e}"))))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn cmd_info(a: &Args) {
+    let exp = experiment(a);
+    let net = exp.network.build(exp.geometry);
+    println!("network    : {}", exp.network.name());
+    println!(
+        "geometry   : {} nodes, {}x{} switches, {} stages",
+        exp.geometry.nodes(),
+        exp.geometry.k(),
+        exp.geometry.k(),
+        exp.geometry.n()
+    );
+    println!("switches   : {}", net.num_switches());
+    println!("channels   : {}", net.num_channels());
+    let adj = dependency_graph(&net, DependencyRule::Paper);
+    println!(
+        "deadlock   : {}",
+        if find_cycle(&adj).is_none() {
+            "free (acyclic channel dependency graph)"
+        } else {
+            "CYCLE FOUND"
+        }
+    );
+    let bidir = net.kind.is_bidirectional();
+    println!(
+        "mean path  : {:.2} channels (uniform pairs)",
+        if bidir {
+            2.0 * (minnet::model::mean_first_difference(&exp.geometry) + 1.0)
+        } else {
+            (exp.geometry.n() + 1) as f64
+        }
+    );
+    println!(
+        "unloaded   : {:.1} us mean latency for paper-sized messages",
+        minnet::model::mean_unloaded_latency(&exp.geometry, bidir, exp.sizes.mean())
+            * minnet::sim::CYCLE_US
+    );
+}
+
+fn cmd_simulate(a: &Args) {
+    let exp = experiment(a);
+    let load = parse_f64(a, "load", 0.5);
+    let r = exp.run(load).unwrap_or_else(|e| die(&e));
+    println!("network   : {}", exp.network.name());
+    println!("offered   : {:.1}%", load * 100.0);
+    println!("accepted  : {:.2}%", r.throughput_percent());
+    println!(
+        "latency   : mean {:.1} us   p50 {:.1}   p95 {:.1}   p99 {:.1}   max {:.1}",
+        r.mean_latency_us(),
+        r.p50_latency_cycles as f64 * minnet::sim::CYCLE_US,
+        r.p95_latency_cycles as f64 * minnet::sim::CYCLE_US,
+        r.p99_latency_cycles as f64 * minnet::sim::CYCLE_US,
+        r.max_latency_cycles as f64 * minnet::sim::CYCLE_US,
+    );
+    println!("queueing  : mean {:.1} msgs, max {}", r.mean_queue, r.max_queue);
+    println!(
+        "verdict   : {}",
+        match (r.sustainable, r.steady) {
+            (true, true) => "sustainable",
+            (true, false) => "lagging (delivery behind generation)",
+            _ => "SATURATED (queue limit exceeded)",
+        }
+    );
+}
+
+fn cmd_sweep(a: &Args) {
+    let exp = experiment(a);
+    let loads: Vec<f64> = match a.opts.get("loads") {
+        Some(l) => l
+            .split(',')
+            .map(|x| x.parse().unwrap_or_else(|e| die(&format!("loads: {e}"))))
+            .collect(),
+        None => (1..=9).map(|i| i as f64 / 10.0).collect(),
+    };
+    let points =
+        latency_throughput_curve(&exp, &loads, threads(a)).unwrap_or_else(|e| die(&e));
+    print!("{}", curve_table(&exp.network.name(), &points));
+    if let Some(sat) = saturation_load(&points) {
+        println!(
+            "max sustainable throughput: {:.1}% (offered {:.0}%)",
+            sat.report.throughput_percent(),
+            sat.offered * 100.0
+        );
+    }
+    if let Some(path) = a.opts.get("csv") {
+        std::fs::write(path, curve_csv(&exp.network.name(), &points))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_saturate(a: &Args) {
+    let exp = experiment(a);
+    let lo = parse_f64(a, "lo", 0.05);
+    let hi = parse_f64(a, "hi", 1.0);
+    let iters = parse_u64(a, "iters", 6) as u32;
+    match find_saturation(&exp, lo, hi, iters).unwrap_or_else(|e| die(&e)) {
+        Some(p) => println!(
+            "{}: sustainable up to offered {:.1}% — accepted {:.1}%, mean latency {:.1} us",
+            exp.network.name(),
+            p.offered * 100.0,
+            p.report.throughput_percent(),
+            p.report.mean_latency_us()
+        ),
+        None => println!("{}: already saturated at {:.1}%", exp.network.name(), lo * 100.0),
+    }
+}
+
+fn cmd_partition(a: &Args) {
+    let g = geometry(a);
+    let kind = wiring(a);
+    let clustering = clustering(a, &g);
+    let map = minnet::traffic::ClusterMap::build(&g, &clustering).unwrap_or_else(|e| die(&e));
+    let clusters: Vec<Vec<u32>> = map.members.clone();
+    let analysis = UnidirPartitionAnalysis::analyze(g, kind, &clusters);
+    println!(
+        "wiring {kind:?}, {} clusters over {} nodes",
+        clusters.len(),
+        g.nodes()
+    );
+    for (ci, members) in clusters.iter().enumerate() {
+        let counts: Vec<usize> = (0..=g.n()).map(|l| analysis.channels_used(ci, l)).collect();
+        println!(
+            "  cluster {ci} ({} nodes): channels/level {:?}{}",
+            members.len(),
+            counts,
+            if analysis.is_channel_balanced(ci) {
+                "  [balanced]"
+            } else {
+                "  [NOT balanced]"
+            }
+        );
+    }
+    let shared = analysis.shared_positions();
+    if shared.is_empty() {
+        println!("  contention-free: yes");
+    } else {
+        println!("  contention-free: NO — {} shared channels", shared.len());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "info" => cmd_info(&args),
+        "simulate" => cmd_simulate(&args),
+        "sweep" => cmd_sweep(&args),
+        "saturate" => cmd_saturate(&args),
+        "partition" => cmd_partition(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,105 @@
+//! One §5 experiment: a network, a workload family, and engine settings.
+
+use crate::spec::NetworkSpec;
+use minnet_sim::{run_simulation, EngineConfig, SimReport};
+use minnet_topology::Geometry;
+use minnet_traffic::{Clustering, MessageSizeDist, TrafficPattern, Workload, WorkloadSpec};
+
+/// A complete experiment description; [`Experiment::run`] evaluates it at
+/// one offered load, [`crate::sweep`] over a load range.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Network geometry (`k`, `n`). The paper: 64 nodes of 4×4 switches.
+    pub geometry: Geometry,
+    /// Which of the four designs to simulate.
+    pub network: NetworkSpec,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Node clustering.
+    pub clustering: Clustering,
+    /// Optional per-cluster relative rates (§5.2 ratios).
+    pub rates: Option<Vec<f64>>,
+    /// Message sizes (paper: uniform [8, 1024]).
+    pub sizes: MessageSizeDist,
+    /// Engine settings. `sim.vcs` is overridden by the network spec.
+    pub sim: EngineConfig,
+}
+
+impl Experiment {
+    /// The paper's default setting: 64 nodes (k=4, n=3), global uniform
+    /// traffic, uniform [8, 1024]-flit messages.
+    pub fn paper_default(network: NetworkSpec) -> Experiment {
+        Experiment {
+            geometry: Geometry::new(4, 3),
+            network,
+            pattern: TrafficPattern::Uniform,
+            clustering: Clustering::Global,
+            rates: None,
+            sizes: MessageSizeDist::PAPER,
+            sim: EngineConfig::default(),
+        }
+    }
+
+    /// Simulate at the given offered load (flits/cycle/node; 1.0 = the
+    /// one-port injection bound).
+    pub fn run(&self, offered_load: f64) -> Result<SimReport, String> {
+        self.run_seeded(offered_load, self.sim.seed)
+    }
+
+    /// Like [`Experiment::run`] but with an explicit seed (used by sweeps
+    /// to decorrelate points).
+    pub fn run_seeded(&self, offered_load: f64, seed: u64) -> Result<SimReport, String> {
+        self.network.validate()?;
+        let net = self.network.build(self.geometry);
+        let spec = WorkloadSpec {
+            offered_load,
+            pattern: self.pattern,
+            clustering: self.clustering.clone(),
+            rates: self.rates.clone(),
+            sizes: self.sizes,
+        };
+        let workload = Workload::compile(self.geometry, &spec)?;
+        let cfg = EngineConfig {
+            vcs: self.network.vcs(),
+            seed,
+            ..self.sim.clone()
+        };
+        run_simulation(&net, &workload, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(network: NetworkSpec) -> Experiment {
+        let mut e = Experiment::paper_default(network);
+        e.sizes = MessageSizeDist::Fixed(32);
+        e.sim.warmup = 1_000;
+        e.sim.measure = 6_000;
+        e
+    }
+
+    #[test]
+    fn all_four_networks_run() {
+        for spec in NetworkSpec::paper_lineup() {
+            let r = quick(spec).run(0.2).unwrap();
+            assert!(r.delivered_packets > 0, "{}", spec.name());
+            assert!(r.sustainable, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn vmin_uses_configured_vcs() {
+        // A VMIN(4) must behave differently from a VMIN(1) == TMIN at
+        // moderate load.
+        let v4 = quick(NetworkSpec::vmin(4)).run(0.5).unwrap();
+        let v1 = quick(NetworkSpec::vmin(1)).run(0.5).unwrap();
+        assert_ne!(v4.mean_latency_cycles, v1.mean_latency_cycles);
+    }
+
+    #[test]
+    fn invalid_spec_is_reported() {
+        assert!(quick(NetworkSpec::dmin(0)).run(0.2).is_err());
+    }
+}

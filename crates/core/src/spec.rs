@@ -1,0 +1,131 @@
+//! Network specifications: the four designs of the paper as one enum.
+
+use minnet_topology::{build_bmin, build_unidir, Geometry, NetworkGraph, UnidirKind};
+
+/// One of the four switch-based wormhole networks under evaluation.
+///
+/// Unless stated otherwise the unidirectional networks use the **cube**
+/// interconnection — §5.2 shows it dominates the butterfly wiring for
+/// partitioned workloads, and the paper's §5.3 comparison uses cube
+/// TMIN/DMIN/VMIN against the butterfly BMIN.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetworkSpec {
+    /// Traditional MIN: one channel per port, one VC.
+    Tmin(UnidirKind),
+    /// d-dilated MIN (the paper evaluates `d = 2`).
+    Dmin(UnidirKind, u8),
+    /// MIN with `v` virtual channels per physical channel (paper: 2).
+    Vmin(UnidirKind, u8),
+    /// Bidirectional butterfly MIN (fat tree, turnaround routing).
+    Bmin,
+}
+
+impl NetworkSpec {
+    /// Cube TMIN.
+    pub fn tmin() -> NetworkSpec {
+        NetworkSpec::Tmin(UnidirKind::Cube)
+    }
+
+    /// Cube DMIN with dilation `d`.
+    pub fn dmin(d: u8) -> NetworkSpec {
+        NetworkSpec::Dmin(UnidirKind::Cube, d)
+    }
+
+    /// Cube VMIN with `v` virtual channels.
+    pub fn vmin(v: u8) -> NetworkSpec {
+        NetworkSpec::Vmin(UnidirKind::Cube, v)
+    }
+
+    /// The four §5.3 contenders: TMIN, DMIN(2), VMIN(2), BMIN.
+    pub fn paper_lineup() -> [NetworkSpec; 4] {
+        [
+            NetworkSpec::tmin(),
+            NetworkSpec::dmin(2),
+            NetworkSpec::vmin(2),
+            NetworkSpec::Bmin,
+        ]
+    }
+
+    /// Build the static network graph for geometry `g`.
+    pub fn build(&self, g: Geometry) -> NetworkGraph {
+        match *self {
+            NetworkSpec::Tmin(kind) => build_unidir(g, kind, 1),
+            NetworkSpec::Dmin(kind, d) => build_unidir(g, kind, d),
+            NetworkSpec::Vmin(kind, _) => build_unidir(g, kind, 1),
+            NetworkSpec::Bmin => build_bmin(g),
+        }
+    }
+
+    /// Virtual channels per physical channel this design uses.
+    pub fn vcs(&self) -> u8 {
+        match *self {
+            NetworkSpec::Vmin(_, v) => v,
+            _ => 1,
+        }
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(&self) -> String {
+        let wiring = |k: UnidirKind| match k {
+            UnidirKind::Cube => "cube",
+            UnidirKind::Butterfly => "butterfly",
+            UnidirKind::Omega => "omega",
+            UnidirKind::Baseline => "baseline",
+        };
+        match *self {
+            NetworkSpec::Tmin(k) => format!("TMIN({})", wiring(k)),
+            NetworkSpec::Dmin(k, d) => format!("DMIN({}, d={d})", wiring(k)),
+            NetworkSpec::Vmin(k, v) => format!("VMIN({}, v={v})", wiring(k)),
+            NetworkSpec::Bmin => "BMIN".to_string(),
+        }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            NetworkSpec::Dmin(_, d) if d == 0 => Err("dilation must be at least 1".into()),
+            NetworkSpec::Vmin(_, v) if v == 0 => {
+                Err("at least one virtual channel is required".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_have_expected_shapes() {
+        let g = Geometry::new(4, 3);
+        assert_eq!(NetworkSpec::tmin().build(g).num_channels(), 256);
+        assert_eq!(NetworkSpec::dmin(2).build(g).num_channels(), 384);
+        assert_eq!(NetworkSpec::vmin(2).build(g).num_channels(), 256);
+        assert_eq!(NetworkSpec::Bmin.build(g).num_channels(), 384);
+        assert_eq!(NetworkSpec::vmin(2).vcs(), 2);
+        assert_eq!(NetworkSpec::Bmin.vcs(), 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(NetworkSpec::tmin().name(), "TMIN(cube)");
+        assert_eq!(NetworkSpec::dmin(2).name(), "DMIN(cube, d=2)");
+        assert_eq!(NetworkSpec::vmin(2).name(), "VMIN(cube, v=2)");
+        assert_eq!(NetworkSpec::Bmin.name(), "BMIN");
+        assert_eq!(
+            NetworkSpec::Tmin(UnidirKind::Butterfly).name(),
+            "TMIN(butterfly)"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NetworkSpec::dmin(0).validate().is_err());
+        assert!(NetworkSpec::vmin(0).validate().is_err());
+        assert!(NetworkSpec::dmin(2).validate().is_ok());
+        for s in NetworkSpec::paper_lineup() {
+            assert!(s.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Load sweeps: the latency–throughput curves behind every §5 figure.
+//!
+//! Individual simulation runs are sequential discrete-time programs, but a
+//! sweep's load points are independent — the natural parallel axis. The
+//! sweep fans the points out over a scoped thread pool fed by a
+//! crossbeam channel; results are written into a pre-sized slot table so
+//! the output order (and, thanks to per-point seeds, the numbers
+//! themselves) is independent of the thread count.
+
+use crate::experiment::Experiment;
+use minnet_sim::SimReport;
+use parking_lot::Mutex;
+
+/// One point of a latency–throughput curve.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Nominal offered load (flits/cycle/node).
+    pub offered: f64,
+    /// The simulation report at that load.
+    pub report: SimReport,
+}
+
+/// SplitMix64 — decorrelates per-point seeds from the base seed.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluate the experiment at every load in `loads`, in parallel on
+/// `threads` workers (1 = sequential). Results come back in `loads`
+/// order; numbers are identical for any thread count.
+pub fn latency_throughput_curve(
+    exp: &Experiment,
+    loads: &[f64],
+    threads: usize,
+) -> Result<Vec<SweepPoint>, String> {
+    let threads = threads.max(1).min(loads.len().max(1));
+    let slots: Mutex<Vec<Option<Result<SimReport, String>>>> =
+        Mutex::new(vec![None; loads.len()]);
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..loads.len() {
+        tx.send(i).expect("queue is open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let seed = mix(exp.sim.seed, i as u64 + 1);
+                    let res = exp.run_seeded(loads[i], seed);
+                    slots.lock()[i] = Some(res);
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(loads.len());
+    for (i, slot) in slots.into_inner().into_iter().enumerate() {
+        let report = slot.expect("every slot is filled")?;
+        out.push(SweepPoint {
+            offered: loads[i],
+            report,
+        });
+    }
+    Ok(out)
+}
+
+/// Locate the saturation boundary by bisection: the largest offered load
+/// in `[lo, hi]` that remains sustainable, refined over `iters` halvings.
+/// Returns the boundary load and its report, or `None` when even `lo`
+/// saturates. Each probe uses a seed derived from the iteration, so the
+/// search is deterministic.
+pub fn find_saturation(
+    exp: &Experiment,
+    lo: f64,
+    hi: f64,
+    iters: u32,
+) -> Result<Option<SweepPoint>, String> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let mut lo = lo;
+    let mut hi = hi;
+    // Establish the bracket.
+    let first = exp.run_seeded(lo, mix(exp.sim.seed, 0xB15EC7))?;
+    if !(first.sustainable && first.steady) {
+        return Ok(None);
+    }
+    let mut best = Some(SweepPoint {
+        offered: lo,
+        report: first,
+    });
+    for i in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let report = exp.run_seeded(mid, mix(exp.sim.seed, 0xB15EC7 + 1 + i as u64))?;
+        if report.sustainable && report.steady {
+            best = Some(SweepPoint {
+                offered: mid,
+                report,
+            });
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(best)
+}
+
+/// The largest *sustainable* accepted throughput found on a curve — the
+/// paper's "maximum network throughput" (§5: sustainable means no source
+/// queue exceeded the limit; we additionally require the run to be
+/// steady, i.e. delivery kept pace with generation).
+pub fn saturation_load(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.report.sustainable && p.report.steady)
+        .max_by(|a, b| {
+            a.report
+                .accepted_flits_per_node_cycle
+                .total_cmp(&b.report.accepted_flits_per_node_cycle)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+    use minnet_traffic::MessageSizeDist;
+
+    fn quick() -> Experiment {
+        let mut e = Experiment::paper_default(NetworkSpec::tmin());
+        e.sizes = MessageSizeDist::Fixed(32);
+        e.sim.warmup = 500;
+        e.sim.measure = 4_000;
+        e
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let exp = quick();
+        let loads = [0.1, 0.3, 0.5];
+        let seq = latency_throughput_curve(&exp, &loads, 1).unwrap();
+        let par = latency_throughput_curve(&exp, &loads, 3).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.offered, b.offered);
+            assert_eq!(a.report.mean_latency_cycles, b.report.mean_latency_cycles);
+            assert_eq!(a.report.delivered_packets, b.report.delivered_packets);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let exp = quick();
+        let pts = latency_throughput_curve(&exp, &[0.1, 0.6], 2).unwrap();
+        assert!(
+            pts[1].report.mean_latency_cycles > pts[0].report.mean_latency_cycles,
+            "latency must increase toward saturation"
+        );
+    }
+
+    #[test]
+    fn saturation_picks_best_sustainable() {
+        let exp = quick();
+        let pts = latency_throughput_curve(&exp, &[0.1, 0.4, 2.0], 2).unwrap();
+        let sat = saturation_load(&pts).unwrap();
+        assert!(sat.report.sustainable);
+        assert!(sat.offered < 2.0, "overload cannot be the sustainable max");
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let exp = quick();
+        assert!(latency_throughput_curve(&exp, &[], 4).unwrap().is_empty());
+        assert!(saturation_load(&[]).is_none());
+    }
+
+    #[test]
+    fn bisection_brackets_the_knee() {
+        let exp = quick();
+        let sat = find_saturation(&exp, 0.05, 1.5, 5).unwrap().unwrap();
+        // The TMIN's knee lies strictly inside the bracket …
+        assert!(sat.offered > 0.05 && sat.offered < 1.5);
+        assert!(sat.report.sustainable);
+        // … and pushing clearly past it is unsustainable.
+        let beyond = exp.run(1.4).unwrap();
+        assert!(!beyond.sustainable);
+        assert!(sat.offered < 1.0, "one-port bound caps the knee below 1.0");
+    }
+
+    #[test]
+    fn bisection_reports_none_when_floor_saturates() {
+        let mut exp = quick();
+        exp.sim.queue_limit = 0; // nothing is sustainable
+        assert!(find_saturation(&exp, 0.3, 0.9, 3).unwrap().is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Text and CSV rendering of latency–throughput curves.
+
+use crate::sweep::SweepPoint;
+use std::fmt::Write as _;
+
+/// Render a curve as an aligned text table (the per-figure series the
+/// `figures` harness prints).
+pub fn curve_table(label: &str, points: &[SweepPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {label}");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>12} {:>14} {:>12} {:>10} {:>12}",
+        "offered%", "accepted%", "latency(us)", "p95(us)", "maxQ", "sustainable"
+    );
+    for p in points {
+        let r = &p.report;
+        let status = match (r.sustainable, r.steady) {
+            (true, true) => "yes",
+            (false, _) => "NO",
+            (true, false) => "lagging", // queues small but delivery behind
+        };
+        let _ = writeln!(
+            s,
+            "{:>10.1} {:>12.2} {:>14.2} {:>12.2} {:>10} {:>12}",
+            p.offered * 100.0,
+            r.throughput_percent(),
+            r.mean_latency_us(),
+            r.p95_latency_cycles as f64 * minnet_sim::CYCLE_US,
+            r.max_queue,
+            status,
+        );
+    }
+    s
+}
+
+/// Render a curve as CSV with a metadata column for the series label.
+pub fn curve_csv(label: &str, points: &[SweepPoint]) -> String {
+    let mut s = String::from(
+        "series,offered_load,accepted_load,mean_latency_us,p50_us,p95_us,p99_us,max_us,mean_queue,max_queue,sustainable,steady,delivered_packets\n",
+    );
+    for p in points {
+        let r = &p.report;
+        let us = |c: u64| c as f64 * minnet_sim::CYCLE_US;
+        let _ = writeln!(
+            s,
+            "{label},{:.4},{:.6},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2},{},{},{},{}",
+            p.offered,
+            r.accepted_flits_per_node_cycle,
+            r.mean_latency_us(),
+            us(r.p50_latency_cycles),
+            us(r.p95_latency_cycles),
+            us(r.p99_latency_cycles),
+            us(r.max_latency_cycles),
+            r.mean_queue,
+            r.max_queue,
+            r.sustainable,
+            r.steady,
+            r.delivered_packets,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::spec::NetworkSpec;
+    use crate::sweep::latency_throughput_curve;
+    use minnet_traffic::MessageSizeDist;
+
+    fn points() -> Vec<SweepPoint> {
+        let mut e = Experiment::paper_default(NetworkSpec::tmin());
+        e.sizes = MessageSizeDist::Fixed(16);
+        e.sim.warmup = 200;
+        e.sim.measure = 2_000;
+        latency_throughput_curve(&e, &[0.1, 0.2], 1).unwrap()
+    }
+
+    #[test]
+    fn table_contains_rows_and_header() {
+        let t = curve_table("demo", &points());
+        assert!(t.contains("# demo"));
+        assert!(t.contains("offered%"));
+        assert_eq!(t.lines().count(), 4); // title + header + 2 rows
+    }
+
+    #[test]
+    fn csv_is_well_formed() {
+        let c = curve_csv("tmin", &points());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols);
+            assert!(l.starts_with("tmin,"));
+        }
+    }
+}

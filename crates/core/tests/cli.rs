@@ -1,0 +1,74 @@
+//! Smoke tests for the `minnet` CLI binary.
+
+use std::process::Command;
+
+fn minnet(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_minnet"))
+        .args(args)
+        .output()
+        .expect("spawning the minnet binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn info_reports_network_facts() {
+    let (ok, stdout, _) = minnet(&["info", "--network", "bmin"]);
+    assert!(ok);
+    assert!(stdout.contains("BMIN"));
+    assert!(stdout.contains("64 nodes"));
+    assert!(stdout.contains("deadlock"));
+    assert!(stdout.contains("free"));
+}
+
+#[test]
+fn simulate_prints_metrics() {
+    let (ok, stdout, _) = minnet(&[
+        "simulate", "--network", "dmin", "--load", "0.3", "--warmup", "1000", "--measure",
+        "6000", "--sizes", "fixed:32",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("accepted"));
+    assert!(stdout.contains("latency"));
+    assert!(stdout.contains("sustainable"));
+}
+
+#[test]
+fn sweep_writes_csv() {
+    let dir = std::env::temp_dir().join("minnet_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("sweep.csv");
+    let (ok, stdout, _) = minnet(&[
+        "sweep", "--network", "tmin", "--loads", "0.1,0.5", "--warmup", "500", "--measure",
+        "4000", "--sizes", "fixed:32", "--csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("offered%"));
+    let contents = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(contents.lines().count(), 3); // header + 2 points
+    let _ = std::fs::remove_file(csv);
+}
+
+#[test]
+fn partition_detects_reduced_butterfly() {
+    let (ok, stdout, _) = minnet(&["partition", "--wiring", "butterfly", "--clusters", "msd"]);
+    assert!(ok);
+    assert!(stdout.contains("NOT balanced"));
+    assert!(stdout.contains("contention-free: yes"));
+    let (ok2, stdout2, _) = minnet(&["partition", "--wiring", "cube", "--clusters", "msd"]);
+    assert!(ok2);
+    assert!(!stdout2.contains("NOT balanced"));
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (ok, _, stderr) = minnet(&["simulate", "--network", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown network"));
+    let (ok2, _, _) = minnet(&["frobnicate"]);
+    assert!(!ok2);
+}

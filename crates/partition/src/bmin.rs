@@ -1,0 +1,221 @@
+//! Channel-usage analysis for BMIN partitions (Theorem 4).
+//!
+//! The BMIN offers `k^t` routing paths per pair, so "channels used by a
+//! cluster" means the union over *all* turnaround paths of all
+//! intra-cluster pairs. Theorem 4: a butterfly BMIN partitions into
+//! contention-free, channel-balanced disjoint **base** k-ary cubes —
+//! intra-cluster traffic of a base `m`-cube only touches levels `0..m`,
+//! using exactly `k^m` channels per level per direction, and different
+//! base cubes touch disjoint channels. Non-base cubes, by contrast, share
+//! channels (the §4 closing remark).
+
+use minnet_routing::{enumerate_paths, RouteLogic};
+use minnet_topology::{ChannelId, Direction, NetworkGraph};
+use std::collections::BTreeSet;
+
+/// Per-cluster channel usage of a butterfly BMIN.
+#[derive(Clone, Debug)]
+pub struct BminPartitionAnalysis {
+    cluster_sizes: Vec<usize>,
+    /// `channels[c]` = every channel some turnaround path of cluster `c`
+    /// can use.
+    channels: Vec<BTreeSet<ChannelId>>,
+    /// `(level, dir)` histogram per cluster.
+    per_level: Vec<Vec<(u8, Direction, usize)>>,
+}
+
+impl BminPartitionAnalysis {
+    /// Analyse intra-cluster traffic of the given clusters on a BMIN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not bidirectional.
+    pub fn analyze(net: &NetworkGraph, clusters: &[Vec<u32>]) -> Self {
+        assert!(net.kind.is_bidirectional(), "BMIN analysis needs a BMIN");
+        let mut channels = vec![BTreeSet::new(); clusters.len()];
+        for (ci, members) in clusters.iter().enumerate() {
+            for &s in members {
+                for &d in members {
+                    if s == d {
+                        continue;
+                    }
+                    for path in enumerate_paths(net, RouteLogic::Turnaround, s, d) {
+                        channels[ci].extend(path);
+                    }
+                }
+            }
+        }
+        let per_level = channels
+            .iter()
+            .map(|set| {
+                let mut map: std::collections::BTreeMap<(u8, bool), usize> = Default::default();
+                for &c in set {
+                    let ch = net.channel(c);
+                    *map.entry((ch.level, ch.dir == Direction::Forward))
+                        .or_default() += 1;
+                }
+                map.into_iter()
+                    .map(|((lvl, fwd), n)| {
+                        (
+                            lvl,
+                            if fwd {
+                                Direction::Forward
+                            } else {
+                                Direction::Backward
+                            },
+                            n,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        BminPartitionAnalysis {
+            cluster_sizes: clusters.iter().map(Vec::len).collect(),
+            channels,
+            per_level,
+        }
+    }
+
+    /// Channels used by cluster `c` at `(level, dir)`.
+    pub fn channels_used(&self, cluster: usize, level: u8, dir: Direction) -> usize {
+        self.per_level[cluster]
+            .iter()
+            .find(|&&(l, d, _)| l == level && d == dir)
+            .map(|&(_, _, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// Highest connection level cluster `c` touches, if any.
+    pub fn max_level(&self, cluster: usize) -> Option<u8> {
+        self.per_level[cluster].iter().map(|&(l, _, _)| l).max()
+    }
+
+    /// Channels used by more than one cluster.
+    pub fn shared_channels(&self) -> Vec<ChannelId> {
+        let mut counts: std::collections::BTreeMap<ChannelId, usize> = Default::default();
+        for set in &self.channels {
+            for &c in set {
+                *counts.entry(c).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter_map(|(c, n)| (n > 1).then_some(c))
+            .collect()
+    }
+
+    /// Whether no channel is shared between clusters.
+    pub fn is_contention_free(&self) -> bool {
+        self.shared_channels().is_empty()
+    }
+
+    /// Theorem 4's channel balance: at every level the cluster touches, it
+    /// uses exactly `|cluster|` channel *pairs* (one forward + one
+    /// backward set of that size).
+    pub fn is_channel_balanced(&self, cluster: usize) -> bool {
+        let size = self.cluster_sizes[cluster];
+        if size < 2 {
+            return true;
+        }
+        let Some(max) = self.max_level(cluster) else {
+            return true;
+        };
+        (0..=max).all(|lvl| {
+            self.channels_used(cluster, lvl, Direction::Forward) == size
+                && self.channels_used(cluster, lvl, Direction::Backward) == size
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnet_topology::{build_bmin, CubeSpec, Geometry};
+
+    fn cube_clusters(g: &Geometry, patterns: &[&str]) -> Vec<Vec<u32>> {
+        patterns
+            .iter()
+            .map(|p| {
+                CubeSpec::parse(g, p)
+                    .unwrap()
+                    .members(g)
+                    .into_iter()
+                    .map(|a| a.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn theorem4_base_cubes_are_clean() {
+        // Base k-ary cubes on the butterfly BMIN: contention-free,
+        // channel-balanced, and locality-preserving (levels above m-1 are
+        // untouched).
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        let clusters = cube_clusters(&g, &["0XX", "1XX", "2XX", "3XX"]);
+        let a = BminPartitionAnalysis::analyze(&net, &clusters);
+        assert!(a.is_contention_free());
+        for c in 0..4 {
+            assert!(a.is_channel_balanced(c), "cluster {c}");
+            // 16-node base 2-cubes turn at stage ≤ 1 ⇒ max level 1.
+            assert_eq!(a.max_level(c), Some(1));
+            assert_eq!(a.channels_used(c, 0, Direction::Forward), 16);
+            assert_eq!(a.channels_used(c, 1, Direction::Backward), 16);
+            assert_eq!(a.channels_used(c, 2, Direction::Forward), 0);
+        }
+    }
+
+    #[test]
+    fn theorem4_k2_base_cubes() {
+        let g = Geometry::new(2, 4);
+        let net = build_bmin(g);
+        let clusters = cube_clusters(&g, &["00XX", "01XX", "10XX", "11XX"]);
+        let a = BminPartitionAnalysis::analyze(&net, &clusters);
+        assert!(a.is_contention_free());
+        for c in 0..4 {
+            assert!(a.is_channel_balanced(c));
+            assert_eq!(a.max_level(c), Some(1));
+        }
+    }
+
+    #[test]
+    fn non_base_cubes_share_channels() {
+        // §4's closing remark: non-base cubes have FirstDifference up to
+        // t, can spread over k^t channels, and clusters then share — e.g.
+        // LSD-fixed clusters on the 16-node k=2 BMIN.
+        let g = Geometry::new(2, 4);
+        let net = build_bmin(g);
+        let clusters = cube_clusters(&g, &["XXX0", "XXX1"]);
+        let a = BminPartitionAnalysis::analyze(&net, &clusters);
+        assert!(!a.is_contention_free());
+        assert!(!a.shared_channels().is_empty());
+        // Both clusters climb to the top of the tree.
+        assert_eq!(a.max_level(0), Some((g.n() - 1) as u8));
+    }
+
+    #[test]
+    fn unbalanced_mixed_partition_detected() {
+        // A mixed base partition still works: 0XX, 10X, 11X … but at k=2
+        // with 8 nodes: 0XX (4 nodes, levels ≤1), 10X and 11X (2 nodes,
+        // level 0 only).
+        let g = Geometry::new(2, 3);
+        let net = build_bmin(g);
+        let clusters = cube_clusters(&g, &["0XX", "10X", "11X"]);
+        let a = BminPartitionAnalysis::analyze(&net, &clusters);
+        assert!(a.is_contention_free());
+        for c in 0..3 {
+            assert!(a.is_channel_balanced(c), "cluster {c}");
+        }
+        assert_eq!(a.max_level(0), Some(1));
+        assert_eq!(a.max_level(1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a BMIN")]
+    fn rejects_unidirectional_networks() {
+        let g = Geometry::new(2, 3);
+        let net = minnet_topology::build_unidir(g, minnet_topology::UnidirKind::Cube, 1);
+        let _ = BminPartitionAnalysis::analyze(&net, &[vec![0, 1]]);
+    }
+}

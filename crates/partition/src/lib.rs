@@ -1,0 +1,38 @@
+//! # minnet-partition
+//!
+//! Network partitionability and traffic-localization analysis (paper §4).
+//!
+//! When a parallel machine is space-shared, each job gets a *cluster* of
+//! processors. The question is whether the network can be carved up with
+//! the processors: does traffic inside one cluster ever touch a channel
+//! that another cluster needs (**contention-freedom**), and does a cluster
+//! of `c` nodes get exactly `c` channels between adjacent stages
+//! (**channel balance**)?
+//!
+//! The paper proves:
+//!
+//! * **Lemma 1 / Theorem 2** — a *cube* unidirectional MIN partitions into
+//!   contention-free, channel-balanced k-ary cubes, and (for `k = 2^j`)
+//!   even binary cubes;
+//! * **Theorem 3** — a *butterfly* unidirectional MIN may not: clusterings
+//!   either shrink the channel count (channel-reduced, Fig. 15a) or share
+//!   channels between clusters (channel-shared, Fig. 15b);
+//! * **Theorem 4** — a butterfly *BMIN* partitions into contention-free,
+//!   channel-balanced *base* cubes.
+//!
+//! This crate verifies all of these mechanically: [`unidir`] walks the
+//!   unique destination-tag paths of every intra-cluster pair;
+//!   [`bmin`] takes the union over all turnaround paths. Both report
+//!   per-level channel usage, cross-cluster sharing, and balance — the
+//!   numbers behind Figs. 14 and 15.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmin;
+pub mod lemma;
+pub mod unidir;
+
+pub use bmin::BminPartitionAnalysis;
+pub use lemma::cube_entering_position;
+pub use unidir::UnidirPartitionAnalysis;

@@ -1,0 +1,143 @@
+//! Exhaustive partitionability sweeps: Theorems 2 and 4 quantified over
+//! *every* binary-cube partition of small machines, not just the paper's
+//! examples.
+
+use minnet_partition::{BminPartitionAnalysis, UnidirPartitionAnalysis};
+use minnet_topology::{build_bmin, BitCube, Geometry, UnidirKind};
+
+/// All partitions of the 3-bit address space into binary cubes, generated
+/// by recursive splitting (every cube either stays whole or splits on one
+/// of its free bits). Includes the trivial whole-machine partition.
+fn all_bitcube_partitions(g: &Geometry) -> Vec<Vec<BitCube>> {
+    fn expand(g: &Geometry, cube: BitCube, out: &mut Vec<Vec<BitCube>>) {
+        // Option 1: keep whole.
+        let mut results = vec![vec![cube]];
+        // Option 2: split on each free bit.
+        let nbits = g.n() * g.k().trailing_zeros();
+        let pat = cube.pattern();
+        for (pos, ch) in pat.chars().enumerate() {
+            if ch != 'X' {
+                continue;
+            }
+            let bit = nbits as usize - 1 - pos;
+            let mut zero = pat.clone();
+            zero.replace_range(pos..pos + 1, "0");
+            let mut one = pat.clone();
+            one.replace_range(pos..pos + 1, "1");
+            let _ = bit;
+            let mut zs = Vec::new();
+            expand(g, BitCube::parse(g, &zero).unwrap(), &mut zs);
+            let mut os = Vec::new();
+            expand(g, BitCube::parse(g, &one).unwrap(), &mut os);
+            for z in &zs {
+                for o in &os {
+                    let mut combined = z.clone();
+                    combined.extend_from_slice(o);
+                    results.push(combined);
+                }
+            }
+        }
+        out.extend(results);
+    }
+    let nbits = g.n() * g.k().trailing_zeros();
+    let whole: String = std::iter::repeat_n('X', nbits as usize).collect();
+    let mut out = Vec::new();
+    expand(g, BitCube::parse(g, &whole).unwrap(), &mut out);
+    // Deduplicate (different split orders can produce the same partition).
+    let mut seen = std::collections::BTreeSet::new();
+    out.retain(|p| {
+        let mut key: Vec<String> = p.iter().map(BitCube::pattern).collect();
+        key.sort();
+        seen.insert(key)
+    });
+    out
+}
+
+fn members(g: &Geometry, p: &[BitCube]) -> Vec<Vec<u32>> {
+    p.iter()
+        .map(|c| c.members(g).iter().map(|a| a.0).collect())
+        .collect()
+}
+
+/// Theorem 2 exhaustively: EVERY binary-cube partition of the 8-node cube
+/// MIN is contention-free and channel-balanced.
+#[test]
+fn theorem2_holds_for_every_binary_partition() {
+    let g = Geometry::new(2, 3);
+    let partitions = all_bitcube_partitions(&g);
+    assert!(partitions.len() > 50, "only {} partitions generated", partitions.len());
+    for p in &partitions {
+        let clusters = members(&g, p);
+        let a = UnidirPartitionAnalysis::analyze(g, UnidirKind::Cube, &clusters);
+        assert!(a.is_contention_free(), "partition {p:?}");
+        for c in 0..clusters.len() {
+            assert!(a.is_channel_balanced(c), "partition {p:?} cluster {c}");
+        }
+    }
+}
+
+/// The same exhaustive sweep on the Omega network (the §6 claim that it
+/// shares the cube's partitionability).
+#[test]
+fn omega_matches_cube_on_every_binary_partition() {
+    let g = Geometry::new(2, 3);
+    for p in all_bitcube_partitions(&g) {
+        let clusters = members(&g, &p);
+        let a = UnidirPartitionAnalysis::analyze(g, UnidirKind::Omega, &clusters);
+        assert!(a.is_contention_free(), "partition {p:?}");
+        for c in 0..clusters.len() {
+            assert!(a.is_channel_balanced(c), "partition {p:?} cluster {c}");
+        }
+    }
+}
+
+/// The butterfly MIN, by contrast, fails balance (or would share) for
+/// many of those partitions — Theorem 3 is not an isolated example.
+#[test]
+fn butterfly_fails_on_many_partitions() {
+    let g = Geometry::new(2, 3);
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    for p in all_bitcube_partitions(&g) {
+        if p.len() < 2 {
+            continue; // the whole machine is trivially fine
+        }
+        total += 1;
+        let clusters = members(&g, &p);
+        let a = UnidirPartitionAnalysis::analyze(g, UnidirKind::Butterfly, &clusters);
+        let clean = a.is_contention_free()
+            && (0..clusters.len()).all(|c| a.is_channel_balanced(c));
+        if !clean {
+            bad += 1;
+        }
+    }
+    assert!(
+        bad * 2 > total,
+        "only {bad} of {total} butterfly partitions degrade"
+    );
+}
+
+/// Theorem 4 exhaustively over *base* cube partitions of the 16-node
+/// BMIN: recursive MSD splits are contention-free and channel-balanced.
+#[test]
+fn theorem4_base_partitions_of_the_16_node_bmin() {
+    let g = Geometry::new(2, 4);
+    let net = build_bmin(g);
+    // Base partitions = recursive splits always on the most significant
+    // free bit: for each depth vector, the set of prefixes. Enumerate
+    // partitions into equal-size base cubes of every size.
+    for m in 0..=3u32 {
+        let fixed = g.n() - m; // fixed MSB bits
+        let clusters: Vec<Vec<u32>> = (0..1u32 << fixed)
+            .map(|v| {
+                let size = 1u32 << m;
+                (v * size..(v + 1) * size).collect()
+            })
+            .collect();
+        let a = BminPartitionAnalysis::analyze(&net, &clusters);
+        assert!(a.is_contention_free(), "m = {m}");
+        for c in 0..clusters.len() {
+            assert!(a.is_channel_balanced(c), "m = {m} cluster {c}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Path enumeration and counting (Theorem 1, Figs. 8–11).
+//!
+//! [`enumerate_paths`] exhaustively lists the channel paths a routing logic
+//! can generate; for the BMIN this materialises the `k^t` shortest paths of
+//! Theorem 1, and for a d-dilated MIN the `d^{n-1}` lane combinations over
+//! the unique port path. [`paths_share_channel`] detects collisions between
+//! path pairs — the blocking phenomenon of Fig. 11.
+
+use crate::logic::RouteLogic;
+use minnet_topology::{ChannelId, Geometry, NetworkGraph, NodeAddr, NodeId};
+
+/// Analytic shortest-path count of Theorem 1: `k^t` for the BMIN, where
+/// `t = FirstDifference(S, D)`. Returns `None` when `s == d`.
+pub fn shortest_path_count(g: &Geometry, s: NodeAddr, d: NodeAddr) -> Option<u64> {
+    g.first_difference(s, d)
+        .map(|t| (g.k() as u64).pow(t))
+}
+
+/// Analytic shortest-path length in channels: `n + 1` for unidirectional
+/// MINs (constant, §3.2.3) and `2(t+1)` for the BMIN.
+pub fn shortest_path_length(g: &Geometry, bidirectional: bool, s: NodeAddr, d: NodeAddr) -> Option<u32> {
+    if bidirectional {
+        g.first_difference(s, d).map(|t| 2 * (t + 1))
+    } else if s == d {
+        None
+    } else {
+        Some(g.n() + 1)
+    }
+}
+
+/// Exhaustively enumerate every channel path the routing logic can produce
+/// from `src` to `dst` (depth-first over the candidate sets). Each path
+/// begins with the injection channel and ends with the ejection channel.
+///
+/// The result is bounded: `k^t` paths for turnaround routing,
+/// `d^{n-1}` for a dilated destination-tag MIN.
+pub fn enumerate_paths(
+    net: &NetworkGraph,
+    logic: RouteLogic,
+    src: NodeId,
+    dst: NodeId,
+) -> Vec<Vec<ChannelId>> {
+    let mut results = Vec::new();
+    if src == dst {
+        return results;
+    }
+    let mut stack = vec![net.inject[src as usize]];
+    dfs(net, logic, src, dst, &mut stack, &mut results);
+    results
+}
+
+fn dfs(
+    net: &NetworkGraph,
+    logic: RouteLogic,
+    src: NodeId,
+    dst: NodeId,
+    stack: &mut Vec<ChannelId>,
+    results: &mut Vec<Vec<ChannelId>>,
+) {
+    let mut cands = Vec::new();
+    logic.candidates(net, src, dst, *stack.last().unwrap(), &mut cands);
+    if cands.is_empty() {
+        results.push(stack.clone());
+        return;
+    }
+    for c in cands {
+        stack.push(c);
+        dfs(net, logic, src, dst, stack, results);
+        stack.pop();
+    }
+}
+
+/// The first channel present in both paths, if any — a potential wormhole
+/// blocking point (two worms needing the same channel serialise).
+pub fn paths_share_channel(a: &[ChannelId], b: &[ChannelId]) -> Option<ChannelId> {
+    a.iter().copied().find(|c| b.contains(c))
+}
+
+/// For two (src, dst) pairs, classify the contention between their path
+/// sets: returns `(colliding_combinations, total_combinations)` over the
+/// Cartesian product of path choices. `colliding == total` means the pairs
+/// *always* contend; `colliding == 0` means they never do.
+pub fn contention_profile(
+    net: &NetworkGraph,
+    logic: RouteLogic,
+    pair_a: (NodeId, NodeId),
+    pair_b: (NodeId, NodeId),
+) -> (usize, usize) {
+    let pa = enumerate_paths(net, logic, pair_a.0, pair_a.1);
+    let pb = enumerate_paths(net, logic, pair_b.0, pair_b.1);
+    let total = pa.len() * pb.len();
+    let colliding = pa
+        .iter()
+        .flat_map(|a| pb.iter().map(move |b| (a, b)))
+        .filter(|(a, b)| paths_share_channel(a, b).is_some())
+        .count();
+    (colliding, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnet_topology::{build_bmin, build_unidir, Direction, Geometry, UnidirKind};
+
+    #[test]
+    fn theorem1_enumeration_matches_formula() {
+        for g in [Geometry::new(2, 3), Geometry::new(4, 2), Geometry::new(4, 3)] {
+            let net = build_bmin(g);
+            for s in g.addresses() {
+                for d in g.addresses() {
+                    if s == d {
+                        continue;
+                    }
+                    let paths = enumerate_paths(&net, RouteLogic::Turnaround, s.0, d.0);
+                    assert_eq!(
+                        paths.len() as u64,
+                        shortest_path_count(&g, s, d).unwrap(),
+                        "{s}→{d}"
+                    );
+                    let want_len = shortest_path_length(&g, true, s, d).unwrap();
+                    for p in &paths {
+                        assert_eq!(p.len() as u32, want_len);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turnaround_paths_satisfy_definition_4() {
+        // Equal forward/backward channel counts, exactly one turnaround,
+        // and no forward/backward channel from the same port pair.
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        for (s, d) in [(0u32, 63u32), (5, 6), (17, 16), (0, 1), (33, 12)] {
+            for p in enumerate_paths(&net, RouteLogic::Turnaround, s, d) {
+                let fwd: Vec<_> = p
+                    .iter()
+                    .filter(|&&c| net.channel(c).dir == Direction::Forward)
+                    .collect();
+                let bwd: Vec<_> = p
+                    .iter()
+                    .filter(|&&c| net.channel(c).dir == Direction::Backward)
+                    .collect();
+                assert_eq!(fwd.len(), bwd.len());
+                // Exactly one forward→backward transition.
+                let transitions = p
+                    .windows(2)
+                    .filter(|w| {
+                        net.channel(w[0]).dir == Direction::Forward
+                            && net.channel(w[1]).dir == Direction::Backward
+                    })
+                    .count();
+                assert_eq!(transitions, 1);
+                // No channel pair of the same port: a forward channel and a
+                // backward channel of one port have swapped src/dst.
+                for &&f in &fwd {
+                    for &&b in &bwd {
+                        let cf = net.channel(f);
+                        let cb = net.channel(b);
+                        assert!(
+                            !(cf.src == cb.dst && cf.dst == cb.src),
+                            "path uses both directions of one port"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unique_path_in_tmin() {
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Cube, 1);
+        let logic = RouteLogic::for_kind(net.kind);
+        for s in [0u32, 13, 62] {
+            for d in 0..g.nodes() {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(enumerate_paths(&net, logic, s, d).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_path_count() {
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Cube, 2);
+        let logic = RouteLogic::for_kind(net.kind);
+        // d^{n-1} = 2^2 lane combinations.
+        assert_eq!(enumerate_paths(&net, logic, 0, 63).len(), 4);
+    }
+
+    #[test]
+    fn fig11_blocking_example() {
+        // Fig. 11: in the 8-node BMIN, messages 011→111 and 001→110 can
+        // contend for a backward channel; but thanks to path multiplicity
+        // they do not *always* contend, while two messages to the same
+        // destination always share the ejection channel.
+        let g = Geometry::new(2, 3);
+        let net = build_bmin(g);
+        let s1 = g.parse_addr("011").unwrap().0;
+        let d1 = g.parse_addr("111").unwrap().0;
+        let s2 = g.parse_addr("001").unwrap().0;
+        let d2 = g.parse_addr("110").unwrap().0;
+        let (colliding, total) =
+            contention_profile(&net, RouteLogic::Turnaround, (s1, d1), (s2, d2));
+        assert!(colliding > 0, "the Fig. 11 collision must be possible");
+        assert!(colliding < total, "multiple paths let the messages avoid each other");
+        // Same destination ⇒ guaranteed collision on the ejection channel.
+        let (c2, t2) = contention_profile(&net, RouteLogic::Turnaround, (s1, d1), (s2, d1));
+        assert_eq!(c2, t2);
+    }
+
+    #[test]
+    fn fig8_paths_have_common_backward_tail() {
+        // All four S=001 → D=101 paths turn at stage 2 and then follow the
+        // *same ports* backward (the unique down-route), though through
+        // different switches; every path ends at D's ejection channel.
+        let g = Geometry::new(2, 3);
+        let net = build_bmin(g);
+        let s = g.parse_addr("001").unwrap().0;
+        let d = g.parse_addr("101").unwrap().0;
+        let paths = enumerate_paths(&net, RouteLogic::Turnaround, s, d);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
+            assert_eq!(p[0], net.inject[s as usize]);
+        }
+        // The four paths are pairwise distinct.
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert_ne!(paths[i], paths[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn share_channel_helper() {
+        assert_eq!(paths_share_channel(&[1, 2, 3], &[4, 5, 3]), Some(3));
+        assert_eq!(paths_share_channel(&[1, 2], &[4, 5]), None);
+        assert_eq!(paths_share_channel(&[], &[1]), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the routing layer across random geometries.
+
+use minnet_routing::{
+    enumerate_paths, shortest_path_count, shortest_path_length, RouteLogic,
+};
+use minnet_topology::{build_bmin, build_unidir, Direction, Geometry, NodeAddr, UnidirKind};
+use proptest::prelude::*;
+
+fn geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        Just(Geometry::new(2, 2)),
+        Just(Geometry::new(2, 3)),
+        Just(Geometry::new(2, 4)),
+        Just(Geometry::new(4, 2)),
+        Just(Geometry::new(4, 3)),
+        Just(Geometry::new(8, 2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn turnaround_paths_all_reach_and_count(
+        g in geometry(),
+        raw_s in 0u32..100_000,
+        raw_d in 0u32..100_000,
+    ) {
+        let s = raw_s % g.nodes();
+        let d = raw_d % g.nodes();
+        prop_assume!(s != d);
+        let net = build_bmin(g);
+        let paths = enumerate_paths(&net, RouteLogic::Turnaround, s, d);
+        // Theorem 1 in full generality.
+        prop_assert_eq!(
+            paths.len() as u64,
+            shortest_path_count(&g, NodeAddr(s), NodeAddr(d)).unwrap()
+        );
+        let want_len = shortest_path_length(&g, true, NodeAddr(s), NodeAddr(d)).unwrap();
+        for p in &paths {
+            prop_assert_eq!(p.len() as u32, want_len);
+            prop_assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
+            // Forward prefix then backward suffix: directions never go
+            // back to forward.
+            let dirs: Vec<Direction> = p.iter().map(|&c| net.channel(c).dir).collect();
+            let first_back = dirs.iter().position(|&x| x == Direction::Backward).unwrap();
+            for (i, &dir) in dirs.iter().enumerate() {
+                if i < first_back {
+                    prop_assert_eq!(dir, Direction::Forward);
+                } else {
+                    prop_assert_eq!(dir, Direction::Backward);
+                }
+            }
+        }
+        // Paths are pairwise distinct.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), paths.len());
+    }
+
+    #[test]
+    fn destination_tag_is_unique_and_wiring_independent_in_length(
+        g in geometry(),
+        raw_s in 0u32..100_000,
+        raw_d in 0u32..100_000,
+        which in 0usize..4,
+        dilation in 1u8..3,
+    ) {
+        let s = raw_s % g.nodes();
+        let d = raw_d % g.nodes();
+        prop_assume!(s != d);
+        let kind = [
+            UnidirKind::Cube,
+            UnidirKind::Butterfly,
+            UnidirKind::Omega,
+            UnidirKind::Baseline,
+        ][which];
+        let net = build_unidir(g, kind, dilation);
+        let logic = RouteLogic::for_kind(net.kind);
+        let paths = enumerate_paths(&net, logic, s, d);
+        // d^(n-1) lane combinations over one port path.
+        prop_assert_eq!(paths.len() as u32, u32::from(dilation).pow(g.n() - 1));
+        for p in &paths {
+            prop_assert_eq!(p.len() as u32, g.n() + 1);
+            prop_assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
+        }
+    }
+}

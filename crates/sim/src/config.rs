@@ -1,0 +1,242 @@
+//! Engine configuration and the simulation report.
+
+use minnet_switch::{ArbiterKind, VcMuxPolicy};
+
+/// Duration of one simulation cycle in microseconds. All channels run at
+/// the paper's 20 flits/µs, so one flit time is 0.05 µs.
+pub const CYCLE_US: f64 = 0.05;
+
+/// Order in which channels perform their per-cycle transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransmitOrder {
+    /// Downstream-first (reverse topological): an unblocked worm advances
+    /// over its whole span each cycle and a flit crosses at most one
+    /// channel per cycle — the paper's model ("switches … synchronize to
+    /// simultaneously transmit all of the flits in a worm"). The default.
+    ReverseTopo,
+    /// Channel-id order (roughly upstream-first) — an ablation knob.
+    /// Every channel still carries at most one flit per cycle, so
+    /// steady-state pipeline timing of a single worm is unchanged, but a
+    /// body flit may close two bubbles in one cycle, making contended
+    /// timings slightly optimistic. `ablation_transmit_order` in the
+    /// bench crate quantifies the (small) difference.
+    BuildOrder,
+}
+
+/// Simulation-engine parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Virtual channels per physical channel (1 = TMIN/DMIN/BMIN, 2 =
+    /// the paper's VMIN; larger values model the §6 extension).
+    pub vcs: u8,
+    /// Flit-buffer depth of every (virtual) channel. The paper's model —
+    /// and one of the conditions its conclusions rest on — is a single
+    /// flit buffer; deeper buffers release blocked channel chains
+    /// earlier (the `ext_buffers` study quantifies it).
+    pub buffer_depth: u16,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u64,
+    /// Measured cycles after warm-up.
+    pub measure: u64,
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Source-queue sustainability limit (paper: 100 messages).
+    pub queue_limit: usize,
+    /// Arbitration among free output lanes/VCs at allocation (paper:
+    /// random).
+    pub alloc: ArbiterKind,
+    /// Physical-channel multiplexing among virtual channels (paper:
+    /// flit-level round-robin).
+    pub vc_mux: VcMuxPolicy,
+    /// Channel processing order (see [`TransmitOrder`]).
+    pub transmit_order: TransmitOrder,
+    /// Collect per-channel utilization (busy fraction over the window).
+    pub collect_channel_util: bool,
+    /// Record a [`crate::trace::Trace`] of message events (queue, inject,
+    /// per-hop channel claims, delivery). Intended for deterministic or
+    /// short runs — the log grows with every header movement.
+    pub collect_trace: bool,
+    /// Maintain per-switch [`minnet_switch::Crossbar`] state and assert
+    /// the Fig. 2 connection-legality rules on every allocation. Only
+    /// valid with `vcs == 1` (virtual channels have their own data paths
+    /// through the switch). Debug/test aid.
+    pub validate_crossbars: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vcs: 1,
+            buffer_depth: 1,
+            warmup: 50_000,
+            measure: 200_000,
+            seed: 0x5EED,
+            queue_limit: 100,
+            alloc: ArbiterKind::Random,
+            vc_mux: VcMuxPolicy::RoundRobin,
+            transmit_order: TransmitOrder::ReverseTopo,
+            collect_channel_util: false,
+            collect_trace: false,
+            validate_crossbars: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validate parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vcs == 0 {
+            return Err("at least one virtual channel per physical channel".into());
+        }
+        if self.buffer_depth == 0 {
+            return Err("channel buffers must hold at least one flit".into());
+        }
+        if self.measure == 0 {
+            return Err("measurement window must be nonempty".into());
+        }
+        if self.validate_crossbars && self.vcs != 1 {
+            return Err("crossbar validation requires vcs == 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Total simulated cycles (warmup + measure).
+    pub cycles: u64,
+    /// Messages generated during the measurement window.
+    pub generated_packets: u64,
+    /// Messages fully delivered during the measurement window.
+    pub delivered_packets: u64,
+    /// Flits generated per node per cycle during the window (measured
+    /// offered load).
+    pub offered_flits_per_node_cycle: f64,
+    /// Flits delivered per node per cycle during the window (accepted
+    /// throughput; 1.0 = every ejection channel busy every cycle).
+    pub accepted_flits_per_node_cycle: f64,
+    /// Mean message latency in cycles (generation → tail ejected), over
+    /// messages generated in the window and delivered before the end.
+    pub mean_latency_cycles: f64,
+    /// Approximate 95% CI half-width of the mean latency (batch means).
+    pub latency_ci95_cycles: f64,
+    /// Median latency (log-bucketed histogram, ≲6% relative error).
+    pub p50_latency_cycles: u64,
+    /// 95th percentile latency.
+    pub p95_latency_cycles: u64,
+    /// 99th percentile latency.
+    pub p99_latency_cycles: u64,
+    /// Largest observed latency (exact).
+    pub max_latency_cycles: u64,
+    /// Time-averaged total queued messages across all sources.
+    pub mean_queue: f64,
+    /// Largest single source queue observed during the window.
+    pub max_queue: usize,
+    /// Whether no source queue ever exceeded the configured limit — the
+    /// paper's sustainability criterion.
+    pub sustainable: bool,
+    /// Whether the run looks steady-state: delivery kept up with
+    /// generation over the window (accepted ≥ 95% of offered). The queue
+    /// criterion alone can miss slowly-building backlogs on short
+    /// windows; saturation searches require both flags.
+    pub steady: bool,
+    /// Packets still in flight (in network or queued) when the run ended.
+    pub in_flight_at_end: u64,
+    /// Per-channel busy fraction over the window, when collection was
+    /// enabled.
+    pub channel_utilization: Option<Vec<f64>>,
+    /// Per-message completion records, populated for scripted runs.
+    pub deliveries: Option<Vec<Delivery>>,
+    /// The event trace, when collection was enabled.
+    pub trace: Option<crate::trace::Trace>,
+}
+
+/// Completion record for one message (populated for scripted runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Length in flits.
+    pub len: u32,
+    /// Cycle the message became available.
+    pub gen_time: u64,
+    /// Cycle the tail flit was consumed (end-of-cycle timestamp).
+    pub done_time: u64,
+    /// Script/chain entry index for deterministic runs (`u32::MAX` for
+    /// Poisson traffic).
+    pub tag: u32,
+}
+
+impl SimReport {
+    /// Mean latency in microseconds (20 flits/µs channels).
+    pub fn mean_latency_us(&self) -> f64 {
+        self.mean_latency_cycles * CYCLE_US
+    }
+
+    /// Accepted throughput as a percentage of the one-port bound.
+    pub fn throughput_percent(&self) -> f64 {
+        self.accepted_flits_per_node_cycle * 100.0
+    }
+
+    /// Offered load as a percentage of the one-port bound.
+    pub fn offered_percent(&self) -> f64 {
+        self.offered_flits_per_node_cycle * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = EngineConfig::default();
+        c.vcs = 0;
+        assert!(c.validate().is_err());
+        let mut c = EngineConfig::default();
+        c.measure = 0;
+        assert!(c.validate().is_err());
+        let mut c = EngineConfig::default();
+        c.validate_crossbars = true;
+        c.vcs = 2;
+        assert!(c.validate().is_err());
+        c.vcs = 1;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = SimReport {
+            cycles: 0,
+            generated_packets: 0,
+            delivered_packets: 0,
+            offered_flits_per_node_cycle: 0.5,
+            accepted_flits_per_node_cycle: 0.4,
+            mean_latency_cycles: 1000.0,
+            latency_ci95_cycles: 0.0,
+            p50_latency_cycles: 0,
+            p95_latency_cycles: 0,
+            p99_latency_cycles: 0,
+            max_latency_cycles: 0,
+            mean_queue: 0.0,
+            max_queue: 0,
+            sustainable: true,
+            steady: true,
+            in_flight_at_end: 0,
+            channel_utilization: None,
+            deliveries: None,
+            trace: None,
+        };
+        assert!((r.mean_latency_us() - 50.0).abs() < 1e-12);
+        assert!((r.throughput_percent() - 40.0).abs() < 1e-12);
+        assert!((r.offered_percent() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # minnet-sim
+//!
+//! The flit-level, cycle-based wormhole simulation engine behind the §5
+//! experiments of Ni, Gui and Moore's "Performance Evaluation of
+//! Switch-Based Wormhole Networks".
+//!
+//! The engine consumes a static [`minnet_topology::NetworkGraph`] (TMIN /
+//! DMIN / VMIN / BMIN), a [`minnet_traffic::Workload`] (or a deterministic
+//! script), and an [`EngineConfig`]; it produces a [`SimReport`] with
+//! offered/accepted throughput, latency statistics with batch-means
+//! confidence intervals, and source-queue sustainability (§5's
+//! 100-message criterion).
+//!
+//! See [`engine`] for the precise cycle semantics; [`stats`] for the
+//! measurement machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod stats;
+pub mod trace;
+
+pub use config::{Delivery, EngineConfig, SimReport, TransmitOrder, CYCLE_US};
+pub use engine::{run_chained, run_scripted, run_simulation, ChainedMsg, ScriptedMsg};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,239 @@
+//! The single-flit channel buffer.
+//!
+//! Wormhole switching keeps buffering minimal: every (virtual) channel has
+//! a buffer holding exactly one flit at its receiving end. A flit is
+//! identified by the packet it belongs to and its position in that packet
+//! (`0` is the header; `len - 1` the tail).
+
+/// A reference to one flit of one packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlitRef {
+    /// Engine-assigned packet slot index.
+    pub packet: u32,
+    /// Flit position within the packet (0 = header).
+    pub index: u32,
+}
+
+impl FlitRef {
+    /// Whether this is the header flit.
+    #[inline]
+    pub fn is_header(&self) -> bool {
+        self.index == 0
+    }
+
+    /// Whether this is the tail flit of a packet of length `len`.
+    #[inline]
+    pub fn is_tail(&self, len: u32) -> bool {
+        self.index + 1 == len
+    }
+}
+
+/// A one-flit buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FlitBuffer(Option<FlitRef>);
+
+impl FlitBuffer {
+    /// An empty buffer.
+    pub const EMPTY: FlitBuffer = FlitBuffer(None);
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The buffered flit, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<FlitRef> {
+        self.0
+    }
+
+    /// Store a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is occupied — a single-flit buffer can never
+    /// accept a second flit; the engine must check emptiness first.
+    #[inline]
+    pub fn put(&mut self, f: FlitRef) {
+        assert!(self.0.is_none(), "overwriting an occupied flit buffer");
+        self.0 = Some(f);
+    }
+
+    /// Remove and return the buffered flit.
+    #[inline]
+    pub fn take(&mut self) -> Option<FlitRef> {
+        self.0.take()
+    }
+
+    /// Empty the buffer unconditionally (used when resetting lanes).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = None;
+    }
+}
+
+/// A bounded flit FIFO: the generalisation of [`FlitBuffer`] to deeper
+/// channel buffers (the paper's conclusions flag the one-flit buffer as a
+/// condition of its results; the engine's `buffer_depth` knob uses this
+/// to explore deeper buffering).
+#[derive(Clone, Debug)]
+pub struct FlitFifo {
+    slots: std::collections::VecDeque<FlitRef>,
+    capacity: usize,
+}
+
+impl FlitFifo {
+    /// A FIFO holding up to `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a channel buffer holds at least one flit");
+        FlitFifo {
+            slots: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of buffered flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// The oldest buffered flit.
+    pub fn front(&self) -> Option<FlitRef> {
+        self.slots.front().copied()
+    }
+
+    /// Append a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — the engine must check [`FlitFifo::is_full`].
+    pub fn push(&mut self, f: FlitRef) {
+        assert!(!self.is_full(), "pushing into a full flit FIFO");
+        // Flits of one worm arrive in order; catch engine bugs early.
+        if let Some(back) = self.slots.back() {
+            debug_assert_eq!(back.packet, f.packet, "foreign flit interleaved in a lane");
+            debug_assert_eq!(back.index + 1, f.index, "flit order violated");
+        }
+        self.slots.push_back(f);
+    }
+
+    /// Remove and return the oldest flit.
+    pub fn pop(&mut self) -> Option<FlitRef> {
+        self.slots.pop_front()
+    }
+
+    /// Drop all contents (lane reset).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_cycle() {
+        let mut b = FlitBuffer::EMPTY;
+        assert!(b.is_empty());
+        let f = FlitRef { packet: 3, index: 0 };
+        b.put(f);
+        assert!(!b.is_empty());
+        assert_eq!(b.peek(), Some(f));
+        assert_eq!(b.take(), Some(f));
+        assert!(b.is_empty());
+        assert_eq!(b.take(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_put_panics() {
+        let mut b = FlitBuffer::EMPTY;
+        b.put(FlitRef { packet: 0, index: 0 });
+        b.put(FlitRef { packet: 1, index: 0 });
+    }
+
+    #[test]
+    fn header_and_tail_predicates() {
+        let h = FlitRef { packet: 0, index: 0 };
+        assert!(h.is_header());
+        assert!(!h.is_tail(8));
+        assert!(h.is_tail(1)); // single-flit packet: header is tail
+        let t = FlitRef { packet: 0, index: 7 };
+        assert!(t.is_tail(8));
+        assert!(!t.is_header());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = FlitBuffer::EMPTY;
+        b.put(FlitRef { packet: 0, index: 4 });
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fifo_ordering_and_bounds() {
+        let mut f = FlitFifo::new(3);
+        assert!(f.is_empty());
+        assert_eq!(f.capacity(), 3);
+        for i in 0..3 {
+            f.push(FlitRef { packet: 9, index: i });
+        }
+        assert!(f.is_full());
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.front(), Some(FlitRef { packet: 9, index: 0 }));
+        assert_eq!(f.pop(), Some(FlitRef { packet: 9, index: 0 }));
+        assert_eq!(f.pop(), Some(FlitRef { packet: 9, index: 1 }));
+        f.push(FlitRef { packet: 9, index: 3 });
+        assert_eq!(f.pop(), Some(FlitRef { packet: 9, index: 2 }));
+        assert_eq!(f.pop(), Some(FlitRef { packet: 9, index: 3 }));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "full flit FIFO")]
+    fn fifo_overflow_panics() {
+        let mut f = FlitFifo::new(1);
+        f.push(FlitRef { packet: 0, index: 0 });
+        f.push(FlitRef { packet: 0, index: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn fifo_zero_capacity_rejected() {
+        let _ = FlitFifo::new(0);
+    }
+
+    #[test]
+    fn fifo_depth_one_matches_single_buffer() {
+        let mut f = FlitFifo::new(1);
+        let x = FlitRef { packet: 1, index: 0 };
+        f.push(x);
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(x));
+        assert!(f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+    }
+}

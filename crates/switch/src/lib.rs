@@ -1,0 +1,29 @@
+//! # minnet-switch
+//!
+//! Switch-level building blocks for the wormhole simulation engine:
+//!
+//! * [`buffer::FlitBuffer`] — the single-flit input buffer the paper
+//!   attaches to every (virtual) channel (§5: "Each input channel in a
+//!   switch has a buffer the size of a single flit");
+//! * [`arbiter::Arbiter`] — random and round-robin arbitration among
+//!   competing requests (the paper specifies *random* choice among free
+//!   lanes/forward channels; round-robin is kept as an ablation);
+//! * [`vc::VcMux`] — flit-level multiplexing of one physical channel among
+//!   virtual channels (§2.2: fair round-robin so `k` active VCs each get
+//!   `W/k` bandwidth; a winner-holds policy is kept as an ablation);
+//! * [`crossbar::Crossbar`] — explicit crossbar connection state enforcing
+//!   the connection-legality rules of Fig. 2 (no `r → r` connection, no
+//!   same-port turnaround), used to validate the engine in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod buffer;
+pub mod crossbar;
+pub mod vc;
+
+pub use arbiter::{Arbiter, ArbiterKind};
+pub use buffer::{FlitBuffer, FlitFifo, FlitRef};
+pub use crossbar::{Crossbar, CrossbarError};
+pub use vc::{VcMux, VcMuxPolicy};

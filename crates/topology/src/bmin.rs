@@ -1,0 +1,378 @@
+//! Builder for the bidirectional butterfly MIN (paper §3, Fig. 6).
+//!
+//! An `N = k^n` node butterfly BMIN has `n` stages of `k^{n-1}` bidirectional
+//! `k × k` switches. Processor nodes sit on the left of stage `G_0`; each
+//! link is a pair of opposite unidirectional channels. We use the classic
+//! k-ary butterfly wiring:
+//!
+//! * A switch at stage `j` is labelled by an `(n-1)`-digit k-ary number `s`.
+//! * Node `a = a_{n-1}…a_0` attaches to switch `(0, a_{n-1}…a_1)` at left
+//!   port `a_0`.
+//! * For `1 ≤ j ≤ n-1`, switch `(j, s)` connects through its left port `c`
+//!   to switch `(j-1, s[digit j-1 := c])`'s right port `s_{j-1}`.
+//!
+//! Consequences (proved in the tests and used throughout):
+//!
+//! * going **forward** (up, away from nodes) from stage `j` to `j+1` can
+//!   change only digit `j` of the switch label, so after ascending to stage
+//!   `t` the label still agrees with the source address on digits `≥ t`;
+//! * a node `D` is reachable going **backward** (down) from `(j, s)` iff
+//!   `s_i = d_{i+1}` for all `i ≥ j`, and the down port to take at stage
+//!   `j` is `d_j` — exactly the paper's turnaround routing (Fig. 7);
+//! * a message from `S` to `D` must ascend to stage
+//!   `t = FirstDifference(S, D)` and there are `k^t` shortest paths
+//!   (Theorem 1).
+
+use crate::address::Geometry;
+use crate::graph::{
+    ChannelDesc, ChannelId, Direction, Endpoint, NetworkGraph, NetworkKind, Side, SwitchDesc,
+};
+
+/// Number of digits in a BMIN switch label (`n - 1`).
+#[inline]
+fn label_digit(g: &Geometry, label: u32, i: u32) -> u32 {
+    debug_assert!(i + 1 < g.n());
+    (label / g.k().pow(i)) % g.k()
+}
+
+#[inline]
+fn label_with_digit(g: &Geometry, label: u32, i: u32, v: u32) -> u32 {
+    let p = g.k().pow(i);
+    let old = (label / p) % g.k();
+    (label as i64 + (v as i64 - old as i64) * p as i64) as u32
+}
+
+/// Build an `N = k^n` butterfly BMIN.
+///
+/// Output-port codes on each switch: `0..k` are the left-side (backward /
+/// node-facing) outputs `l_i`; `k..2k` are the right-side (forward) outputs
+/// `r_i`. Stage `n-1` switches have no forward output channels — the paper
+/// leaves those ports available for building larger networks.
+pub fn build_bmin(g: Geometry) -> NetworkGraph {
+    let k = g.k();
+    let n = g.n();
+    let nodes = g.nodes();
+    let per_stage = nodes / k; // k^{n-1}
+
+    let mut channels: Vec<ChannelDesc> = Vec::new();
+    let mut switches: Vec<SwitchDesc> = (0..n)
+        .flat_map(|stage| {
+            (0..per_stage).map(move |index| SwitchDesc {
+                stage: stage as u8,
+                index,
+                inputs: Vec::with_capacity(2 * k as usize),
+                out_ports: vec![Vec::new(); 2 * k as usize],
+            })
+        })
+        .collect();
+    let sw_id = |stage: u32, index: u32| stage * per_stage + index;
+
+    let mut inject = vec![0 as ChannelId; nodes as usize];
+    let mut eject = vec![0 as ChannelId; nodes as usize];
+
+    // topo_rank: all down channels (by level ascending) precede all up
+    // channels (by level descending): down ℓ → ℓ, up ℓ → 2n-1-ℓ.
+    let down_rank = |level: u32| level as u16;
+    let up_rank = |level: u32| (2 * n - 1 - level) as u16;
+
+    // Level 0: node a ↔ switch (0, a/k) port a%k.
+    for a in 0..nodes {
+        let sw = sw_id(0, a / k);
+        let port = (a % k) as u8;
+        // Up: node → switch left input.
+        let up = channels.len() as ChannelId;
+        channels.push(ChannelDesc {
+            src: Endpoint::Node(a),
+            dst: Endpoint::Switch {
+                sw,
+                side: Side::Left,
+                port,
+            },
+            level: 0,
+            lane: 0,
+            dir: Direction::Forward,
+            topo_rank: up_rank(0),
+        });
+        switches[sw as usize].inputs.push(up);
+        inject[a as usize] = up;
+        // Down: switch left output → node.
+        let down = channels.len() as ChannelId;
+        channels.push(ChannelDesc {
+            src: Endpoint::Switch {
+                sw,
+                side: Side::Left,
+                port,
+            },
+            dst: Endpoint::Node(a),
+            level: 0,
+            lane: 0,
+            dir: Direction::Backward,
+            topo_rank: down_rank(0),
+        });
+        switches[sw as usize].out_ports[port as usize].push(down);
+        eject[a as usize] = down;
+    }
+
+    // Levels 1..n-1: switch (j, s) left port c ↔ switch
+    // (j-1, s[digit j-1 := c]) right port s_{j-1}.
+    for j in 1..n {
+        for s in 0..per_stage {
+            let hi = sw_id(j, s);
+            for c in 0..k {
+                let lo_label = label_with_digit(&g, s, j - 1, c);
+                let lo = sw_id(j - 1, lo_label);
+                let lo_port = (k as usize + label_digit(&g, s, j - 1) as usize) as u8; // right port s_{j-1}, coded k + idx
+                let lo_port_idx = label_digit(&g, s, j - 1) as u8;
+                // Up: lower right output s_{j-1} → upper left input c.
+                let up = channels.len() as ChannelId;
+                channels.push(ChannelDesc {
+                    src: Endpoint::Switch {
+                        sw: lo,
+                        side: Side::Right,
+                        port: lo_port_idx,
+                    },
+                    dst: Endpoint::Switch {
+                        sw: hi,
+                        side: Side::Left,
+                        port: c as u8,
+                    },
+                    level: j as u8,
+                    lane: 0,
+                    dir: Direction::Forward,
+                    topo_rank: up_rank(j),
+                });
+                switches[lo as usize].out_ports[lo_port as usize].push(up);
+                switches[hi as usize].inputs.push(up);
+                // Down: upper left output c → lower right input s_{j-1}.
+                let down = channels.len() as ChannelId;
+                channels.push(ChannelDesc {
+                    src: Endpoint::Switch {
+                        sw: hi,
+                        side: Side::Left,
+                        port: c as u8,
+                    },
+                    dst: Endpoint::Switch {
+                        sw: lo,
+                        side: Side::Right,
+                        port: lo_port_idx,
+                    },
+                    level: j as u8,
+                    lane: 0,
+                    dir: Direction::Backward,
+                    topo_rank: down_rank(j),
+                });
+                switches[hi as usize].out_ports[c as usize].push(down);
+                switches[lo as usize].inputs.push(down);
+            }
+        }
+    }
+
+    let graph = NetworkGraph {
+        geometry: g,
+        kind: NetworkKind::Bmin,
+        channels,
+        switches,
+        inject,
+        eject,
+    };
+    graph
+        .validate()
+        .expect("BMIN builder produced an invalid graph");
+    graph
+}
+
+/// The set of node addresses reachable going *down* (backward) from switch
+/// `(stage, label)` — the leaves of the fat-tree subtree rooted there.
+pub fn down_reachable(g: &Geometry, stage: u32, label: u32) -> Vec<u32> {
+    (0..g.nodes())
+        .filter(|&a| {
+            (stage..g.n() - 1).all(|i| label_digit(g, label, i) == g.digit(a.into(), i + 1))
+        })
+        .collect()
+}
+
+/// The stage-0 switch label for node `a` (`a / k`).
+#[inline]
+pub fn node_switch_label(g: &Geometry, a: u32) -> u32 {
+    a / g.k()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::NodeAddr;
+
+    #[test]
+    fn channel_and_switch_counts() {
+        // Fig. 6: the 8-node butterfly BMIN has 3 stages of 4 switches and
+        // N channel *pairs* per level.
+        for (k, n) in [(2u32, 3u32), (2, 4), (4, 2), (4, 3)] {
+            let g = Geometry::new(k, n);
+            let net = build_bmin(g);
+            assert_eq!(net.num_switches() as u32, n * g.nodes() / k);
+            assert_eq!(net.num_channels() as u32, 2 * n * g.nodes());
+            for level in 0..n {
+                assert_eq!(
+                    net.channels_at_level(level as u8, Direction::Forward).len() as u32,
+                    g.nodes()
+                );
+                assert_eq!(
+                    net.channels_at_level(level as u8, Direction::Backward).len() as u32,
+                    g.nodes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_paired() {
+        // Every forward channel has an opposite backward channel between
+        // the same two endpoints.
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        let mut fwd = 0;
+        for ch in &net.channels {
+            if ch.dir == Direction::Forward {
+                fwd += 1;
+                assert!(
+                    net.channels
+                        .iter()
+                        .any(|o| o.dir == Direction::Backward
+                            && o.src == ch.dst
+                            && o.dst == ch.src),
+                    "unpaired forward channel {ch:?}"
+                );
+            }
+        }
+        assert_eq!(fwd * 2, net.num_channels());
+    }
+
+    #[test]
+    fn up_moves_change_only_current_digit() {
+        // Forward channel from stage j-1 switch s' to stage j switch s:
+        // labels agree except possibly at digit j-1.
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        let per_stage = g.nodes() / g.k();
+        for ch in &net.channels {
+            if ch.dir != Direction::Forward || ch.level == 0 {
+                continue;
+            }
+            let lo = ch.src.switch().unwrap() % per_stage;
+            let hi = ch.dst.switch().unwrap() % per_stage;
+            let j = ch.level as u32;
+            for i in 0..g.n() - 1 {
+                if i != j - 1 {
+                    assert_eq!(label_digit(&g, lo, i), label_digit(&g, hi, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_reachable_sets() {
+        let g = Geometry::new(2, 3);
+        // Stage 0 switch `s` reaches exactly nodes {2s, 2s+1}.
+        for s in 0..4 {
+            assert_eq!(down_reachable(&g, 0, s), vec![2 * s, 2 * s + 1]);
+        }
+        // Stage 2 (root level): every switch reaches all nodes.
+        for s in 0..4 {
+            assert_eq!(down_reachable(&g, 2, s).len(), 8);
+        }
+        // Stage 1 switch label s = s_1 s_0: reaches nodes with a_2 = s_1.
+        let reach = down_reachable(&g, 1, 0b10);
+        assert_eq!(reach, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn down_port_digit_rule() {
+        // From (j, s), the down port c leads to a switch/nodes whose
+        // "digit j" is c: at stage 0, left port c leads to node with
+        // a_0 = c; at stage j ≥ 1 it pins digit j-1 of the lower label,
+        // whose down-reachable leaves all have a_j = c.
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        let per_stage = g.nodes() / g.k();
+        for ch in &net.channels {
+            if ch.dir != Direction::Backward {
+                continue;
+            }
+            let (sw, port) = match ch.src {
+                Endpoint::Switch { sw, port, .. } => (sw, port),
+                _ => unreachable!("backward channels originate at switches"),
+            };
+            let stage = net.switch(sw).stage as u32;
+            let label = sw % per_stage;
+            let _ = label;
+            match ch.dst {
+                Endpoint::Node(a) => {
+                    assert_eq!(stage, 0);
+                    assert_eq!(g.digit(NodeAddr(a), 0), port as u32);
+                }
+                Endpoint::Switch { sw: lo, .. } => {
+                    let lo_label = lo % per_stage;
+                    for leaf in down_reachable(&g, stage - 1, lo_label) {
+                        assert_eq!(g.digit(NodeAddr(leaf), stage), port as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turnaround_reachability_matches_first_difference() {
+        // From source S, ascending j stages reaches switches whose labels
+        // agree with S's digits above j; D is down-reachable from such a
+        // switch at stage t iff t >= FirstDifference(S, D).
+        let g = Geometry::new(2, 3);
+        for s in g.addresses() {
+            for d in g.addresses() {
+                if s == d {
+                    continue;
+                }
+                let t = g.first_difference(s, d).unwrap();
+                // A switch at stage t with label matching both S (digits
+                // >= t) and the down-reachability requirement for D exists:
+                // digits i >= t of the label must equal s_{i+1} = d_{i+1}.
+                for i in t..g.n() - 1 {
+                    assert_eq!(g.digit(s, i + 1), g.digit(d, i + 1));
+                }
+                if t > 0 {
+                    // At any stage below t the source-side constraint
+                    // conflicts with D's requirement at digit t-1 …
+                    // (s_t ≠ d_t means no switch at stage t' < t works).
+                    assert_ne!(g.digit(s, t), g.digit(d, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_last_has_no_forward_outputs() {
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        for sw in &net.switches {
+            let k = g.k() as usize;
+            let fwd_lanes: usize = sw.out_ports[k..2 * k].iter().map(Vec::len).sum();
+            if sw.stage as u32 == g.n() - 1 {
+                assert_eq!(fwd_lanes, 0);
+            } else {
+                assert_eq!(fwd_lanes, k);
+            }
+        }
+    }
+
+    #[test]
+    fn transmit_order_down_before_up() {
+        let g = Geometry::new(4, 3);
+        let net = build_bmin(g);
+        let order = net.transmit_order();
+        // First channel: a backward level-0 (ejection) channel; last: a
+        // forward level-0 (injection) channel.
+        let first = net.channel(order[0]);
+        assert_eq!((first.dir, first.level), (Direction::Backward, 0));
+        let last = net.channel(*order.last().unwrap());
+        assert_eq!((last.dir, last.level), (Direction::Forward, 0));
+    }
+}

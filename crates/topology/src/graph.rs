@@ -1,0 +1,320 @@
+//! The static network-graph model shared by all four MINs.
+//!
+//! A network is a set of **switches** arranged in stages, **terminals**
+//! (processor nodes) and unidirectional **channels**. A channel connects a
+//! source endpoint (a node's injection port or a switch output port) to a
+//! destination endpoint (a switch input port or a node's ejection port).
+//!
+//! Ports may carry several physical **lanes** (channel dilation, Fig. 1b);
+//! each lane is a separate channel in the graph. Virtual channels (Fig. 1c)
+//! are *not* represented here — they share one physical channel and are a
+//! property of the simulation engine.
+//!
+//! For the bidirectional MIN (Fig. 1d), a switch has `k` ports on its left
+//! (node-facing) side and `k` on its right side; each port is a pair of
+//! opposite channels. We label switch output ports with a single code:
+//! `0..k` are the left-side outputs `l_0..l_{k-1}` (carrying *backward*
+//! traffic toward the nodes) and `k..2k` are the right-side outputs
+//! `r_0..r_{k-1}` (*forward*, away from the nodes). Unidirectional switches
+//! only use codes `0..k` (their right-side outputs).
+
+use crate::address::Geometry;
+
+/// Index of a node (terminal). Equals the node's address value.
+pub type NodeId = u32;
+/// Index of a switch within [`NetworkGraph::switches`].
+pub type SwitchId = u32;
+/// Index of a channel within [`NetworkGraph::channels`].
+pub type ChannelId = u32;
+
+/// Which side of a bidirectional switch a port is on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// The node-facing side (the paper's `l_i` ports).
+    Left,
+    /// The far side (the paper's `r_i` ports).
+    Right,
+}
+
+/// Direction of a channel relative to the processor nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Away from the nodes. All channels of a unidirectional MIN are
+    /// `Forward`; in a BMIN these are the "up" channels of the fat tree.
+    Forward,
+    /// Toward the nodes ("down" / the paper's backward channels).
+    Backward,
+}
+
+/// One end of a channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Endpoint {
+    /// A processor node (source of an injection channel / destination of an
+    /// ejection channel).
+    Node(NodeId),
+    /// A switch port.
+    Switch {
+        /// The switch.
+        sw: SwitchId,
+        /// Which side of the switch.
+        side: Side,
+        /// Port index on that side, `0..k`.
+        port: u8,
+    },
+}
+
+impl Endpoint {
+    /// The switch id, if this endpoint is a switch port.
+    pub fn switch(&self) -> Option<SwitchId> {
+        match self {
+            Endpoint::Switch { sw, .. } => Some(*sw),
+            Endpoint::Node(_) => None,
+        }
+    }
+
+    /// The node id, if this endpoint is a terminal.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Endpoint::Node(n) => Some(*n),
+            Endpoint::Switch { .. } => None,
+        }
+    }
+}
+
+/// A unidirectional communication channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChannelDesc {
+    /// Transmitting end.
+    pub src: Endpoint,
+    /// Receiving end (where the single-flit buffer sits).
+    pub dst: Endpoint,
+    /// Connection level. For unidirectional MINs: `0` is node→G0, `i` is
+    /// G_{i-1}→G_i, `n` is G_{n-1}→node. For BMINs: level `ℓ` is the link
+    /// bundle between stage `ℓ-1` and stage `ℓ` (level 0 touches the
+    /// nodes), in either direction.
+    pub level: u8,
+    /// Lane index within the (dilated) port, `0..d`.
+    pub lane: u8,
+    /// Forward (away from nodes) or backward (toward nodes).
+    pub dir: Direction,
+    /// Position in the worm-advance processing order: channels with smaller
+    /// rank are strictly *downstream* (closer to delivery) of any channel a
+    /// worm can hold while requesting them. Processing transmissions in
+    /// ascending rank lets an unblocked worm advance one hop on every
+    /// channel it spans in a single cycle.
+    pub topo_rank: u16,
+}
+
+/// A switch (one crossbar) in the network.
+#[derive(Clone, Debug)]
+pub struct SwitchDesc {
+    /// Stage index `G_stage`.
+    pub stage: u8,
+    /// Index of the switch within its stage.
+    pub index: u32,
+    /// All channels whose destination is an input port of this switch.
+    pub inputs: Vec<ChannelId>,
+    /// Output lookup: `out_ports[code]` lists the lane channels of output
+    /// port `code`. For unidirectional switches, `code` in `0..k` addresses
+    /// the right-side outputs. For bidirectional switches, `0..k` are the
+    /// left-side outputs `l_i` and `k..2k` the right-side outputs `r_i`.
+    pub out_ports: Vec<Vec<ChannelId>>,
+}
+
+/// Which of the paper's network families a graph instantiates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NetworkKind {
+    /// Unidirectional MIN (Fig. 4) with one of the Delta-class wirings
+    /// and channel dilation `d` (1 = TMIN/VMIN, 2 = DMIN, Fig. 5).
+    Unidir {
+        /// The connection-pattern family.
+        wiring: crate::unidir::UnidirKind,
+        /// Channel dilation of inter-stage ports.
+        dilation: u8,
+    },
+    /// Bidirectional butterfly MIN (fat tree, Fig. 6).
+    Bmin,
+}
+
+impl NetworkKind {
+    /// The channel dilation of inter-stage ports (1 for BMIN).
+    pub fn dilation(&self) -> u8 {
+        match self {
+            NetworkKind::Unidir { dilation, .. } => *dilation,
+            NetworkKind::Bmin => 1,
+        }
+    }
+
+    /// Whether the network is bidirectional.
+    pub fn is_bidirectional(&self) -> bool {
+        matches!(self, NetworkKind::Bmin)
+    }
+
+    /// The unidirectional wiring, if this is not a BMIN.
+    pub fn wiring(&self) -> Option<crate::unidir::UnidirKind> {
+        match self {
+            NetworkKind::Unidir { wiring, .. } => Some(*wiring),
+            NetworkKind::Bmin => None,
+        }
+    }
+}
+
+/// A complete static network: switches, channels and terminal attachments.
+#[derive(Clone, Debug)]
+pub struct NetworkGraph {
+    /// The geometry (`k`, `n`).
+    pub geometry: Geometry,
+    /// Which family this graph belongs to.
+    pub kind: NetworkKind,
+    /// All channels, indexed by [`ChannelId`].
+    pub channels: Vec<ChannelDesc>,
+    /// All switches, indexed by [`SwitchId`].
+    pub switches: Vec<SwitchDesc>,
+    /// Per node: the injection channel (node → network).
+    pub inject: Vec<ChannelId>,
+    /// Per node: the ejection channel (network → node).
+    pub eject: Vec<ChannelId>,
+}
+
+impl NetworkGraph {
+    /// Channel descriptor by id.
+    #[inline]
+    pub fn channel(&self, c: ChannelId) -> &ChannelDesc {
+        &self.channels[c as usize]
+    }
+
+    /// Switch descriptor by id.
+    #[inline]
+    pub fn switch(&self, s: SwitchId) -> &SwitchDesc {
+        &self.switches[s as usize]
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Channel ids sorted by `topo_rank` ascending — the order in which the
+    /// simulation engine performs per-cycle transmissions so that a worm
+    /// advances as a unit (see [`ChannelDesc::topo_rank`]).
+    pub fn transmit_order(&self) -> Vec<ChannelId> {
+        let mut ids: Vec<ChannelId> = (0..self.channels.len() as u32).collect();
+        ids.sort_by_key(|&c| self.channels[c as usize].topo_rank);
+        ids
+    }
+
+    /// Sanity-check structural invariants; used by builders and tests.
+    ///
+    /// Verifies: endpoint switch/node indices are in range; every channel
+    /// listed in a switch's `inputs`/`out_ports` actually terminates /
+    /// originates there; every node has exactly one injection and one
+    /// ejection channel; and each switch input port receives at most the
+    /// declared number of channels.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_nodes = self.geometry.nodes();
+        if self.inject.len() != n_nodes as usize || self.eject.len() != n_nodes as usize {
+            return Err("inject/eject tables must have one entry per node".into());
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            for ep in [ch.src, ch.dst] {
+                match ep {
+                    Endpoint::Node(nd) if nd >= n_nodes => {
+                        return Err(format!("channel {i}: node {nd} out of range"));
+                    }
+                    Endpoint::Switch { sw, port, .. } => {
+                        if sw as usize >= self.switches.len() {
+                            return Err(format!("channel {i}: switch {sw} out of range"));
+                        }
+                        if u32::from(port) >= self.geometry.k() {
+                            return Err(format!("channel {i}: port {port} out of range"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (sid, sw) in self.switches.iter().enumerate() {
+            for &c in &sw.inputs {
+                match self.channels.get(c as usize).map(|ch| ch.dst) {
+                    Some(Endpoint::Switch { sw: s2, .. }) if s2 as usize == sid => {}
+                    _ => return Err(format!("switch {sid}: input {c} does not terminate here")),
+                }
+            }
+            for lanes in &sw.out_ports {
+                for &c in lanes {
+                    match self.channels.get(c as usize).map(|ch| ch.src) {
+                        Some(Endpoint::Switch { sw: s2, .. }) if s2 as usize == sid => {}
+                        _ => {
+                            return Err(format!("switch {sid}: output {c} does not originate here"))
+                        }
+                    }
+                }
+            }
+        }
+        for nd in 0..n_nodes {
+            let inj = self.channels[self.inject[nd as usize] as usize];
+            if inj.src != Endpoint::Node(nd) {
+                return Err(format!("node {nd}: inject channel has wrong source"));
+            }
+            let ej = self.channels[self.eject[nd as usize] as usize];
+            if ej.dst != Endpoint::Node(nd) {
+                return Err(format!("node {nd}: eject channel has wrong destination"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Count channels by `(level, dir)` — used by partition analysis and
+    /// structural tests.
+    pub fn channels_at_level(&self, level: u8, dir: Direction) -> Vec<ChannelId> {
+        (0..self.channels.len() as u32)
+            .filter(|&c| {
+                let ch = &self.channels[c as usize];
+                ch.level == level && ch.dir == dir
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_accessors() {
+        let e = Endpoint::Node(3);
+        assert_eq!(e.node(), Some(3));
+        assert_eq!(e.switch(), None);
+        let s = Endpoint::Switch {
+            sw: 7,
+            side: Side::Left,
+            port: 1,
+        };
+        assert_eq!(s.switch(), Some(7));
+        assert_eq!(s.node(), None);
+    }
+
+    #[test]
+    fn kind_dilation() {
+        use crate::unidir::UnidirKind;
+        let cube2 = NetworkKind::Unidir {
+            wiring: UnidirKind::Cube,
+            dilation: 2,
+        };
+        assert_eq!(cube2.dilation(), 2);
+        assert_eq!(cube2.wiring(), Some(UnidirKind::Cube));
+        assert_eq!(NetworkKind::Bmin.dilation(), 1);
+        assert_eq!(NetworkKind::Bmin.wiring(), None);
+        assert!(NetworkKind::Bmin.is_bidirectional());
+        let bf1 = NetworkKind::Unidir {
+            wiring: UnidirKind::Butterfly,
+            dilation: 1,
+        };
+        assert!(!bf1.is_bidirectional());
+    }
+}

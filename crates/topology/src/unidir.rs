@@ -1,0 +1,547 @@
+//! Builders for the unidirectional MINs (paper §2, Figs. 4 and 5).
+//!
+//! An `N = k^n` node unidirectional MIN is
+//! `C_0(N) G_0(N/k) C_1(N) … C_{n-1}(N) G_{n-1}(N/k) C_n(N)`:
+//! `n` stages of `N/k` crossbar switches separated by connection
+//! permutations `C_i`. Two Delta-class wirings are considered:
+//!
+//! * **cube MIN** (Fig. 4a): `C_0 = σ` (perfect k-shuffle),
+//!   `C_i = β_{n-i}` for `1 ≤ i ≤ n` (so `C_n = β_0 =` identity);
+//!   routing tag `t_i = d_{n-1-i}`.
+//! * **butterfly MIN** (Fig. 4b): `C_i = β_i` with `C_n = β_0`
+//!   (so `C_0` and `C_n` are the identity);
+//!   routing tag `t_i = d_{i+1}` for `i ≤ n-2` and `t_{n-1} = d_0`.
+//!
+//! The same builder covers TMINs (`dilation = 1`), DMINs (`dilation = d`,
+//! Fig. 5) and VMINs (dilation 1; virtual channels are layered on by the
+//! simulator). Following the paper, the node-to-network and
+//! network-to-node links always have a single lane ("half of the input
+//! channels and half of the output channels to/from the network are not
+//! used in order to maintain the one-port communication architecture").
+
+use crate::address::{Geometry, NodeAddr};
+use crate::graph::{
+    ChannelDesc, ChannelId, Direction, Endpoint, NetworkGraph, NetworkKind, Side, SwitchDesc,
+};
+use crate::permutation::Perm;
+
+/// The Delta-class unidirectional wirings: the paper's two main subjects
+/// (cube and butterfly) plus the two the paper's §6 "additional work"
+/// mentions (Omega partitions like the cube; baseline like the
+/// butterfly).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnidirKind {
+    /// Cube interconnection (indirect cube / multistage cube): perfect
+    /// shuffle in front, then `β_{n-i}` between stages.
+    Cube,
+    /// Butterfly interconnection: `β_i` between stages.
+    Butterfly,
+    /// Omega network (Lawrie): a perfect shuffle before every stage.
+    Omega,
+    /// Baseline network (Wu & Feng): progressively narrower inverse
+    /// shuffles (`σ⁻¹` over the low `n-i+1` digits before stage `i`).
+    Baseline,
+}
+
+impl UnidirKind {
+    /// Connection pattern `C_i` for `0 ≤ i ≤ n`.
+    pub fn connection(&self, g: &Geometry, i: u32) -> Perm {
+        let n = g.n();
+        assert!(i <= n, "connection index {i} out of range (n = {n})");
+        match self {
+            UnidirKind::Cube => {
+                if i == 0 {
+                    Perm::PerfectShuffle
+                } else {
+                    Perm::Butterfly(n - i) // C_n = β_0 = identity
+                }
+            }
+            UnidirKind::Butterfly => {
+                if i == n || i == 0 {
+                    Perm::Identity // C_0 = C_n = β_0
+                } else {
+                    Perm::Butterfly(i)
+                }
+            }
+            UnidirKind::Omega => {
+                if i == n {
+                    Perm::Identity
+                } else {
+                    Perm::PerfectShuffle
+                }
+            }
+            UnidirKind::Baseline => {
+                if i == 0 || i == n {
+                    Perm::Identity
+                } else {
+                    Perm::SubInverseShuffle(n - i + 1)
+                }
+            }
+        }
+    }
+
+    /// Routing tag digit `t_i` controlling the switch at stage `G_i` for a
+    /// packet headed to `dst` (self-routing property of Delta networks).
+    #[inline]
+    pub fn tag_digit(&self, g: &Geometry, dst: NodeAddr, stage: u32) -> u32 {
+        let n = g.n();
+        debug_assert!(stage < n);
+        match self {
+            // Cube, Omega and baseline all consume destination digits most
+            // significant first; only the wiring between stages differs.
+            UnidirKind::Cube | UnidirKind::Omega | UnidirKind::Baseline => {
+                g.digit(dst, n - 1 - stage)
+            }
+            UnidirKind::Butterfly => {
+                if stage == n - 1 {
+                    g.digit(dst, 0)
+                } else {
+                    g.digit(dst, stage + 1)
+                }
+            }
+        }
+    }
+
+    /// The full routing tag `t_0 t_1 … t_{n-1}`.
+    pub fn routing_tag(&self, g: &Geometry, dst: NodeAddr) -> Vec<u32> {
+        (0..g.n()).map(|s| self.tag_digit(g, dst, s)).collect()
+    }
+
+    /// The corresponding [`NetworkKind`] at a given dilation.
+    pub fn network_kind(&self, dilation: u8) -> NetworkKind {
+        NetworkKind::Unidir {
+            wiring: *self,
+            dilation,
+        }
+    }
+}
+
+/// Build an `N = k^n` unidirectional MIN with the given wiring and
+/// inter-stage channel dilation.
+///
+/// # Panics
+///
+/// Panics if `dilation == 0`.
+pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph {
+    assert!(dilation >= 1, "dilation must be at least 1");
+    let k = g.k();
+    let n = g.n();
+    let nodes = g.nodes();
+    let per_stage = nodes / k;
+
+    let mut channels: Vec<ChannelDesc> = Vec::new();
+    let mut switches: Vec<SwitchDesc> = (0..n)
+        .flat_map(|stage| {
+            (0..per_stage).map(move |index| SwitchDesc {
+                stage: stage as u8,
+                index,
+                inputs: Vec::with_capacity((k * dilation as u32) as usize),
+                out_ports: vec![Vec::with_capacity(dilation as usize); k as usize],
+            })
+        })
+        .collect();
+    let sw_id = |stage: u32, index: u32| stage * per_stage + index;
+
+    let mut inject = vec![0 as ChannelId; nodes as usize];
+    let mut eject = vec![0 as ChannelId; nodes as usize];
+
+    // topo_rank: sinks first → level ℓ gets rank n - ℓ.
+    let rank = |level: u32| (n - level) as u16;
+
+    // Level 0: node a → stage 0 input position C_0(a).
+    let c0 = kind.connection(&g, 0);
+    for a in 0..nodes {
+        let pos = c0.apply(&g, NodeAddr(a)).0;
+        let id = channels.len() as ChannelId;
+        channels.push(ChannelDesc {
+            src: Endpoint::Node(a),
+            dst: Endpoint::Switch {
+                sw: sw_id(0, pos / k),
+                side: Side::Left,
+                port: (pos % k) as u8,
+            },
+            level: 0,
+            lane: 0,
+            dir: Direction::Forward,
+            topo_rank: rank(0),
+        });
+        switches[sw_id(0, pos / k) as usize].inputs.push(id);
+        inject[a as usize] = id;
+    }
+
+    // Levels 1..n-1: stage i-1 output position w → stage i input position
+    // C_i(w), with `dilation` lanes per port.
+    for level in 1..n {
+        let ci = kind.connection(&g, level);
+        for w in 0..nodes {
+            let src_sw = sw_id(level - 1, w / k);
+            let src_port = (w % k) as u8;
+            let v = ci.apply(&g, NodeAddr(w)).0;
+            let dst_sw = sw_id(level, v / k);
+            let dst_port = (v % k) as u8;
+            for lane in 0..dilation {
+                let id = channels.len() as ChannelId;
+                channels.push(ChannelDesc {
+                    src: Endpoint::Switch {
+                        sw: src_sw,
+                        side: Side::Right,
+                        port: src_port,
+                    },
+                    dst: Endpoint::Switch {
+                        sw: dst_sw,
+                        side: Side::Left,
+                        port: dst_port,
+                    },
+                    level: level as u8,
+                    lane,
+                    dir: Direction::Forward,
+                    topo_rank: rank(level),
+                });
+                switches[src_sw as usize].out_ports[src_port as usize].push(id);
+                switches[dst_sw as usize].inputs.push(id);
+            }
+        }
+    }
+
+    // Level n: stage n-1 output position w → node C_n(w). Single lane.
+    let cn = kind.connection(&g, n);
+    for w in 0..nodes {
+        let src_sw = sw_id(n - 1, w / k);
+        let src_port = (w % k) as u8;
+        let node = cn.apply(&g, NodeAddr(w)).0;
+        let id = channels.len() as ChannelId;
+        channels.push(ChannelDesc {
+            src: Endpoint::Switch {
+                sw: src_sw,
+                side: Side::Right,
+                port: src_port,
+            },
+            dst: Endpoint::Node(node),
+            level: n as u8,
+            lane: 0,
+            dir: Direction::Forward,
+            topo_rank: rank(n),
+        });
+        switches[src_sw as usize].out_ports[src_port as usize].push(id);
+        eject[node as usize] = id;
+    }
+
+    let graph = NetworkGraph {
+        geometry: g,
+        kind: kind.network_kind(dilation),
+        channels,
+        switches,
+        inject,
+        eject,
+    };
+    graph
+        .validate()
+        .expect("unidirectional MIN builder produced an invalid graph");
+    graph
+}
+
+/// Follow the unique destination-tag path from `src` to `dst`, returning
+/// the sequence of `(level, position)` wire positions traversed — a purely
+/// topological walk used by structural tests and the partition analysis
+/// (lane choice is irrelevant to which *port* is crossed).
+///
+/// `position` is the wire index within the level (`0..N`), i.e. the channel
+/// entering switch `position / k` at port `position % k` (levels `< n`) or
+/// reaching node `C_n(position)` (level `n`, where the returned position is
+/// the *output side* index before applying `C_n`).
+pub fn unique_path_positions(
+    g: &Geometry,
+    kind: UnidirKind,
+    src: NodeAddr,
+    dst: NodeAddr,
+) -> Vec<(u32, u32)> {
+    let k = g.k();
+    let n = g.n();
+    let mut out = Vec::with_capacity(n as usize + 1);
+    // Entering stage 0.
+    let mut pos = kind.connection(g, 0).apply(g, src).0;
+    out.push((0, pos));
+    for stage in 0..n {
+        let t = kind.tag_digit(g, dst, stage);
+        let out_pos = (pos / k) * k + t; // stay in the same switch, pick output t
+        if stage + 1 <= n {
+            let next = kind.connection(g, stage + 1).apply(g, NodeAddr(out_pos)).0;
+            out.push((stage + 1, next));
+            pos = next;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geometries() -> Vec<Geometry> {
+        vec![
+            Geometry::new(2, 3),
+            Geometry::new(2, 4),
+            Geometry::new(4, 2),
+            Geometry::new(4, 3),
+            Geometry::new(8, 2),
+        ]
+    }
+
+    #[test]
+    fn channel_and_switch_counts() {
+        // Fig. 4: an 8-node MIN of 2×2 switches has 3 stages of 4 switches
+        // and N channels per connection level.
+        for kind in [UnidirKind::Cube, UnidirKind::Butterfly] {
+            for g in geometries() {
+                let net = build_unidir(g, kind, 1);
+                let n = g.n();
+                let nodes = g.nodes();
+                assert_eq!(net.num_switches() as u32, n * nodes / g.k());
+                assert_eq!(net.num_channels() as u32, (n + 1) * nodes);
+                for level in 0..=n {
+                    assert_eq!(
+                        net.channels_at_level(level as u8, Direction::Forward).len() as u32,
+                        nodes,
+                        "level {level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_channel_counts() {
+        // Fig. 5: dilation doubles inter-stage channels but not the
+        // node-to-network or network-to-node links.
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Cube, 2);
+        assert_eq!(net.channels_at_level(0, Direction::Forward).len(), 64);
+        assert_eq!(net.channels_at_level(1, Direction::Forward).len(), 128);
+        assert_eq!(net.channels_at_level(2, Direction::Forward).len(), 128);
+        assert_eq!(net.channels_at_level(3, Direction::Forward).len(), 64);
+        // Every inter-stage output port has exactly 2 lanes.
+        for sw in &net.switches {
+            for lanes in &sw.out_ports {
+                let expect = if sw.stage as u32 == g.n() - 1 { 1 } else { 2 };
+                assert_eq!(lanes.len(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn destination_tag_reaches_destination() {
+        // Self-routing (Delta property): the tag path ends at the
+        // destination for every (src, dst) pair, both wirings.
+        for kind in [UnidirKind::Cube, UnidirKind::Butterfly] {
+            for g in geometries() {
+                let cn = kind.connection(&g, g.n());
+                for src in g.addresses() {
+                    for dst in g.addresses() {
+                        let path = unique_path_positions(&g, kind, src, dst);
+                        assert_eq!(path.len() as u32, g.n() + 1);
+                        let (level, last) = *path.last().unwrap();
+                        assert_eq!(level, g.n());
+                        assert_eq!(
+                            cn.apply(&g, NodeAddr(last)),
+                            dst,
+                            "{kind:?} {src}→{dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banyan_unique_path_property() {
+        // Delta networks are banyan: exactly one path per (src, dst). Since
+        // destination-tag routing is deterministic and complete, it
+        // suffices that distinct sources entering the same switch with the
+        // same remaining tag merge — i.e. path count is exactly 1 by
+        // construction. Here we verify no two *different* destinations from
+        // one source share the final position.
+        let g = Geometry::new(4, 3);
+        for kind in [UnidirKind::Cube, UnidirKind::Butterfly] {
+            for src in g.addresses() {
+                let mut finals = std::collections::HashSet::new();
+                for dst in g.addresses() {
+                    let path = unique_path_positions(&g, kind, src, dst);
+                    assert!(finals.insert(path.last().unwrap().1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_tag_digits() {
+        let g = Geometry::new(4, 3);
+        let dst = g.parse_addr("213").unwrap();
+        assert_eq!(UnidirKind::Cube.routing_tag(&g, dst), vec![2, 1, 3]);
+        // Butterfly: t_i = d_{i+1} for i ≤ n-2, t_{n-1} = d_0.
+        assert_eq!(UnidirKind::Butterfly.routing_tag(&g, dst), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn omega_and_baseline_self_route() {
+        // §6's other Delta networks deliver under destination-tag routing
+        // and are banyan.
+        for kind in [UnidirKind::Omega, UnidirKind::Baseline] {
+            for g in geometries() {
+                let cn = kind.connection(&g, g.n());
+                for src in g.addresses() {
+                    for dst in g.addresses() {
+                        let path = unique_path_positions(&g, kind, src, dst);
+                        let (level, last) = *path.last().unwrap();
+                        assert_eq!(level, g.n());
+                        assert_eq!(cn.apply(&g, NodeAddr(last)), dst, "{kind:?} {src}→{dst}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn omega_baseline_wiring_shapes() {
+        let g = Geometry::new(2, 3);
+        assert_eq!(UnidirKind::Omega.connection(&g, 0), Perm::PerfectShuffle);
+        assert_eq!(UnidirKind::Omega.connection(&g, 2), Perm::PerfectShuffle);
+        assert_eq!(UnidirKind::Omega.connection(&g, 3), Perm::Identity);
+        assert_eq!(UnidirKind::Baseline.connection(&g, 0), Perm::Identity);
+        assert_eq!(
+            UnidirKind::Baseline.connection(&g, 1),
+            Perm::SubInverseShuffle(3)
+        );
+        assert_eq!(
+            UnidirKind::Baseline.connection(&g, 2),
+            Perm::SubInverseShuffle(2)
+        );
+        assert_eq!(UnidirKind::Baseline.connection(&g, 3), Perm::Identity);
+        // All four wirings consume the same tag for cube-style kinds.
+        let dst = g.parse_addr("101").unwrap();
+        assert_eq!(UnidirKind::Omega.routing_tag(&g, dst), vec![1, 0, 1]);
+        assert_eq!(UnidirKind::Baseline.routing_tag(&g, dst), vec![1, 0, 1]);
+        assert_eq!(UnidirKind::Cube.routing_tag(&g, dst), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn all_wirings_build_valid_networks() {
+        for kind in [
+            UnidirKind::Cube,
+            UnidirKind::Butterfly,
+            UnidirKind::Omega,
+            UnidirKind::Baseline,
+        ] {
+            for d in [1u8, 2] {
+                let net = build_unidir(Geometry::new(4, 3), kind, d);
+                assert_eq!(net.kind.wiring(), Some(kind));
+                assert_eq!(net.kind.dilation(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn connections_match_paper() {
+        let g = Geometry::new(2, 3);
+        assert_eq!(UnidirKind::Cube.connection(&g, 0), Perm::PerfectShuffle);
+        assert_eq!(UnidirKind::Cube.connection(&g, 1), Perm::Butterfly(2));
+        assert_eq!(UnidirKind::Cube.connection(&g, 2), Perm::Butterfly(1));
+        assert_eq!(UnidirKind::Cube.connection(&g, 3), Perm::Butterfly(0));
+        assert_eq!(UnidirKind::Butterfly.connection(&g, 0), Perm::Identity);
+        assert_eq!(UnidirKind::Butterfly.connection(&g, 1), Perm::Butterfly(1));
+        assert_eq!(UnidirKind::Butterfly.connection(&g, 2), Perm::Butterfly(2));
+        assert_eq!(UnidirKind::Butterfly.connection(&g, 3), Perm::Identity);
+    }
+
+    #[test]
+    fn transmit_order_is_downstream_first() {
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Cube, 2);
+        let order = net.transmit_order();
+        // Ejection channels (level n) come first, injection (level 0) last.
+        assert_eq!(net.channel(order[0]).level as u32, g.n());
+        assert_eq!(net.channel(*order.last().unwrap()).level, 0);
+        let mut prev = 0u16;
+        for c in order {
+            let r = net.channel(c).topo_rank;
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn one_port_architecture() {
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Butterfly, 2);
+        // Exactly one inject and one eject channel per node.
+        for a in 0..g.nodes() {
+            let inj = net.channel(net.inject[a as usize]);
+            assert_eq!(inj.src, Endpoint::Node(a));
+            assert_eq!(inj.level, 0);
+            let ej = net.channel(net.eject[a as usize]);
+            assert_eq!(ej.dst, Endpoint::Node(a));
+            assert_eq!(ej.level as u32, g.n());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_builders_valid_for_any_shape(
+            k in 2u32..6,
+            n in 1u32..5,
+            d in 1u8..4,
+            which in 0usize..4,
+        ) {
+            let kind = [
+                UnidirKind::Cube,
+                UnidirKind::Butterfly,
+                UnidirKind::Omega,
+                UnidirKind::Baseline,
+            ][which];
+            let g = Geometry::new(k, n);
+            let net = build_unidir(g, kind, d);
+            prop_assert!(net.validate().is_ok());
+            let nodes = g.nodes();
+            // N injection + N ejection + (n-1)·N·d inter-stage channels.
+            prop_assert_eq!(
+                net.num_channels() as u32,
+                2 * nodes + (n - 1) * nodes * d as u32
+            );
+            // The transmit order is downstream-first: for the
+            // unidirectional builders rank = n - level, so connection
+            // levels are non-increasing along the order.
+            let order = net.transmit_order();
+            let mut prev = u8::MAX;
+            for c in order {
+                let lvl = net.channel(c).level;
+                prop_assert!(lvl <= prev);
+                prev = lvl;
+            }
+        }
+
+        #[test]
+        fn prop_path_positions_consistent(seed in 0u32..10_000) {
+            // The path's consecutive wire positions are linked by the
+            // connection permutations and stay within one switch between
+            // input and output.
+            let g = Geometry::new(4, 3);
+            let src = NodeAddr(seed % g.nodes());
+            let dst = NodeAddr((seed / 64) % g.nodes());
+            for kind in [UnidirKind::Cube, UnidirKind::Butterfly] {
+                let path = unique_path_positions(&g, kind, src, dst);
+                for w in path.windows(2) {
+                    let (lvl, pos) = w[0];
+                    let (lvl2, pos2) = w[1];
+                    prop_assert_eq!(lvl2, lvl + 1);
+                    // pos2 = C_{lvl+1}((pos / k)*k + t_lvl)
+                    let t = kind.tag_digit(&g, dst, lvl);
+                    let out = (pos / g.k()) * g.k() + t;
+                    prop_assert_eq!(
+                        kind.connection(&g, lvl + 1).apply(&g, NodeAddr(out)).0,
+                        pos2
+                    );
+                }
+            }
+        }
+    }
+}

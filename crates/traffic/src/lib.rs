@@ -1,0 +1,30 @@
+//! # minnet-traffic
+//!
+//! Workload generation for the simulation experiments of §5.1:
+//!
+//! * [`pattern::TrafficPattern`] — uniform, x% hot-spot, and the two
+//!   permutation patterns (perfect k-shuffle, i-th butterfly);
+//! * [`cluster::Clustering`] — global, digit-cube, or binary-cube
+//!   partitionings of the node set, with optional per-cluster relative
+//!   traffic rates (the `a:b:c:d` ratios of §5.2);
+//! * [`size::MessageSizeDist`] — message lengths (uniform [8, 1024] flits
+//!   in the paper; fixed and bimodal kept for the future-work studies);
+//! * [`arrival::PoissonArrivals`] — negative-exponential interarrival
+//!   times;
+//! * [`workload::Workload`] — the compiled per-node generator the engine
+//!   consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod cluster;
+pub mod pattern;
+pub mod size;
+pub mod workload;
+
+pub use arrival::PoissonArrivals;
+pub use cluster::{ClusterMap, Clustering};
+pub use pattern::TrafficPattern;
+pub use size::MessageSizeDist;
+pub use workload::{Workload, WorkloadSpec};

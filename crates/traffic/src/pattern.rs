@@ -1,0 +1,86 @@
+//! Destination patterns (§5.1).
+//!
+//! Four patterns drive the evaluation: **uniform** (any other node of the
+//! source's cluster, equiprobable), **x% nonuniform / hot spot** (the first
+//! node of each cluster receives `x%` more packets: with `y = N·x`, the hot
+//! node is drawn with probability `(1+y)/(N+y)` and every other node with
+//! `1/(N+y)`), and the two fixed **permutation** patterns (perfect
+//! k-shuffle, i-th butterfly) used to probe structural contention.
+
+use minnet_topology::Perm;
+
+/// The destination pattern of a workload.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TrafficPattern {
+    /// Uniform over the other nodes of the source's cluster.
+    Uniform,
+    /// Hot-spot: the first node of each cluster receives `extra` (e.g.
+    /// `0.05` for "5% more traffic") more than its uniform share.
+    HotSpot {
+        /// The x of "x% nonuniform", as a fraction.
+        extra: f64,
+    },
+    /// Fixed permutation: node `a` always sends to `perm(a)`. Nodes that
+    /// are fixed points of the permutation generate no traffic.
+    Permutation(Perm),
+}
+
+impl TrafficPattern {
+    /// The perfect k-shuffle permutation pattern of Fig. 20a.
+    pub const SHUFFLE: TrafficPattern = TrafficPattern::Permutation(Perm::PerfectShuffle);
+
+    /// The i-th butterfly permutation pattern (Fig. 20b uses `i = 2`).
+    pub fn butterfly(i: u32) -> TrafficPattern {
+        TrafficPattern::Permutation(Perm::Butterfly(i))
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            TrafficPattern::HotSpot { extra } if !(*extra >= 0.0 && extra.is_finite()) => {
+                Err(format!("hot-spot extra fraction must be >= 0, got {extra}"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The hot-spot probabilities for a cluster of `n` nodes with extra
+/// fraction `x`: returns `(p_hot, p_other)` where `y = n·x`,
+/// `p_hot = (1+y)/(n+y)` and `p_other = 1/(n+y)`.
+pub fn hot_spot_probabilities(n: usize, x: f64) -> (f64, f64) {
+    let y = n as f64 * x;
+    ((1.0 + y) / (n as f64 + y), 1.0 / (n as f64 + y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_spot_formula_matches_paper() {
+        // 64 nodes, 5% more: y = 3.2, p_hot = 4.2/67.2 = 0.0625,
+        // p_other = 1/67.2.
+        let (ph, po) = hot_spot_probabilities(64, 0.05);
+        assert!((ph - 4.2 / 67.2).abs() < 1e-12);
+        assert!((po - 1.0 / 67.2).abs() < 1e-12);
+        // Probabilities sum to 1 over the cluster.
+        assert!((ph + 63.0 * po - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_spot_zero_extra_is_uniform() {
+        let (ph, po) = hot_spot_probabilities(16, 0.0);
+        assert!((ph - po).abs() < 1e-12);
+        assert!((ph - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TrafficPattern::Uniform.validate().is_ok());
+        assert!(TrafficPattern::HotSpot { extra: 0.10 }.validate().is_ok());
+        assert!(TrafficPattern::HotSpot { extra: -0.1 }.validate().is_err());
+        assert!(TrafficPattern::HotSpot { extra: f64::NAN }.validate().is_err());
+        assert!(TrafficPattern::SHUFFLE.validate().is_ok());
+    }
+}

@@ -1,0 +1,144 @@
+//! Message-size distributions.
+//!
+//! The paper gives every message "an equal probability of being one packet
+//! between eight to 1,024 flits" and lists "long, short, and bimodal
+//! message sizes" as future work; all three are implemented here.
+
+use rand::{Rng, RngExt};
+
+/// Distribution of message lengths, in flits.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MessageSizeDist {
+    /// Uniform over `[min, max]` inclusive.
+    UniformRange {
+        /// Smallest message, flits.
+        min: u32,
+        /// Largest message, flits.
+        max: u32,
+    },
+    /// Every message has exactly this many flits.
+    Fixed(u32),
+    /// A mix of short and long messages.
+    Bimodal {
+        /// Length of a short message.
+        short: u32,
+        /// Length of a long message.
+        long: u32,
+        /// Probability of drawing a short message.
+        p_short: f64,
+    },
+}
+
+impl MessageSizeDist {
+    /// The paper's distribution: uniform over 8..=1024 flits.
+    pub const PAPER: MessageSizeDist = MessageSizeDist::UniformRange { min: 8, max: 1024 };
+
+    /// Mean message length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            MessageSizeDist::UniformRange { min, max } => (min as f64 + max as f64) / 2.0,
+            MessageSizeDist::Fixed(len) => len as f64,
+            MessageSizeDist::Bimodal { short, long, p_short } => {
+                p_short * short as f64 + (1.0 - p_short) * long as f64
+            }
+        }
+    }
+
+    /// Draw one message length.
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> u32 {
+        match *self {
+            MessageSizeDist::UniformRange { min, max } => rng.random_range(min..=max),
+            MessageSizeDist::Fixed(len) => len,
+            MessageSizeDist::Bimodal { short, long, p_short } => {
+                if rng.random::<f64>() < p_short {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            MessageSizeDist::UniformRange { min, max } => {
+                if min == 0 {
+                    Err("messages must have at least one flit".into())
+                } else if min > max {
+                    Err(format!("empty size range [{min}, {max}]"))
+                } else {
+                    Ok(())
+                }
+            }
+            MessageSizeDist::Fixed(len) if len == 0 => {
+                Err("messages must have at least one flit".into())
+            }
+            MessageSizeDist::Fixed(_) => Ok(()),
+            MessageSizeDist::Bimodal { short, long, p_short } => {
+                if short == 0 || long == 0 {
+                    Err("messages must have at least one flit".into())
+                } else if !(0.0..=1.0).contains(&p_short) {
+                    Err(format!("p_short {p_short} outside [0, 1]"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_distribution_mean() {
+        assert_eq!(MessageSizeDist::PAPER.mean(), 516.0);
+    }
+
+    #[test]
+    fn uniform_draws_stay_in_range_and_average_out() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = MessageSizeDist::PAPER;
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let v = d.draw(&mut rng);
+            assert!((8..=1024).contains(&v));
+            sum += v as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 516.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn fixed_and_bimodal() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        assert_eq!(MessageSizeDist::Fixed(32).draw(&mut rng), 32);
+        assert_eq!(MessageSizeDist::Fixed(32).mean(), 32.0);
+        let b = MessageSizeDist::Bimodal { short: 8, long: 1000, p_short: 0.9 };
+        assert!((b.mean() - (0.9 * 8.0 + 0.1 * 1000.0)).abs() < 1e-9);
+        let mut shorts = 0;
+        for _ in 0..10_000 {
+            let v = b.draw(&mut rng);
+            assert!(v == 8 || v == 1000);
+            if v == 8 {
+                shorts += 1;
+            }
+        }
+        assert!((shorts as f64 / 10_000.0 - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MessageSizeDist::PAPER.validate().is_ok());
+        assert!(MessageSizeDist::Fixed(0).validate().is_err());
+        assert!(MessageSizeDist::UniformRange { min: 9, max: 8 }.validate().is_err());
+        assert!(MessageSizeDist::Bimodal { short: 8, long: 9, p_short: 1.5 }
+            .validate()
+            .is_err());
+    }
+}

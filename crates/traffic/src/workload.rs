@@ -1,0 +1,405 @@
+//! The compiled workload the simulation engine consumes.
+//!
+//! A [`WorkloadSpec`] describes a §5 experiment declaratively: offered
+//! load, destination pattern, clustering with optional per-cluster rate
+//! ratios, and message sizes. [`Workload::compile`] resolves it against a
+//! geometry into per-node message rates and destination samplers.
+//!
+//! **Load normalisation.** `offered_load` is in flits per cycle per node,
+//! averaged over *all* nodes (1.0 saturates the one-port injection
+//! channels). With cluster rate ratios `r_c`, node `i` in cluster `c`
+//! generates at `ρ_i = load · r_c · N / Σ_c r_c |C_c|`, so the ratio
+//! `1:0:0:0` over four 16-node clusters drives the active cluster at four
+//! times the nominal load while the network-wide average stays `load`
+//! (this is why that ratio caps at 25% delivered throughput in Fig. 17b).
+
+use crate::cluster::{ClusterMap, Clustering};
+use crate::pattern::{hot_spot_probabilities, TrafficPattern};
+use crate::size::MessageSizeDist;
+use minnet_topology::{Geometry, NodeAddr, NodeId};
+use rand::{Rng, RngExt};
+
+/// Declarative description of a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Offered load in flits/cycle/node, averaged over all nodes.
+    pub offered_load: f64,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Node clustering (destination scope for uniform/hot-spot patterns).
+    pub clustering: Clustering,
+    /// Relative traffic rates per cluster (the §5.2 `a:b:c:d` ratios);
+    /// `None` means equal rates. Length must match the cluster count.
+    pub rates: Option<Vec<f64>>,
+    /// Message-length distribution.
+    pub sizes: MessageSizeDist,
+}
+
+impl WorkloadSpec {
+    /// A global uniform workload with the paper's message sizes.
+    pub fn global_uniform(offered_load: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            offered_load,
+            pattern: TrafficPattern::Uniform,
+            clustering: Clustering::Global,
+            rates: None,
+            sizes: MessageSizeDist::PAPER,
+        }
+    }
+}
+
+/// Per-node destination sampler.
+#[derive(Clone, Debug)]
+enum DestSampler {
+    /// Uniform over the cluster members, skipping the source.
+    Uniform {
+        cluster: u32,
+    },
+    /// Hot-spot within the cluster.
+    HotSpot {
+        cluster: u32,
+        p_hot: f64,
+    },
+    /// Fixed destination (permutation patterns).
+    Fixed(NodeId),
+    /// This node generates no traffic (permutation fixed point, or a
+    /// single-node cluster with nobody else to talk to).
+    Silent,
+}
+
+/// A compiled workload: what each node sends, to whom, and how often.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    geometry: Geometry,
+    clusters: ClusterMap,
+    sizes: MessageSizeDist,
+    offered_load: f64,
+    /// Message rate per node, messages/cycle (0 for silent nodes).
+    msg_rate: Vec<f64>,
+    samplers: Vec<DestSampler>,
+}
+
+impl Workload {
+    /// Compile a spec against a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Reports invalid loads, malformed clusterings, rate/cluster count
+    /// mismatches, and permutation indices out of range.
+    pub fn compile(g: Geometry, spec: &WorkloadSpec) -> Result<Workload, String> {
+        if !(spec.offered_load > 0.0) || !spec.offered_load.is_finite() {
+            return Err(format!("offered load must be positive, got {}", spec.offered_load));
+        }
+        spec.pattern.validate()?;
+        spec.sizes.validate()?;
+        let clusters = ClusterMap::build(&g, &spec.clustering)?;
+        let ncl = clusters.len();
+        let rates: Vec<f64> = match &spec.rates {
+            None => vec![1.0; ncl],
+            Some(r) => {
+                if r.len() != ncl {
+                    return Err(format!(
+                        "{} rate entries for {} clusters",
+                        r.len(),
+                        ncl
+                    ));
+                }
+                if r.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                    return Err("cluster rates must be nonnegative".into());
+                }
+                if r.iter().sum::<f64>() <= 0.0 {
+                    return Err("at least one cluster rate must be positive".into());
+                }
+                r.clone()
+            }
+        };
+
+        let n = g.nodes() as usize;
+        // Normalise: Σ_c r_c |C_c| · scale = load · N.
+        let weighted: f64 = rates
+            .iter()
+            .zip(&clusters.members)
+            .map(|(r, m)| r * m.len() as f64)
+            .sum();
+        let scale = spec.offered_load * n as f64 / weighted;
+        let mean_len = spec.sizes.mean();
+
+        let mut samplers = Vec::with_capacity(n);
+        let mut msg_rate = vec![0.0; n];
+        for node in 0..n as u32 {
+            let cl = clusters.cluster_of(node);
+            let flit_rate = rates[cl as usize] * scale;
+            let sampler = match spec.pattern {
+                TrafficPattern::Uniform => {
+                    if clusters.members[cl as usize].len() < 2 {
+                        DestSampler::Silent
+                    } else {
+                        DestSampler::Uniform { cluster: cl }
+                    }
+                }
+                TrafficPattern::HotSpot { extra } => {
+                    let size = clusters.members[cl as usize].len();
+                    if size < 2 {
+                        DestSampler::Silent
+                    } else {
+                        let (p_hot, _) = hot_spot_probabilities(size, extra);
+                        DestSampler::HotSpot { cluster: cl, p_hot }
+                    }
+                }
+                TrafficPattern::Permutation(p) => {
+                    if p == minnet_topology::Perm::Butterfly(0) {
+                        // β_0 is the identity: everything is a fixed point.
+                    }
+                    if let minnet_topology::Perm::Butterfly(i) = p {
+                        if i >= g.n() {
+                            return Err(format!("butterfly index {i} out of range"));
+                        }
+                    }
+                    let d = p.apply(&g, NodeAddr(node));
+                    if d.0 == node {
+                        DestSampler::Silent
+                    } else {
+                        DestSampler::Fixed(d.0)
+                    }
+                }
+            };
+            if !matches!(sampler, DestSampler::Silent) && flit_rate > 0.0 {
+                msg_rate[node as usize] = flit_rate / mean_len;
+            }
+            samplers.push(sampler);
+        }
+
+        Ok(Workload {
+            geometry: g,
+            clusters,
+            sizes: spec.sizes,
+            offered_load: spec.offered_load,
+            msg_rate,
+            samplers,
+        })
+    }
+
+    /// The geometry this workload was compiled for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The nominal offered load (flits/cycle/node).
+    pub fn offered_load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// The resolved cluster map.
+    pub fn clusters(&self) -> &ClusterMap {
+        &self.clusters
+    }
+
+    /// Message generation rate of `node` in messages/cycle; `0.0` means
+    /// the node is silent.
+    #[inline]
+    pub fn message_rate(&self, node: NodeId) -> f64 {
+        self.msg_rate[node as usize]
+    }
+
+    /// Mean message length in flits.
+    pub fn mean_length(&self) -> f64 {
+        self.sizes.mean()
+    }
+
+    /// Draw a message length.
+    pub fn draw_length<R: Rng>(&self, rng: &mut R) -> u32 {
+        self.sizes.draw(rng)
+    }
+
+    /// Draw a destination for a message from `node`. Never returns `node`
+    /// itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is silent (`message_rate(node) == 0.0` — the
+    /// engine must not ask).
+    pub fn draw_destination<R: Rng>(&self, node: NodeId, rng: &mut R) -> NodeId {
+        match self.samplers[node as usize] {
+            DestSampler::Silent => panic!("destination requested for silent node {node}"),
+            DestSampler::Fixed(d) => d,
+            DestSampler::Uniform { cluster } => {
+                let members = &self.clusters.members[cluster as usize];
+                loop {
+                    let d = members[rng.random_range(0..members.len())];
+                    if d != node {
+                        return d;
+                    }
+                }
+            }
+            DestSampler::HotSpot { cluster, p_hot } => {
+                let members = &self.clusters.members[cluster as usize];
+                let hot = members[0];
+                loop {
+                    let d = if rng.random::<f64>() < p_hot {
+                        hot
+                    } else {
+                        // Uniform over the non-hot members.
+                        members[1 + rng.random_range(0..members.len() - 1)]
+                    };
+                    if d != node {
+                        return d;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate nominal flit-injection rate over all nodes (flits/cycle),
+    /// accounting for silent nodes.
+    pub fn aggregate_flit_rate(&self) -> f64 {
+        self.msg_rate.iter().sum::<f64>() * self.mean_length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnet_topology::Perm;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn g64() -> Geometry {
+        Geometry::new(4, 3)
+    }
+
+    #[test]
+    fn global_uniform_rates() {
+        let w = Workload::compile(g64(), &WorkloadSpec::global_uniform(0.5)).unwrap();
+        for node in 0..64 {
+            assert!((w.message_rate(node) - 0.5 / 516.0).abs() < 1e-12);
+        }
+        assert!((w.aggregate_flit_rate() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_never_draws_self_and_stays_in_cluster() {
+        let g = g64();
+        let spec = WorkloadSpec {
+            offered_load: 0.3,
+            pattern: TrafficPattern::Uniform,
+            clustering: Clustering::cubes_from_patterns(&g, &["0XX", "1XX", "2XX", "3XX"])
+                .unwrap(),
+            rates: None,
+            sizes: MessageSizeDist::PAPER,
+        };
+        let w = Workload::compile(g, &spec).unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        for src in [0u32, 17, 35, 63] {
+            for _ in 0..500 {
+                let d = w.draw_destination(src, &mut rng);
+                assert_ne!(d, src);
+                assert_eq!(d / 16, src / 16, "destination left the cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_ratios_follow_paper_normalisation() {
+        let g = g64();
+        let spec = WorkloadSpec {
+            offered_load: 0.4,
+            pattern: TrafficPattern::Uniform,
+            clustering: Clustering::cubes_from_patterns(&g, &["0XX", "1XX", "2XX", "3XX"])
+                .unwrap(),
+            rates: Some(vec![4.0, 1.0, 1.0, 1.0]),
+            sizes: MessageSizeDist::Fixed(100),
+        };
+        let w = Workload::compile(g, &spec).unwrap();
+        // scale = 0.4·64 / (16·7) = 0.4·4/7; cluster 0 nodes: 4×, others 1×.
+        let hi = w.message_rate(0) * 100.0;
+        let lo = w.message_rate(20) * 100.0;
+        assert!((hi / lo - 4.0).abs() < 1e-9);
+        assert!((hi - 0.4 * 16.0 / 7.0).abs() < 1e-9);
+        // Average over all nodes is the nominal load.
+        assert!((w.aggregate_flit_rate() / 64.0 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_cluster_is_silent() {
+        let g = g64();
+        let spec = WorkloadSpec {
+            offered_load: 0.4,
+            pattern: TrafficPattern::Uniform,
+            clustering: Clustering::cubes_from_patterns(&g, &["0XX", "1XX", "2XX", "3XX"])
+                .unwrap(),
+            rates: Some(vec![1.0, 0.0, 0.0, 0.0]),
+            sizes: MessageSizeDist::PAPER,
+        };
+        let w = Workload::compile(g, &spec).unwrap();
+        assert!(w.message_rate(0) > 0.0);
+        assert_eq!(w.message_rate(16), 0.0);
+        assert_eq!(w.message_rate(63), 0.0);
+        // Cluster 0 runs at 4× nominal.
+        assert!((w.message_rate(0) * 516.0 - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_spot_frequencies() {
+        let g = g64();
+        let spec = WorkloadSpec {
+            offered_load: 0.3,
+            pattern: TrafficPattern::HotSpot { extra: 0.10 },
+            clustering: Clustering::Global,
+            rates: None,
+            sizes: MessageSizeDist::PAPER,
+        };
+        let w = Workload::compile(g, &spec).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let trials = 60_000;
+        let mut hot_hits = 0;
+        for _ in 0..trials {
+            // Source 5 (not the hot node 0).
+            if w.draw_destination(5, &mut rng) == 0 {
+                hot_hits += 1;
+            }
+        }
+        let (p_hot, _) = hot_spot_probabilities(64, 0.10);
+        let frac = hot_hits as f64 / trials as f64;
+        assert!((frac - p_hot).abs() < 0.01, "hot frac {frac} vs {p_hot}");
+    }
+
+    #[test]
+    fn permutation_pattern_fixed_destinations_and_fixed_points() {
+        let g = g64();
+        let spec = WorkloadSpec {
+            offered_load: 0.3,
+            pattern: TrafficPattern::Permutation(Perm::PerfectShuffle),
+            clustering: Clustering::Global,
+            rates: None,
+            sizes: MessageSizeDist::PAPER,
+        };
+        let w = Workload::compile(g, &spec).unwrap();
+        let mut rng = SmallRng::seed_from_u64(14);
+        // Node 1 (001₄ → 010₄ = 4) always sends to 4.
+        assert_eq!(w.draw_destination(1, &mut rng), 4);
+        // Constant-digit addresses are silent fixed points: 0, 21, 42, 63.
+        for fp in [0u32, 21, 42, 63] {
+            assert_eq!(w.message_rate(fp), 0.0);
+        }
+        assert!(w.message_rate(1) > 0.0);
+    }
+
+    #[test]
+    fn compile_errors() {
+        let g = g64();
+        assert!(Workload::compile(g, &WorkloadSpec::global_uniform(0.0)).is_err());
+        let bad_rates = WorkloadSpec {
+            rates: Some(vec![1.0, 2.0]),
+            ..WorkloadSpec::global_uniform(0.1)
+        };
+        assert!(matches!(
+            Workload::compile(g, &bad_rates),
+            Err(e) if e.contains("rate entries")
+        ));
+        let bad_perm = WorkloadSpec {
+            pattern: TrafficPattern::Permutation(Perm::Butterfly(9)),
+            ..WorkloadSpec::global_uniform(0.1)
+        };
+        assert!(Workload::compile(g, &bad_perm).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Hot-spot degradation study (§5.3.2, Fig. 19): how much of each
+//! network's throughput survives when one node receives 5% / 10% extra
+//! traffic.
+//!
+//! ```text
+//! cargo run --release --example hotspot_study
+//! ```
+
+use minnet::traffic::TrafficPattern;
+use minnet::{latency_throughput_curve, saturation_load, Experiment, NetworkSpec};
+
+fn max_sustainable(spec: NetworkSpec, pattern: TrafficPattern, threads: usize) -> f64 {
+    let mut exp = Experiment::paper_default(spec);
+    exp.pattern = pattern;
+    exp.sim.warmup = 15_000;
+    exp.sim.measure = 60_000;
+    let loads: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let points = latency_throughput_curve(&exp, &loads, threads).expect("sweep runs");
+    saturation_load(&points)
+        .map(|p| p.report.throughput_percent())
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("Maximum sustainable throughput (% of one-port bound), 64 nodes\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "network", "uniform", "hot 5%", "hot 10%"
+    );
+    for spec in NetworkSpec::paper_lineup() {
+        let uni = max_sustainable(spec, TrafficPattern::Uniform, threads);
+        let h5 = max_sustainable(spec, TrafficPattern::HotSpot { extra: 0.05 }, threads);
+        let h10 = max_sustainable(spec, TrafficPattern::HotSpot { extra: 0.10 }, threads);
+        println!(
+            "{:<18} {:>8.1}% {:>8.1}% {:>8.1}%",
+            spec.name(),
+            uni,
+            h5,
+            h10
+        );
+    }
+    println!(
+        "\npaper's observation: all four networks congest badly under hot spots.\n\
+         With the paper's formula the hot node's single ejection channel caps\n\
+         sustained delivery at 25.0% (x=5%) and 14.9% (x=10%) of the one-port\n\
+         bound (see minnet::model::hot_spot_cap) — every network is pinned\n\
+         near that structural ceiling, so the once-large design differences\n\
+         all but vanish (EXPERIMENTS.md discusses the paper's higher absolute\n\
+         numbers)."
+    );
+}

@@ -1,0 +1,65 @@
+//! Software multicast on wormhole MINs (§6 / ref [32]): compare three
+//! unicast-based multicast schedules — sequential, binomial, and
+//! address-ordered binomial — broadcasting from node 0 to all 63 other
+//! nodes on the DMIN and the BMIN.
+//!
+//! ```text
+//! cargo run --release --example multicast
+//! ```
+
+use minnet::mcast::{binomial, binomial_by_address, run_multicast, sequential};
+use minnet::sim::{EngineConfig, CYCLE_US};
+use minnet::{topology::Geometry, NetworkSpec};
+
+fn main() -> Result<(), String> {
+    let g = Geometry::new(4, 3);
+    let len = 128u32;
+    let overhead = 20; // 1 µs of software latency at each relay
+    let dsts: Vec<u32> = (1..g.nodes()).collect();
+    let mut scattered = dsts.clone();
+    scattered.sort_by_key(|&d| (d % 4, d / 4)); // spread across subtrees
+
+    let cfg = EngineConfig {
+        warmup: 0,
+        measure: 5_000_000,
+        ..EngineConfig::default()
+    };
+
+    println!(
+        "Broadcast 0 → 63 nodes, {len}-flit message, {:.1} µs relay overhead\n",
+        overhead as f64 * CYCLE_US
+    );
+    println!(
+        "{:<18} {:>14} {:>12} {:>12} {:>14}",
+        "network", "schedule", "steps", "depth", "completion(us)"
+    );
+    for spec in [NetworkSpec::tmin(), NetworkSpec::dmin(2), NetworkSpec::Bmin] {
+        let net = spec.build(g);
+        let schedules = [
+            ("sequential", sequential(0, &dsts, len)),
+            ("binomial", binomial(0, &scattered, len)),
+            ("binomial+addr", binomial_by_address(0, &dsts, len)),
+        ];
+        for (name, s) in schedules {
+            let out = run_multicast(&net, &s, overhead, &cfg)?;
+            println!(
+                "{:<18} {:>14} {:>12} {:>12} {:>14.1}",
+                spec.name(),
+                name,
+                s.message_count(),
+                s.depth(),
+                out.completion as f64 * CYCLE_US
+            );
+        }
+        println!();
+    }
+    println!(
+        "takeaways: recursive halving turns 63 serialized sends (~400 us) into\n\
+         ~6 pipelined rounds (~44 us) — the depth × (latency + overhead) bound.\n\
+         On an idle network each round is a near-permutation and rarely\n\
+         conflicts, so the recipient order barely matters here; it starts to\n\
+         matter when the multicast competes with background traffic (the\n\
+         address order keeps late rounds inside fat-tree subtrees)."
+    );
+    Ok(())
+}

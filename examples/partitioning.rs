@@ -1,0 +1,119 @@
+//! Network partitionability (§4): print the Fig. 14/15 channel
+//! allocations, machine-check Theorems 2–4, and show the performance
+//! consequence (a miniature Fig. 16b) by simulation.
+//!
+//! ```text
+//! cargo run --release --example partitioning
+//! ```
+
+use minnet::partition::{BminPartitionAnalysis, UnidirPartitionAnalysis};
+use minnet::topology::{build_bmin, BitCube, CubeSpec, Direction, Geometry, UnidirKind};
+use minnet::traffic::Clustering;
+use minnet::{Experiment, NetworkSpec};
+
+fn bit_clusters(g: &Geometry, patterns: &[&str]) -> Vec<Vec<u32>> {
+    patterns
+        .iter()
+        .map(|p| BitCube::parse(g, p).unwrap().members(g).iter().map(|a| a.0).collect())
+        .collect()
+}
+
+fn digit_clusters(g: &Geometry, patterns: &[&str]) -> Vec<Vec<u32>> {
+    patterns
+        .iter()
+        .map(|p| CubeSpec::parse(g, p).unwrap().members(g).iter().map(|a| a.0).collect())
+        .collect()
+}
+
+fn print_unidir(title: &str, g: Geometry, kind: UnidirKind, patterns: &[&str], clusters: &[Vec<u32>]) {
+    let a = UnidirPartitionAnalysis::analyze(g, kind, clusters);
+    println!("{title}");
+    for (ci, pat) in patterns.iter().enumerate() {
+        let counts: Vec<usize> = (0..=g.n()).map(|l| a.channels_used(ci, l)).collect();
+        println!(
+            "  cluster {:<4} ({:>2} nodes): channels per level {:?}{}",
+            pat,
+            clusters[ci].len(),
+            counts,
+            if a.is_channel_balanced(ci) { "  [balanced]" } else { "  [NOT balanced]" }
+        );
+    }
+    println!(
+        "  contention-free: {}\n",
+        if a.is_contention_free() { "yes" } else { "NO (channels shared between clusters)" }
+    );
+}
+
+fn main() -> Result<(), String> {
+    // ---- Fig. 14: the 8-node cube MIN, binary cube clusters ------------
+    let g8 = Geometry::new(2, 3);
+    let pats14 = ["0XX", "1X0", "1X1"];
+    print_unidir(
+        "Fig. 14 — cube MIN, clusters 0XX / 1X0 / 1X1 (Theorem 2):",
+        g8,
+        UnidirKind::Cube,
+        &pats14,
+        &bit_clusters(&g8, &pats14),
+    );
+
+    // ---- Fig. 15a: butterfly MIN, channel-reduced -----------------------
+    let pats15a = ["0XX", "10X", "11X"];
+    print_unidir(
+        "Fig. 15a — butterfly MIN, channel-reduced clustering (Theorem 3):",
+        g8,
+        UnidirKind::Butterfly,
+        &pats15a,
+        &bit_clusters(&g8, &pats15a),
+    );
+
+    // ---- Fig. 15b: butterfly MIN, channel-shared ------------------------
+    let pats15b = ["XX0", "XX1"];
+    print_unidir(
+        "Fig. 15b — butterfly MIN, channel-shared clustering:",
+        g8,
+        UnidirKind::Butterfly,
+        &pats15b,
+        &bit_clusters(&g8, &pats15b),
+    );
+
+    // ---- Theorem 4: BMIN base cubes -------------------------------------
+    let g64 = Geometry::new(4, 3);
+    let net = build_bmin(g64);
+    let base_pats = ["0XX", "1XX", "2XX", "3XX"];
+    let a = BminPartitionAnalysis::analyze(&net, &digit_clusters(&g64, &base_pats));
+    println!("Theorem 4 — 64-node BMIN, base cubes 0XX..3XX:");
+    for (ci, pat) in base_pats.iter().enumerate() {
+        println!(
+            "  cluster {pat}: levels used 0..={}, {} forward channels at level 0, balanced: {}",
+            a.max_level(ci).unwrap(),
+            a.channels_used(ci, 0, Direction::Forward),
+            a.is_channel_balanced(ci)
+        );
+    }
+    println!("  contention-free: {}\n", a.is_contention_free());
+
+    // ---- The performance consequence (miniature Fig. 16b) ---------------
+    println!("Simulated consequence at 50% offered load, cluster-16 uniform traffic:");
+    let msd = Clustering::cubes_from_patterns(&g64, &base_pats)?;
+    let lsd = Clustering::cubes_from_patterns(&g64, &["XX0", "XX1", "XX2", "XX3"])?;
+    let configs = [
+        ("cube TMIN, balanced clusters", NetworkSpec::Tmin(UnidirKind::Cube), msd.clone()),
+        ("butterfly TMIN, reduced clusters", NetworkSpec::Tmin(UnidirKind::Butterfly), msd),
+        ("butterfly TMIN, shared clusters", NetworkSpec::Tmin(UnidirKind::Butterfly), lsd),
+    ];
+    for (label, spec, clustering) in configs {
+        let mut exp = Experiment::paper_default(spec);
+        exp.clustering = clustering;
+        exp.sim.warmup = 15_000;
+        exp.sim.measure = 60_000;
+        let r = exp.run(0.5)?;
+        println!(
+            "  {:<34} accepted {:>5.1}%  latency {:>8.1} us  {}",
+            label,
+            r.throughput_percent(),
+            r.mean_latency_us(),
+            if r.sustainable { "" } else { "(saturated)" }
+        );
+    }
+    Ok(())
+}

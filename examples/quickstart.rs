@@ -1,0 +1,40 @@
+//! Quickstart: simulate the paper's 64-node dilated MIN under uniform
+//! traffic and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use minnet::{Experiment, NetworkSpec};
+
+fn main() -> Result<(), String> {
+    // The paper's setting: 64 nodes built from 4×4 switches (3 stages of
+    // 16 switches), wormhole switching, 20 flits/µs channels, messages
+    // uniform in [8, 1024] flits, Poisson arrivals.
+    let mut exp = Experiment::paper_default(NetworkSpec::dmin(2));
+    exp.sim.warmup = 20_000;
+    exp.sim.measure = 80_000;
+
+    println!("network : {}", exp.network.name());
+    println!(
+        "geometry: {} nodes of {}x{} switches, {} stages",
+        exp.geometry.nodes(),
+        exp.geometry.k(),
+        exp.geometry.k(),
+        exp.geometry.n()
+    );
+
+    for load in [0.2, 0.5, 0.8] {
+        let r = exp.run(load)?;
+        println!(
+            "load {:>3.0}% -> accepted {:>5.1}%  latency {:>8.1} us (p95 {:>8.1})  max queue {:>4}  {}",
+            load * 100.0,
+            r.throughput_percent(),
+            r.mean_latency_us(),
+            r.p95_latency_cycles as f64 * minnet::sim::CYCLE_US,
+            r.max_queue,
+            if r.sustainable { "sustainable" } else { "SATURATED" },
+        );
+    }
+    Ok(())
+}

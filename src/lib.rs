@@ -1,0 +1,12 @@
+//! # minnet-repro
+//!
+//! Workspace-root host crate for the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`) of the `minnet`
+//! reproduction of Ni, Gui & Moore, *"Performance Evaluation of
+//! Switch-Based Wormhole Networks"* (ICPP 1995 / IEEE TPDS 8(5), 1997).
+//!
+//! The library surface lives in the `minnet` facade crate
+//! (`crates/core`), re-exported here for the tests' convenience; see the
+//! repository `README.md` for the tour.
+
+pub use minnet::*;

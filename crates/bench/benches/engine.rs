@@ -1,9 +1,12 @@
 //! Engine microbenchmarks: simulation cycles/second for each of the four
-//! network designs at moderate load.
+//! network designs at moderate load, plus optimized-vs-reference pairs
+//! quantifying the occupancy-scaled hot loop at idle and at saturation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minnet::{Experiment, NetworkSpec};
-use minnet_traffic::MessageSizeDist;
+use minnet_sim::{reference, run_simulation, EngineConfig};
+use minnet_topology::Geometry;
+use minnet_traffic::{MessageSizeDist, Workload, WorkloadSpec};
 
 fn engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_cycles");
@@ -40,5 +43,50 @@ fn engine_load_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, engine_load_scaling);
+/// Optimized vs frozen-reference engine on the 64-node TMIN at the given
+/// load. At idle loads the per-cycle cost of the optimized engine tracks
+/// occupancy, so the gap over the scan-everything reference is the point
+/// of the comparison; at saturation both scan essentially everything and
+/// the optimized engine must not regress.
+fn engine_vs_reference(c: &mut Criterion, group_name: &str, load: f64) {
+    let g = Geometry::new(4, 3);
+    let spec = NetworkSpec::tmin();
+    let net = spec.build(g);
+    let wl = Workload::compile(g, &WorkloadSpec::global_uniform(load)).expect("workload compiles");
+    let cfg = EngineConfig {
+        vcs: spec.vcs(),
+        warmup: 1_000,
+        measure: 20_000,
+        ..EngineConfig::default()
+    };
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("optimized", load), |b| {
+        b.iter(|| run_simulation(&net, &wl, &cfg).expect("simulation runs"));
+    });
+    group.bench_function(BenchmarkId::new("reference", load), |b| {
+        b.iter(|| reference::run_simulation(&net, &wl, &cfg).expect("simulation runs"));
+    });
+    group.finish();
+}
+
+/// Low offered load (0.05 flits/node/cycle): the network is mostly empty,
+/// so the active sets keep each cycle near-free.
+fn engine_idle(c: &mut Criterion) {
+    engine_vs_reference(c, "engine_idle", 0.05);
+}
+
+/// Past the TMIN's saturation knee: every channel stays busy and the
+/// occupancy structures carry their maximum bookkeeping overhead.
+fn engine_saturated(c: &mut Criterion) {
+    engine_vs_reference(c, "engine_saturated", 0.9);
+}
+
+criterion_group!(
+    benches,
+    engine_throughput,
+    engine_load_scaling,
+    engine_idle,
+    engine_saturated
+);
 criterion_main!(benches);

@@ -18,7 +18,7 @@ use minnet::{
     Experiment, NetworkSpec,
 };
 use minnet_topology::{BitCube, Geometry, UnidirKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn usage() -> ! {
     println!(
@@ -54,13 +54,13 @@ COMMON OPTIONS
 
 struct Args {
     cmd: String,
-    opts: HashMap<String, String>,
+    opts: BTreeMap<String, String>,
 }
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let cmd = it.next().unwrap_or_else(|| "help".into());
-    let mut opts = HashMap::new();
+    let mut opts = BTreeMap::new();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             eprintln!("unexpected argument {key:?}");

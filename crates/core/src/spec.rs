@@ -83,10 +83,8 @@ impl NetworkSpec {
     /// Validate the parameters.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            NetworkSpec::Dmin(_, d) if d == 0 => Err("dilation must be at least 1".into()),
-            NetworkSpec::Vmin(_, v) if v == 0 => {
-                Err("at least one virtual channel is required".into())
-            }
+            NetworkSpec::Dmin(_, 0) => Err("dilation must be at least 1".into()),
+            NetworkSpec::Vmin(_, 0) => Err("at least one virtual channel is required".into()),
             _ => Ok(()),
         }
     }

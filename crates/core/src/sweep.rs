@@ -2,14 +2,15 @@
 //!
 //! Individual simulation runs are sequential discrete-time programs, but a
 //! sweep's load points are independent — the natural parallel axis. The
-//! sweep fans the points out over a scoped thread pool fed by a
-//! crossbeam channel; results are written into a pre-sized slot table so
-//! the output order (and, thanks to per-point seeds, the numbers
-//! themselves) is independent of the thread count.
+//! sweep fans the points out over a scoped thread pool that claims work
+//! from a shared atomic cursor; each worker writes into its point's
+//! pre-sized slot, so the output order (and, thanks to per-point seeds,
+//! the numbers themselves) is independent of the thread count.
 
 use crate::experiment::Experiment;
 use minnet_sim::SimReport;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One point of a latency–throughput curve.
 #[derive(Clone, Debug)]
@@ -37,30 +38,29 @@ pub fn latency_throughput_curve(
     threads: usize,
 ) -> Result<Vec<SweepPoint>, String> {
     let threads = threads.max(1).min(loads.len().max(1));
-    let slots: Mutex<Vec<Option<Result<SimReport, String>>>> =
-        Mutex::new(vec![None; loads.len()]);
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..loads.len() {
-        tx.send(i).expect("queue is open");
-    }
-    drop(tx);
+    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
+        loads.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
+            let cursor = &cursor;
             let slots = &slots;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let seed = mix(exp.sim.seed, i as u64 + 1);
-                    let res = exp.run_seeded(loads[i], seed);
-                    slots.lock()[i] = Some(res);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= loads.len() {
+                    break;
                 }
+                let seed = mix(exp.sim.seed, i as u64 + 1);
+                let res = exp.run_seeded(loads[i], seed);
+                *slots[i].lock().expect("sweep worker panicked") = Some(res);
             });
         }
     });
 
     let mut out = Vec::with_capacity(loads.len());
-    for (i, slot) in slots.into_inner().into_iter().enumerate() {
+    for (i, slot) in slots.into_iter().enumerate() {
+        let slot = slot.into_inner().expect("sweep worker panicked");
         let report = slot.expect("every slot is filled")?;
         out.push(SweepPoint {
             offered: loads[i],

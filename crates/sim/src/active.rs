@@ -1,0 +1,144 @@
+//! Dense index sets for the engine's occupancy-scaled hot loop.
+//!
+//! The engine keeps three active sets so its per-cycle cost tracks
+//! *occupancy* (in-flight worms, nonempty sources, claimed channels)
+//! instead of network size:
+//!
+//! * injectable sources — nodes whose FCFS queue is nonempty while the
+//!   injection channel is idle;
+//! * occupied channels — channels with at least one owned lane, indexed
+//!   by their *transmit-order position* so a sweep visits them in
+//!   reverse-topological order;
+//! * active packets — already a dense list in the engine itself.
+//!
+//! [`DenseBitSet`] backs the first two: membership flips are O(1) and
+//! ascending-order iteration costs O(words + members), where `words` is
+//! `capacity / 64` — a handful of cache lines even for thousands of
+//! channels, and far cheaper than touching every `Lane` or `Source`.
+//! Iteration order is always ascending index, which is what keeps the
+//! optimized engine's request ordering (and thus its RNG stream)
+//! bit-identical to the reference engine's full scans.
+
+/// A fixed-capacity bitset over dense `u32` indices with ascending
+/// iteration.
+#[derive(Clone, Debug)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+}
+
+impl DenseBitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Insert `i`. Idempotent.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove `i`. Idempotent.
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        self.words[i as usize / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        self.words[i as usize / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Visit members in ascending order, appending them to `out`
+    /// (cleared first). Collecting into a caller-owned scratch buffer —
+    /// rather than handing out an iterator — lets the engine mutate the
+    /// set while processing the snapshot.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((w * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Call `f` on each member in ascending order. `f` must not mutate
+    /// the set (enforced by the shared borrow).
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                f((w * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut s = DenseBitSet::with_capacity(130);
+        assert!(!s.contains(0));
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        s.clear(64);
+        assert!(!s.contains(64));
+        s.set(0); // idempotent
+        assert!(s.contains(0));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut s = DenseBitSet::with_capacity(200);
+        let members = [199u32, 3, 64, 65, 0, 127, 128, 31];
+        for &m in &members {
+            s.set(m);
+        }
+        let mut got = Vec::new();
+        s.collect_into(&mut got);
+        let mut want: Vec<u32> = members.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        let mut via_fn = Vec::new();
+        s.for_each(|i| via_fn.push(i));
+        assert_eq!(via_fn, want);
+    }
+
+    #[test]
+    fn collect_clears_previous_contents() {
+        let mut s = DenseBitSet::with_capacity(10);
+        s.set(5);
+        let mut out = vec![1, 2, 3];
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn empty_and_full_words() {
+        let s = DenseBitSet::with_capacity(0);
+        let mut out = Vec::new();
+        s.collect_into(&mut out);
+        assert!(out.is_empty());
+
+        let mut s = DenseBitSet::with_capacity(64);
+        for i in 0..64 {
+            s.set(i);
+        }
+        s.collect_into(&mut out);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

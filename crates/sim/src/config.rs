@@ -106,6 +106,11 @@ impl EngineConfig {
 pub struct SimReport {
     /// Total simulated cycles (warmup + measure).
     pub cycles: u64,
+    /// Cycles actually spent measuring: `cycles - warmup`. Equal to the
+    /// configured `measure` for stochastic runs; smaller when a finite
+    /// (scripted/chained) run drains early. Rates are normalized by this
+    /// value, not the configured window.
+    pub measured_cycles: u64,
     /// Messages generated during the measurement window.
     pub generated_packets: u64,
     /// Messages fully delivered during the measurement window.
@@ -185,6 +190,53 @@ impl SimReport {
     pub fn offered_percent(&self) -> f64 {
         self.offered_flits_per_node_cycle * 100.0
     }
+
+    /// Bit-exact equality: every integer field equal and every float field
+    /// identical down to its bit pattern (`f64::to_bits`, so `0.0 != -0.0`
+    /// and NaNs compare by representation). This is the determinism
+    /// contract the differential tests enforce between the optimized and
+    /// reference engines — plain `==` on floats would accept reordered
+    /// arithmetic, which is exactly what must not happen.
+    pub fn bitwise_eq(&self, other: &SimReport) -> bool {
+        fn f(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        fn fv(a: &Option<Vec<f64>>, b: &Option<Vec<f64>>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => {
+                    x.len() == y.len() && x.iter().zip(y).all(|(p, q)| f(*p, *q))
+                }
+                _ => false,
+            }
+        }
+        self.cycles == other.cycles
+            && self.measured_cycles == other.measured_cycles
+            && self.generated_packets == other.generated_packets
+            && self.delivered_packets == other.delivered_packets
+            && f(
+                self.offered_flits_per_node_cycle,
+                other.offered_flits_per_node_cycle,
+            )
+            && f(
+                self.accepted_flits_per_node_cycle,
+                other.accepted_flits_per_node_cycle,
+            )
+            && f(self.mean_latency_cycles, other.mean_latency_cycles)
+            && f(self.latency_ci95_cycles, other.latency_ci95_cycles)
+            && self.p50_latency_cycles == other.p50_latency_cycles
+            && self.p95_latency_cycles == other.p95_latency_cycles
+            && self.p99_latency_cycles == other.p99_latency_cycles
+            && self.max_latency_cycles == other.max_latency_cycles
+            && f(self.mean_queue, other.mean_queue)
+            && self.max_queue == other.max_queue
+            && self.sustainable == other.sustainable
+            && self.steady == other.steady
+            && self.in_flight_at_end == other.in_flight_at_end
+            && fv(&self.channel_utilization, &other.channel_utilization)
+            && self.deliveries == other.deliveries
+            && self.trace == other.trace
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +268,7 @@ mod tests {
     fn unit_conversions() {
         let r = SimReport {
             cycles: 0,
+            measured_cycles: 0,
             generated_packets: 0,
             delivered_packets: 0,
             offered_flits_per_node_cycle: 0.5,

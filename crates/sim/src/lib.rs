@@ -11,14 +11,20 @@
 //! confidence intervals, and source-queue sustainability (§5's
 //! 100-message criterion).
 //!
-//! See [`engine`] for the precise cycle semantics; [`stats`] for the
-//! measurement machinery.
+//! See [`engine`] for the precise cycle semantics (including the
+//! occupancy-scaled scheduling and the determinism contract); [`stats`]
+//! for the measurement machinery. The `reference-engine` feature exposes
+//! [`reference`], the frozen scan-everything implementation used as a
+//! differential-testing oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod config;
 pub mod engine;
+#[cfg(feature = "reference-engine")]
+pub mod reference;
 pub mod stats;
 pub mod trace;
 

@@ -1,97 +1,28 @@
-//! The flit-level wormhole simulation engine.
+//! The *reference* engine: the original scan-everything implementation,
+//! frozen as a differential-testing oracle.
 //!
-//! # Model
+//! [`crate::engine`] optimizes the per-cycle hot loop to scale with
+//! *occupancy* (active worms, nonempty sources, claimed channels) rather
+//! than network size. This module preserves the pre-optimization
+//! scheduling verbatim — every cycle it scans all sources for injection
+//! requests, all channels for ready lanes, and sums every source queue —
+//! so `tests/engine_equivalence.rs` can require **bit-identical
+//! [`SimReport`]s** from the two engines for the same seed across every
+//! network kind and traffic mode. Any divergence pinpoints a bug in the
+//! optimized engine's active-set bookkeeping.
 //!
-//! Time advances in **cycles**; one cycle is the time a channel needs to
-//! transmit one flit (all channels share the paper's 20 flits/µs
-//! bandwidth). Every physical channel carries `vcs` virtual lanes; each
-//! lane has a one-flit buffer at its receiving end and is owned by at most
-//! one worm at a time. Dilated channels are separate physical channels in
-//! the graph, so "lane" uniformly means *(channel, vc)*.
+//! The two measurement-accounting fixes (rates divided by *elapsed*
+//! measured cycles, delivered flits honoring the per-packet `measured`
+//! flag — see the `engine` module header) are applied here too: the
+//! oracle differs from the optimized engine only in scheduling data
+//! structures, never in semantics.
 //!
-//! Each cycle has three phases:
-//!
-//! 1. **Arrivals** — Poisson (or scripted) messages join their source's
-//!    FCFS queue.
-//! 2. **Routing & allocation** — every header flit sitting in the buffer at
-//!    a switch input computes its candidate output channels
-//!    ([`RouteLogic`]) and tries to claim a free lane; queued messages try
-//!    to claim the injection channel (one packet per source at a time —
-//!    the one-port architecture transmits packets in sequence). Requests
-//!    are served in random order; lane choice among free candidates is
-//!    random (the paper's policy).
-//! 3. **Transmission** — every physical channel forwards at most one flit,
-//!    chosen among its ready lanes by the VC multiplexer. Channels are
-//!    processed downstream-first (reverse topological order), so an
-//!    unblocked worm advances over its entire span in one cycle — the
-//!    paper's synchronized-worm behaviour. A flit moving into a channel
-//!    whose destination is a node is consumed immediately ("messages
-//!    arriving at a destination node are immediately consumed").
-//!
-//! A worm thus occupies a chain of lanes from its tail to its head; when
-//! the tail flit leaves a lane's buffer the lane is released. Ownership
-//! plus the acyclic channel-dependency graph (`minnet-routing`) make the
-//! simulation deadlock-free by construction.
-//!
-//! # Occupancy-scaled scheduling
-//!
-//! The per-cycle cost of all three phases tracks *occupancy* — in-flight
-//! worms, nonempty source queues, claimed channels — not network size.
-//! An idle 1024-node network costs near nothing per cycle. The engine
-//! maintains:
-//!
-//! * an **arrival heap** (Poisson) keyed `(⌈next_arrival⌉, node)` with one
-//!   outstanding entry per generating node, and a **release heap**
-//!   (chained traffic) keyed `(release_time, index)` — arrivals phase work
-//!   is O(log n) per event, not O(nodes) or O(messages) per cycle;
-//! * an **injectable-source bitset**: bit `n` set iff node `n`'s queue is
-//!   nonempty while nothing is injecting there (`injecting == NONE`),
-//!   updated at each of the three transitions (arrival into an idle-
-//!   injector queue; injection start; injection end with a nonempty
-//!   queue). The allocation phase reads injection requests off this set
-//!   instead of scanning every source;
-//! * an **occupied-channel bitset** indexed by *transmit-order position*
-//!   (`order_pos`), backed by a per-channel owned-lane count: a channel
-//!   enters the set when its first lane is claimed and leaves when its
-//!   last lane is released. The transmission phase sweeps a snapshot of
-//!   this set — ascending positions, i.e. reverse-topological order —
-//!   instead of every channel. Releases during the sweep only *clear*
-//!   bits; a just-released channel in the snapshot is a harmless no-op
-//!   (no lane is ready), and no channel becomes occupied mid-sweep
-//!   because claiming happens only in the allocation phase;
-//! * a **running queued-message counter** for the per-cycle mean-queue
-//!   sample, the drain check of finite runs, and the end-of-run backlog.
-//!
-//! # Determinism contract
-//!
-//! Same seed + same build ⇒ bit-identical [`SimReport`], regardless of
-//! how many sweep threads call the engine (each run owns its RNG). The
-//! active sets are pure bookkeeping: every request list, arbiter call and
-//! RNG draw happens in exactly the order the scan-everything reference
-//! engine (`reference` module, feature `reference-engine`) produces, which
-//! `tests/engine_equivalence.rs` enforces report-for-report with
-//! [`SimReport::bitwise_eq`]. The load-bearing orderings are: bitset
-//! iteration is ascending (= the reference's node scan); every heap entry
-//! due at cycle `t` carries key `t` exactly — entries are pushed with
-//! future keys and popped the cycle they mature — so pops are
-//! node-/index-ascending within a cycle; and
-//! `Arbiter::pick_uncontested` draws the same stream as `pick` over an
-//! all-`true` slice.
-//!
-//! # Measurement accounting
-//!
-//! Offered/accepted flit rates and channel utilization are normalized by
-//! the cycles *actually measured* (`SimReport::measured_cycles` =
-//! `cycles - warmup`), not the configured `measure` window — a finite
-//! scripted/chained run that drains early reports true rates.
-//! `delivered_flits` (and hence accepted throughput and the `steady`
-//! flag) counts flits of **measured packets only** — packets generated at
-//! or after the end of warmup — mirroring `delivered_pkts`; flits of
-//! warmup-generated packets that land inside the window are excluded,
-//! just as their latencies are.
+//! Compiled only with the `reference-engine` feature (enabled by the
+//! differential tests and the `engine_idle`/`engine_saturated` benches);
+//! production consumers get the optimized engine alone.
 
-use crate::active::DenseBitSet;
-use crate::config::{EngineConfig, SimReport, TransmitOrder};
+use crate::config::{Delivery, EngineConfig, SimReport, TransmitOrder};
+use crate::engine::{ChainedMsg, ScriptedMsg};
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
 use minnet_routing::RouteLogic;
@@ -100,20 +31,14 @@ use minnet_topology::{ChannelId, Endpoint, NetworkGraph, Side};
 use minnet_traffic::Workload;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 const NONE: u32 = u32::MAX;
 
-/// Where a lane's next flit comes from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Upstream {
-    /// No further flits will enter this lane (tail already buffered here,
-    /// or lane is free).
     Exhausted,
-    /// Flits are drawn from the source queue of this node.
     Source(u32),
-    /// Flits are drawn from the buffer of this lane.
     Lane(u32),
 }
 
@@ -130,15 +55,10 @@ struct Packet {
     dst: u32,
     len: u32,
     gen_time: u64,
-    /// Flits that have left the source queue.
     sent: u32,
-    /// Flits consumed at the destination.
     delivered: u32,
-    /// Most recently allocated lane (where the header goes next).
     head_lane: u32,
-    /// Whether this message counts toward latency statistics.
     measured: bool,
-    /// Script/chain index (NONE for Poisson traffic).
     tag: u32,
 }
 
@@ -147,53 +67,14 @@ struct QueuedMsg {
     dst: u32,
     len: u32,
     gen_time: u64,
-    /// Script/chain index (NONE for Poisson traffic).
     tag: u32,
 }
 
 #[derive(Clone, Debug)]
 struct Source {
     queue: VecDeque<QueuedMsg>,
-    /// Packet currently drawing flits from this source (one-port rule).
     injecting: u32,
-    /// Absolute time of the next Poisson arrival (`f64::INFINITY` for
-    /// silent nodes and scripted runs).
     next_arrival: f64,
-}
-
-/// A message injected at a fixed time — deterministic test workloads.
-#[derive(Clone, Copy, Debug)]
-pub struct ScriptedMsg {
-    /// Cycle at which the message becomes available at the source.
-    pub time: u64,
-    /// Source node.
-    pub src: u32,
-    /// Destination node.
-    pub dst: u32,
-    /// Length in flits.
-    pub len: u32,
-}
-
-pub use crate::config::Delivery;
-
-/// A message that becomes available only after another message completes
-/// — the building block for software multicast and other dependent
-/// communication (paper §6 / ref \[32\]).
-#[derive(Clone, Copy, Debug)]
-pub struct ChainedMsg {
-    /// Source node.
-    pub src: u32,
-    /// Destination node.
-    pub dst: u32,
-    /// Length in flits.
-    pub len: u32,
-    /// Earliest availability (absolute cycle).
-    pub earliest: u64,
-    /// Index (into the message array) of the message that must be fully
-    /// delivered before this one becomes available; `None` = a root.
-    /// Must reference an *earlier* array entry, which keeps the
-    /// dependency graph acyclic by construction.
-    pub after: Option<usize>,
 }
 
 enum Traffic<'a> {
@@ -204,21 +85,14 @@ enum Traffic<'a> {
     },
     Chained {
         msgs: Vec<ChainedMsg>,
-        /// `dependents[i]` lists the messages released by `i`'s delivery.
         dependents: Vec<Vec<u32>>,
-        /// Release time per message (None = dependency not yet met).
-        /// The release *heap* on the engine drives scheduling; this array
-        /// only backs the double-release assertion.
         release: Vec<Option<u64>>,
-        /// Messages not yet delivered.
+        enqueued: Vec<bool>,
         remaining: usize,
-        /// Software overhead at the relay: cycles between receiving the
-        /// parent message and making the dependent available.
         overhead: u64,
     },
 }
 
-#[derive(Clone, Copy)]
 enum Req {
     Inject(u32),
     Advance(u32),
@@ -243,24 +117,6 @@ struct Engine<'a> {
     rng: SmallRng,
     now: u64,
     end: u64,
-    // occupancy structures (see module header)
-    /// Pending Poisson arrivals: one `(⌈next_arrival⌉, node)` entry per
-    /// node with a finite next arrival. Keys of due entries always equal
-    /// the current cycle, so pops are node-ascending within a cycle.
-    arrivals: BinaryHeap<Reverse<(u64, u32)>>,
-    /// Pending chained-message releases, keyed `(release_time, index)`.
-    releases: BinaryHeap<Reverse<(u64, u32)>>,
-    /// Bit `n` ⟺ source `n` has a queued message and an idle injector.
-    injectable: DenseBitSet,
-    /// Bit `p` ⟺ channel `order[p]` has at least one owned lane.
-    occupied: DenseBitSet,
-    /// Transmit-order position of each channel (inverse of `order`).
-    order_pos: Vec<u32>,
-    /// Owned-lane count per channel, backing `occupied`.
-    owned_lanes: Vec<u32>,
-    /// Messages sitting in source queues, across all sources.
-    queued_msgs: u64,
-    // measurement state
     generated_pkts: u64,
     generated_flits: u64,
     delivered_pkts: u64,
@@ -273,11 +129,9 @@ struct Engine<'a> {
     util: Vec<u64>,
     deliveries: Option<Vec<Delivery>>,
     trace: Option<Trace>,
-    // scratch buffers
     cand: Vec<ChannelId>,
     elig: Vec<u32>,
-    reqs: Vec<Req>,
-    sweep: Vec<u32>,
+    elig_flags: Vec<bool>,
     ready: Vec<bool>,
 }
 
@@ -293,7 +147,6 @@ impl<'a> Engine<'a> {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let n_nodes = net.geometry.nodes() as usize;
 
-        let mut arrivals = BinaryHeap::new();
         let mut sources: Vec<Source> = (0..n_nodes)
             .map(|_| Source {
                 queue: VecDeque::new(),
@@ -310,15 +163,6 @@ impl<'a> Engine<'a> {
                 if rate > 0.0 {
                     let u: f64 = 1.0 - rng.random::<f64>();
                     s.next_arrival = -u.ln() / rate;
-                    arrivals.push(Reverse((s.next_arrival.ceil() as u64, node as u32)));
-                }
-            }
-        }
-        let mut releases = BinaryHeap::new();
-        if let Traffic::Chained { release, .. } = &traffic {
-            for (i, r) in release.iter().enumerate() {
-                if let Some(t) = r {
-                    releases.push(Reverse((*t, i as u32)));
                 }
             }
         }
@@ -346,10 +190,6 @@ impl<'a> Engine<'a> {
             TransmitOrder::ReverseTopo => net.transmit_order(),
             TransmitOrder::BuildOrder => (0..nch as u32).collect(),
         };
-        let mut order_pos = vec![0u32; nch];
-        for (pos, &ch) in order.iter().enumerate() {
-            order_pos[ch as usize] = pos as u32;
-        }
         let deterministic = !matches!(traffic, Traffic::Poisson(_));
 
         Ok(Engine {
@@ -381,13 +221,6 @@ impl<'a> Engine<'a> {
             rng,
             now: 0,
             end: cfg.warmup + cfg.measure,
-            arrivals,
-            releases,
-            injectable: DenseBitSet::with_capacity(n_nodes),
-            occupied: DenseBitSet::with_capacity(nch),
-            order_pos,
-            owned_lanes: vec![0; nch],
-            queued_msgs: 0,
             generated_pkts: 0,
             generated_flits: 0,
             delivered_pkts: 0,
@@ -410,8 +243,7 @@ impl<'a> Engine<'a> {
             },
             cand: Vec::new(),
             elig: Vec::new(),
-            reqs: Vec::new(),
-            sweep: Vec::new(),
+            elig_flags: Vec::new(),
             ready: vec![false; vcs],
             cfg,
         })
@@ -422,8 +254,6 @@ impl<'a> Engine<'a> {
         self.now >= self.cfg.warmup
     }
 
-    /// In-code of an input channel at its destination switch, for crossbar
-    /// validation.
     fn in_code(&self, ch: ChannelId) -> (u32, u8) {
         let c = self.net.channel(ch);
         match c.dst {
@@ -458,25 +288,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    // ---- phase 1: arrivals -------------------------------------------
+    // ---- phase 1: arrivals (full scan over sources / script entries) ---
 
     fn generate_arrivals(&mut self) {
         let now_f = self.now as f64;
         let measuring = self.measuring();
         match &mut self.traffic {
             Traffic::Poisson(wl) => {
-                // Pop every matured node. A due entry's key always equals
-                // `now` (keys are ⌈next_arrival⌉ computed when the arrival
-                // was strictly in the future, and nothing is left behind a
-                // cycle), so matured nodes come out in ascending node
-                // order — the reference engine's scan order.
-                while let Some(&Reverse((fire, node))) = self.arrivals.peek() {
-                    if fire > self.now {
-                        break;
-                    }
-                    self.arrivals.pop();
-                    debug_assert_eq!(fire, self.now, "arrival missed its cycle");
-                    let mut enqueued = 0u32;
+                for node in 0..self.sources.len() as u32 {
                     let src = &mut self.sources[node as usize];
                     while src.next_arrival <= now_f {
                         let dst = wl.draw_destination(node, &mut self.rng);
@@ -487,7 +306,6 @@ impl<'a> Engine<'a> {
                             gen_time: self.now,
                             tag: NONE,
                         });
-                        enqueued += 1;
                         if let Some(tr) = &mut self.trace {
                             tr.events.push(TraceEvent::Queued {
                                 tag: NONE,
@@ -505,12 +323,6 @@ impl<'a> Engine<'a> {
                         let rate = wl.message_rate(node);
                         let u: f64 = 1.0 - self.rng.random::<f64>();
                         src.next_arrival += -u.ln() / rate;
-                    }
-                    self.arrivals
-                        .push(Reverse((src.next_arrival.ceil() as u64, node)));
-                    self.queued_msgs += u64::from(enqueued);
-                    if enqueued > 0 && self.sources[node as usize].injecting == NONE {
-                        self.injectable.set(node);
                     }
                 }
             }
@@ -540,32 +352,34 @@ impl<'a> Engine<'a> {
                         self.generated_flits += u64::from(m.len);
                         self.max_queue = self.max_queue.max(src.queue.len());
                     }
-                    self.queued_msgs += 1;
-                    if self.sources[m.src as usize].injecting == NONE {
-                        self.injectable.set(m.src);
-                    }
                 }
             }
-            Traffic::Chained { msgs, .. } => {
-                // Due entries carry key == now (roots mature untouched;
-                // dependents are released at ≥ delivery cycle + 1), so
-                // pops are index-ascending — the reference's scan order.
-                while let Some(&Reverse((t, i))) = self.releases.peek() {
-                    if t > self.now {
-                        break;
+            Traffic::Chained {
+                msgs,
+                release,
+                enqueued,
+                ..
+            } => {
+                for i in 0..msgs.len() {
+                    if enqueued[i] {
+                        continue;
                     }
-                    self.releases.pop();
-                    let m = msgs[i as usize];
+                    let Some(t) = release[i] else { continue };
+                    if t > self.now {
+                        continue;
+                    }
+                    enqueued[i] = true;
+                    let m = msgs[i];
                     let src = &mut self.sources[m.src as usize];
                     src.queue.push_back(QueuedMsg {
                         dst: m.dst,
                         len: m.len,
                         gen_time: t,
-                        tag: i,
+                        tag: i as u32,
                     });
                     if let Some(tr) = &mut self.trace {
                         tr.events.push(TraceEvent::Queued {
-                            tag: i,
+                            tag: i as u32,
                             time: self.now,
                             src: m.src,
                             dst: m.dst,
@@ -577,28 +391,27 @@ impl<'a> Engine<'a> {
                         self.generated_flits += u64::from(m.len);
                         self.max_queue = self.max_queue.max(src.queue.len());
                     }
-                    self.queued_msgs += 1;
-                    if self.sources[m.src as usize].injecting == NONE {
-                        self.injectable.set(m.src);
-                    }
                 }
             }
         }
     }
 
-    // ---- phase 2: routing and lane allocation ------------------------
+    // ---- phase 2: routing and lane allocation (full source scan) ------
 
     fn allocate(&mut self) {
-        let mut reqs = std::mem::take(&mut self.reqs);
-        reqs.clear();
-        self.injectable.for_each(|node| reqs.push(Req::Inject(node)));
+        let mut reqs: Vec<Req> = Vec::new();
+        for (node, s) in self.sources.iter().enumerate() {
+            if s.injecting == NONE && !s.queue.is_empty() {
+                reqs.push(Req::Inject(node as u32));
+            }
+        }
         for &p in &self.active {
             let pkt = &self.packets[p as usize];
             let hl = pkt.head_lane;
             debug_assert_ne!(hl, NONE);
             let ch = (hl as usize / self.vcs) as u32;
             if self.dst_is_node[ch as usize] {
-                continue; // header already on the ejection channel
+                continue;
             }
             if let Some(flit) = self.lanes[hl as usize].buf.front() {
                 if flit.packet == p && flit.is_header() {
@@ -606,23 +419,22 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Serve requests in random order (distributed arbitration).
         let n = reqs.len();
         for i in (1..n).rev() {
             let j = self.rng.random_range(0..=i);
             reqs.swap(i, j);
         }
-        for &req in &reqs {
+        for req in reqs {
             match req {
                 Req::Inject(node) => self.try_inject(node),
                 Req::Advance(p) => self.try_advance(p),
             }
         }
-        self.reqs = reqs;
     }
 
-    /// Claim a free lane among `self.cand` channels; returns the lane.
-    fn claim_lane(&mut self, owner: u32) -> Option<u32> {
+    /// Claim a free lane among `self.cand` channels, via the original
+    /// all-`true` flag-slice arbiter round-trip.
+    fn claim_lane(&mut self, owner_hint: u32) -> Option<u32> {
         self.elig.clear();
         for &ch in &self.cand {
             for vc in 0..self.vcs {
@@ -635,21 +447,20 @@ impl<'a> Engine<'a> {
         if self.elig.is_empty() {
             return None;
         }
-        let idx = self.arbiter.pick_uncontested(self.elig.len(), &mut self.rng);
+        self.elig_flags.clear();
+        self.elig_flags.resize(self.elig.len(), true);
+        let idx = self
+            .arbiter
+            .pick(&self.elig_flags, &mut self.rng)
+            .expect("nonempty eligible set");
         let lane = self.elig[idx];
-        self.lanes[lane as usize].owner = owner;
-        let ch = lane as usize / self.vcs;
-        self.owned_lanes[ch] += 1;
-        if self.owned_lanes[ch] == 1 {
-            self.occupied.set(self.order_pos[ch]);
-        }
+        self.lanes[lane as usize].owner = owner_hint;
         Some(lane)
     }
 
     fn try_inject(&mut self, node: u32) {
         self.cand.clear();
         self.cand.push(self.net.inject[node as usize]);
-        // Claim with a placeholder owner; fixed up after slot allocation.
         let Some(lane) = self.claim_lane(NONE - 1) else {
             return;
         };
@@ -657,8 +468,6 @@ impl<'a> Engine<'a> {
             .queue
             .pop_front()
             .expect("inject request without a queued message");
-        self.queued_msgs -= 1;
-        self.injectable.clear(node);
         let pkt = Packet {
             src: node,
             dst: msg.dst,
@@ -706,7 +515,7 @@ impl<'a> Engine<'a> {
             .candidates(self.net, src, dst, at_ch, &mut self.cand);
         debug_assert!(!self.cand.is_empty(), "advance request at the destination");
         let Some(lane) = self.claim_lane(p) else {
-            return; // blocked; the worm holds its lanes and waits
+            return;
         };
         let new_ch = (lane as usize / self.vcs) as u32;
         self.lanes[lane as usize].upstream = Upstream::Lane(at_lane);
@@ -731,18 +540,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    // ---- phase 3: transmission ---------------------------------------
+    // ---- phase 3: transmission (full channel scan) ---------------------
 
     fn transmit(&mut self) {
-        // Sweep a snapshot of the occupied channels: `release_lane` clears
-        // bits mid-sweep, and mutating the set under iteration would skip
-        // or repeat members. A snapshotted channel that empties before its
-        // turn has no ready lane — visiting it is a no-op. Nothing is
-        // *claimed* during transmission, so the snapshot is complete.
-        let mut sweep = std::mem::take(&mut self.sweep);
-        self.occupied.collect_into(&mut sweep);
-        for &pos in &sweep {
-            let ch = self.order[pos as usize];
+        for oi in 0..self.order.len() {
+            let ch = self.order[oi];
             let base = ch as usize * self.vcs;
             let mut any = false;
             for vc in 0..self.vcs {
@@ -758,7 +560,6 @@ impl<'a> Engine<'a> {
                 .expect("a ready lane must be selectable");
             self.move_flit(ch, base + vc);
         }
-        self.sweep = sweep;
     }
 
     #[inline]
@@ -796,9 +597,6 @@ impl<'a> Engine<'a> {
                 if pkt.sent == len {
                     self.sources[node as usize].injecting = NONE;
                     self.lanes[li].upstream = Upstream::Exhausted;
-                    if !self.sources[node as usize].queue.is_empty() {
-                        self.injectable.set(node);
-                    }
                 }
                 f
             }
@@ -820,11 +618,10 @@ impl<'a> Engine<'a> {
             self.lanes[li].upstream = Upstream::Exhausted;
         }
         if self.dst_is_node[ch as usize] {
-            // Consumption: the destination absorbs the flit immediately.
             let pkt = &mut self.packets[p as usize];
             pkt.delivered += 1;
-            // Count flits of *measured* packets, matching delivered_pkts
-            // (see the module header's measurement-accounting notes).
+            // Accounting fix (shared with the optimized engine): count
+            // flits of *measured* packets, matching `delivered_pkts`.
             if measured {
                 self.delivered_flits += 1;
             }
@@ -840,16 +637,11 @@ impl<'a> Engine<'a> {
     fn release_lane(&mut self, li: u32) {
         let lane = &mut self.lanes[li as usize];
         debug_assert!(lane.buf.is_empty(), "releasing a lane with a buffered flit");
-        debug_assert_ne!(lane.owner, NONE, "double lane release");
         lane.owner = NONE;
         lane.upstream = Upstream::Exhausted;
-        let ch = li as usize / self.vcs;
-        self.owned_lanes[ch] -= 1;
-        if self.owned_lanes[ch] == 0 {
-            self.occupied.clear(self.order_pos[ch]);
-        }
         if let Some(xbars) = &mut self.crossbars {
-            let c = self.net.channel(ch as u32);
+            let ch = (li as usize / self.vcs) as u32;
+            let c = self.net.channel(ch);
             if let Endpoint::Switch { sw, side, port } = c.dst {
                 let code = if self.net.kind.is_bidirectional() {
                     let k = self.net.geometry.k() as u8;
@@ -860,15 +652,13 @@ impl<'a> Engine<'a> {
                 } else {
                     port * self.net.kind.dilation() + c.lane
                 };
-                // The connection exists only if the worm had advanced past
-                // this switch; release is a no-op otherwise.
                 let _ = xbars[sw as usize].release_input(code);
             }
         }
     }
 
     fn complete_packet(&mut self, p: u32, gen_time: u64, measured: bool, len: u32) {
-        let done = self.now + 1; // flit arrives at the end of this cycle
+        let done = self.now + 1;
         if measured {
             let lat = (done - gen_time) as f64;
             self.latency.push(lat);
@@ -883,14 +673,13 @@ impl<'a> Engine<'a> {
             release,
             remaining,
             overhead,
+            ..
         } = &mut self.traffic
         {
             *remaining -= 1;
             for &d in &dependents[tag as usize] {
                 debug_assert!(release[d as usize].is_none(), "double release");
-                let t = (done + *overhead).max(msgs[d as usize].earliest);
-                release[d as usize] = Some(t);
-                self.releases.push(Reverse((t, d)));
+                release[d as usize] = Some((done + *overhead).max(msgs[d as usize].earliest));
             }
         }
         if let Some(tr) = &mut self.trace {
@@ -925,7 +714,8 @@ impl<'a> Engine<'a> {
             self.allocate();
             self.transmit();
             if self.measuring() {
-                self.queue_time_avg.push(self.queued_msgs as f64);
+                let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
+                self.queue_time_avg.push(queued as f64);
             }
             self.now += 1;
             if finite && self.active.is_empty() && self.drained() {
@@ -935,10 +725,9 @@ impl<'a> Engine<'a> {
         self.finish()
     }
 
-    /// Whether a finite (scripted/chained) traffic source has nothing left
-    /// to inject.
     fn drained(&self) -> bool {
-        if self.queued_msgs > 0 {
+        let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
+        if queued > 0 {
             return false;
         }
         match &self.traffic {
@@ -950,9 +739,8 @@ impl<'a> Engine<'a> {
 
     fn finish(self) -> SimReport {
         let n_nodes = self.net.geometry.nodes() as f64;
-        // Normalize by the cycles actually measured, not the configured
-        // window: finite runs drain early (module header, "Measurement
-        // accounting").
+        // Accounting fix (shared with the optimized engine): normalize by
+        // the cycles actually measured, not the configured window.
         let measured_cycles = self.now.saturating_sub(self.cfg.warmup);
         let window = measured_cycles as f64;
         let per_node_cycle = |flits: u64| {
@@ -962,6 +750,7 @@ impl<'a> Engine<'a> {
                 flits as f64 / (n_nodes * window)
             }
         };
+        let queued: u64 = self.sources.iter().map(|s| s.queue.len() as u64).sum();
         SimReport {
             cycles: self.now,
             measured_cycles,
@@ -979,7 +768,7 @@ impl<'a> Engine<'a> {
             max_queue: self.max_queue,
             sustainable: self.max_queue <= self.cfg.queue_limit,
             steady: self.delivered_flits as f64 >= 0.95 * self.generated_flits as f64,
-            in_flight_at_end: self.active.len() as u64 + self.queued_msgs,
+            in_flight_at_end: self.active.len() as u64 + queued,
             channel_utilization: if self.util.is_empty() {
                 None
             } else {
@@ -996,7 +785,7 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// Run a stochastic (Poisson-workload) simulation.
+/// Reference-engine counterpart of [`crate::run_simulation`].
 pub fn run_simulation(
     net: &NetworkGraph,
     workload: &Workload,
@@ -1005,10 +794,7 @@ pub fn run_simulation(
     Engine::new(net, Traffic::Poisson(workload), cfg.clone()).map(Engine::run)
 }
 
-/// Run a deterministic scripted simulation: the given messages are
-/// injected at fixed times; the run ends when all are delivered (or the
-/// configured horizon is reached). The report's `deliveries` field records
-/// per-message completions in completion order.
+/// Reference-engine counterpart of [`crate::run_scripted`].
 pub fn run_scripted(
     net: &NetworkGraph,
     msgs: &[ScriptedMsg],
@@ -1038,15 +824,7 @@ pub fn run_scripted(
     .map(Engine::run)
 }
 
-/// Run a deterministic simulation of *dependent* messages: entry `i`
-/// becomes available `overhead` cycles after the delivery of its `after`
-/// parent (or at `earliest` for roots). Dependencies must point to
-/// earlier entries, which keeps the graph acyclic. The run ends when
-/// every message is delivered; `deliveries[..].tag` is the entry index.
-///
-/// This is the substrate for *software multicast* (paper §6): a multicast
-/// is a tree of chained unicasts, with `overhead` modelling the software
-/// latency at each relay node.
+/// Reference-engine counterpart of [`crate::run_chained`].
 pub fn run_chained(
     net: &NetworkGraph,
     msgs: &[ChainedMsg],
@@ -1082,6 +860,7 @@ pub fn run_chained(
             msgs: msgs.to_vec(),
             dependents,
             release,
+            enqueued: vec![false; msgs.len()],
             remaining: msgs.len(),
             overhead,
         },

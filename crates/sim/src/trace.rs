@@ -78,7 +78,7 @@ impl TraceEvent {
 }
 
 /// A recorded event log.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Events in chronological order (ties in engine-processing order).
     pub events: Vec<TraceEvent>,

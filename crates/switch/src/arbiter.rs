@@ -38,6 +38,29 @@ impl Arbiter {
         self.kind
     }
 
+    /// Grant among `n` requests that are *all* eligible — the common case
+    /// when the caller has already filtered its request list down to the
+    /// eligible subset (the engine's lane allocator does). Draws the same
+    /// RNG stream and round-robin pointer updates as
+    /// [`Arbiter::pick`] over an all-`true` slice of length `n`, so the
+    /// two entry points are interchangeable without perturbing seeded
+    /// runs; this one just skips materializing the flag slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick_uncontested<R: Rng>(&mut self, n: usize, rng: &mut R) -> usize {
+        assert!(n > 0, "pick_uncontested needs at least one request");
+        match self.kind {
+            ArbiterKind::Random => rng.random_range(0..n),
+            ArbiterKind::RoundRobin => {
+                let i = self.ptr % n;
+                self.ptr = (i + 1) % n;
+                i
+            }
+        }
+    }
+
     /// Grant one of the eligible slots (`eligible[i] == true`), or `None`
     /// if none is eligible. `rng` is only consulted by the random policy.
     pub fn pick<R: Rng>(&mut self, eligible: &[bool], rng: &mut R) -> Option<usize> {
@@ -132,6 +155,32 @@ mod tests {
             let frac = c as f64 / trials as f64;
             assert!((frac - 0.25).abs() < 0.02, "skewed arbiter: {counts:?}");
         }
+    }
+
+    #[test]
+    fn uncontested_matches_all_true_pick() {
+        // The two entry points must consume the same RNG stream and
+        // produce the same grants — the engine relies on this to drop the
+        // flag-slice round-trip without perturbing seeded runs.
+        for kind in [ArbiterKind::Random, ArbiterKind::RoundRobin] {
+            let mut slow = Arbiter::new(kind);
+            let mut fast = Arbiter::new(kind);
+            let mut rng_slow = SmallRng::seed_from_u64(40);
+            let mut rng_fast = SmallRng::seed_from_u64(40);
+            for n in [1usize, 2, 3, 7, 2, 5, 1, 4] {
+                let flags = vec![true; n];
+                let want = slow.pick(&flags, &mut rng_slow).unwrap();
+                let got = fast.pick_uncontested(n, &mut rng_fast);
+                assert_eq!(want, got, "{kind:?} diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn uncontested_rejects_zero() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        Arbiter::new(ArbiterKind::Random).pick_uncontested(0, &mut rng);
     }
 
     #[test]

@@ -223,7 +223,7 @@ mod tests {
             for (i, o) in ops {
                 let _ = x.connect(i, o);
             }
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for o in 0..8u8 {
                 if let Some(i) = x.input_of(o) {
                     prop_assert!(seen.insert(i), "input {i} drives two outputs");

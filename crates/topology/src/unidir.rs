@@ -264,11 +264,9 @@ pub fn unique_path_positions(
     for stage in 0..n {
         let t = kind.tag_digit(g, dst, stage);
         let out_pos = (pos / k) * k + t; // stay in the same switch, pick output t
-        if stage + 1 <= n {
-            let next = kind.connection(g, stage + 1).apply(g, NodeAddr(out_pos)).0;
-            out.push((stage + 1, next));
-            pos = next;
-        }
+        let next = kind.connection(g, stage + 1).apply(g, NodeAddr(out_pos)).0;
+        out.push((stage + 1, next));
+        pos = next;
     }
     out
 }
@@ -364,7 +362,7 @@ mod tests {
         let g = Geometry::new(4, 3);
         for kind in [UnidirKind::Cube, UnidirKind::Butterfly] {
             for src in g.addresses() {
-                let mut finals = std::collections::HashSet::new();
+                let mut finals = std::collections::BTreeSet::new();
                 for dst in g.addresses() {
                     let path = unique_path_positions(&g, kind, src, dst);
                     assert!(finals.insert(path.last().unwrap().1));

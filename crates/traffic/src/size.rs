@@ -71,9 +71,7 @@ impl MessageSizeDist {
                     Ok(())
                 }
             }
-            MessageSizeDist::Fixed(len) if len == 0 => {
-                Err("messages must have at least one flit".into())
-            }
+            MessageSizeDist::Fixed(0) => Err("messages must have at least one flit".into()),
             MessageSizeDist::Fixed(_) => Ok(()),
             MessageSizeDist::Bimodal { short, long, p_short } => {
                 if short == 0 || long == 0 {

@@ -87,7 +87,7 @@ impl Workload {
     /// Reports invalid loads, malformed clusterings, rate/cluster count
     /// mismatches, and permutation indices out of range.
     pub fn compile(g: Geometry, spec: &WorkloadSpec) -> Result<Workload, String> {
-        if !(spec.offered_load > 0.0) || !spec.offered_load.is_finite() {
+        if spec.offered_load <= 0.0 || !spec.offered_load.is_finite() {
             return Err(format!("offered load must be positive, got {}", spec.offered_load));
         }
         spec.pattern.validate()?;

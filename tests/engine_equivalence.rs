@@ -1,0 +1,275 @@
+//! Differential tests: the occupancy-scaled engine against the frozen
+//! scan-everything reference (`minnet_sim::reference`, feature
+//! `reference-engine`).
+//!
+//! The optimized engine's contract is **bit-identical** [`SimReport`]s —
+//! every integer equal, every float equal down to its bit pattern
+//! ([`SimReport::bitwise_eq`]) — for the same seed across all four
+//! network kinds and all three traffic modes. Its active-set
+//! bookkeeping (arrival/release heaps, injectable-source bitset,
+//! occupied-channel sweep) must be pure scheduling: any reordered RNG
+//! draw, dropped request, or skipped ready channel shows up here as a
+//! diverging report.
+
+use minnet::NetworkSpec;
+use minnet_sim::{
+    reference, run_chained, run_scripted, run_simulation, ChainedMsg, EngineConfig, ScriptedMsg,
+    SimReport,
+};
+use minnet_topology::Geometry;
+use minnet_traffic::{Workload, WorkloadSpec};
+
+const SEEDS: [u64; 2] = [0x5EED, 0xD1FF_E7EA];
+
+fn cfg_for(spec: &NetworkSpec, seed: u64) -> EngineConfig {
+    EngineConfig {
+        vcs: spec.vcs(),
+        warmup: 2_000,
+        measure: 8_000,
+        seed,
+        collect_channel_util: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn assert_identical(kind: &str, opt: &SimReport, refr: &SimReport) {
+    assert!(
+        opt.bitwise_eq(refr),
+        "{kind}: optimized and reference reports diverge:\n  optimized: {opt:?}\n  reference: {refr:?}"
+    );
+}
+
+/// Poisson traffic: moderate load, all four §5.3 networks, two seeds.
+#[test]
+fn poisson_reports_are_bit_identical() {
+    let g = Geometry::new(4, 3);
+    for spec in NetworkSpec::paper_lineup() {
+        let net = spec.build(g);
+        let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.35)).unwrap();
+        for seed in SEEDS {
+            let cfg = cfg_for(&spec, seed);
+            let opt = run_simulation(&net, &wl, &cfg).unwrap();
+            let refr = reference::run_simulation(&net, &wl, &cfg).unwrap();
+            assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            assert!(opt.delivered_packets > 0, "{}: nothing simulated", spec.name());
+        }
+    }
+}
+
+/// Deterministic scripts, including event traces and delivery logs.
+fn script(g: Geometry) -> Vec<ScriptedMsg> {
+    let n = g.nodes();
+    let mut msgs = Vec::new();
+    // A staggered all-to-one-neighbour pattern plus some cross traffic;
+    // enough overlap in time to exercise blocking and VC multiplexing.
+    for i in 0..n {
+        msgs.push(ScriptedMsg {
+            time: u64::from(i % 7) * 3,
+            src: i,
+            dst: (i + 1) % n,
+            len: 4 + (i % 5),
+        });
+        if i % 3 == 0 {
+            msgs.push(ScriptedMsg {
+                time: 10 + u64::from(i),
+                src: i,
+                dst: (i + n / 2) % n,
+                len: 16,
+            });
+        }
+    }
+    msgs
+}
+
+#[test]
+fn scripted_reports_are_bit_identical() {
+    let g = Geometry::new(4, 3);
+    for spec in NetworkSpec::paper_lineup() {
+        let net = spec.build(g);
+        for seed in SEEDS {
+            let mut cfg = cfg_for(&spec, seed);
+            cfg.warmup = 0;
+            cfg.measure = 1_000_000;
+            cfg.collect_trace = true;
+            let opt = run_scripted(&net, &script(g), &cfg).unwrap();
+            let refr = reference::run_scripted(&net, &script(g), &cfg).unwrap();
+            assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            assert_eq!(
+                opt.delivered_packets as usize,
+                script(g).len(),
+                "{}: script must drain",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// Chained (dependent) traffic: a binomial multicast tree from node 0
+/// plus independent root messages, with relay overhead.
+fn chain(g: Geometry) -> Vec<ChainedMsg> {
+    let n = g.nodes();
+    let mut msgs: Vec<ChainedMsg> = Vec::new();
+    // Binomial tree: each delivered message forwards to two more nodes.
+    msgs.push(ChainedMsg { src: 0, dst: 1, len: 8, earliest: 0, after: None });
+    msgs.push(ChainedMsg { src: 0, dst: n / 2, len: 8, earliest: 0, after: None });
+    let mut i = 0;
+    while i < msgs.len() && msgs.len() < 16 {
+        let parent = &msgs[i];
+        let relay = parent.dst;
+        let next = (relay * 2 + 3) % n;
+        if next != relay {
+            msgs.push(ChainedMsg {
+                src: relay,
+                dst: next,
+                len: 6,
+                earliest: 5,
+                after: Some(i),
+            });
+        }
+        i += 1;
+    }
+    // Background roots staggered in time.
+    for i in (3..n).step_by(7) {
+        msgs.push(ChainedMsg {
+            src: i,
+            dst: (i + 5) % n,
+            len: 12,
+            earliest: u64::from(i),
+            after: None,
+        });
+    }
+    msgs
+}
+
+#[test]
+fn chained_reports_are_bit_identical() {
+    let g = Geometry::new(4, 3);
+    for spec in NetworkSpec::paper_lineup() {
+        let net = spec.build(g);
+        for seed in SEEDS {
+            let mut cfg = cfg_for(&spec, seed);
+            cfg.warmup = 0;
+            cfg.measure = 1_000_000;
+            cfg.collect_trace = true;
+            let opt = run_chained(&net, &chain(g), 20, &cfg).unwrap();
+            let refr = reference::run_chained(&net, &chain(g), 20, &cfg).unwrap();
+            assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            assert_eq!(
+                opt.delivered_packets as usize,
+                chain(g).len(),
+                "{}: chain must complete",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// The ablation transmit order must agree too — the occupied-channel set
+/// is indexed by order position, whatever the order is.
+#[test]
+fn build_order_transmit_is_bit_identical() {
+    let g = Geometry::new(4, 3);
+    let spec = NetworkSpec::tmin();
+    let net = spec.build(g);
+    let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.4)).unwrap();
+    let mut cfg = cfg_for(&spec, SEEDS[0]);
+    cfg.transmit_order = minnet_sim::TransmitOrder::BuildOrder;
+    let opt = run_simulation(&net, &wl, &cfg).unwrap();
+    let refr = reference::run_simulation(&net, &wl, &cfg).unwrap();
+    assert_identical("TMIN build-order", &opt, &refr);
+}
+
+/// Crossbar validation exercises the engine's release bookkeeping on a
+/// different path; keep it equivalent as well.
+#[test]
+fn crossbar_validated_run_is_bit_identical() {
+    let g = Geometry::new(4, 3);
+    let spec = NetworkSpec::Bmin;
+    let net = spec.build(g);
+    let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.3)).unwrap();
+    let mut cfg = cfg_for(&spec, SEEDS[1]);
+    cfg.validate_crossbars = true;
+    let opt = run_simulation(&net, &wl, &cfg).unwrap();
+    let refr = reference::run_simulation(&net, &wl, &cfg).unwrap();
+    assert_identical("BMIN crossbar-validated", &opt, &refr);
+}
+
+/// A parallel sweep must give byte-for-byte the same curve no matter how
+/// many worker threads carve it up — each point owns a derived seed and
+/// its own engine.
+#[test]
+fn sweep_reports_are_thread_count_invariant() {
+    use minnet::sweep::latency_throughput_curve;
+    use minnet::Experiment;
+    use minnet_traffic::MessageSizeDist;
+
+    let mut exp = Experiment::paper_default(NetworkSpec::tmin());
+    exp.sizes = MessageSizeDist::Fixed(32);
+    exp.sim.warmup = 500;
+    exp.sim.measure = 4_000;
+    let loads = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75];
+    let seq = latency_throughput_curve(&exp, &loads, 1).unwrap();
+    let par = latency_throughput_curve(&exp, &loads, 8).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.offered.to_bits(), b.offered.to_bits());
+        assert!(
+            a.report.bitwise_eq(&b.report),
+            "thread count changed the report at load {}",
+            a.offered
+        );
+    }
+}
+
+/// Regression test for the measurement-accounting fixes: a short scripted
+/// run that drains long before the configured window must normalize its
+/// rates by the cycles actually measured, and count only measured
+/// packets' flits.
+#[test]
+fn early_drain_normalizes_by_elapsed_cycles() {
+    let g = Geometry::new(4, 3);
+    let spec = NetworkSpec::tmin();
+    let net = spec.build(g);
+    let msgs = [
+        ScriptedMsg { time: 0, src: 0, dst: 9, len: 10 },
+        ScriptedMsg { time: 2, src: 5, dst: 20, len: 10 },
+        ScriptedMsg { time: 4, src: 33, dst: 2, len: 10 },
+    ];
+    let mut cfg = EngineConfig {
+        warmup: 0,
+        measure: 1_000_000, // vastly larger than the drain time
+        seed: 7,
+        ..EngineConfig::default()
+    };
+    let r = run_scripted(&net, &msgs, &cfg).unwrap();
+    assert_eq!(r.delivered_packets, 3);
+    assert!(
+        r.cycles < 200,
+        "three short worms must drain quickly, took {} cycles",
+        r.cycles
+    );
+    assert_eq!(r.measured_cycles, r.cycles);
+    // 3 messages × 10 flits over the *elapsed* cycles — dividing by the
+    // configured window would report a rate ~10⁴× too small.
+    let expect = 30.0 / (64.0 * r.measured_cycles as f64);
+    assert!(
+        (r.accepted_flits_per_node_cycle - expect).abs() < 1e-12,
+        "accepted {} vs expected {expect}",
+        r.accepted_flits_per_node_cycle
+    );
+    assert!((r.offered_flits_per_node_cycle - expect).abs() < 1e-12);
+
+    // Warmup asymmetry: a packet generated during warmup contributes
+    // neither to delivered_packets nor to delivered_flits, even though
+    // its flits land inside the window.
+    cfg.warmup = 3; // messages at t=0 and t=2 are warmup traffic
+    cfg.measure = 1_000_000;
+    let r = run_scripted(&net, &msgs, &cfg).unwrap();
+    assert_eq!(r.delivered_packets, 1, "only the t=4 message is measured");
+    let expect = 10.0 / (64.0 * r.measured_cycles as f64);
+    assert!(
+        (r.accepted_flits_per_node_cycle - expect).abs() < 1e-12,
+        "warmup packets' flits must be excluded: accepted {} vs {expect}",
+        r.accepted_flits_per_node_cycle
+    );
+}

@@ -1,0 +1,156 @@
+//! Sweep smoke benchmark: run a fixed micro-sweep through the compiled
+//! pipeline and write machine-readable numbers to `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p minnet-bench --bin sweep_smoke            # ./BENCH_sweep.json
+//! cargo run --release -p minnet-bench --bin sweep_smoke -- out.json
+//! ```
+//!
+//! For each paper-lineup network the binary measures, with wall clocks
+//! around the real API calls:
+//!
+//! * `setup_ms` — one [`Experiment::compile`]: graph + routing table +
+//!   workload template;
+//! * `run_ms` / `cycles_per_sec` — a fixed 6-point replicated micro-sweep
+//!   (3 replications) through [`replicated_curve`], which reuses the
+//!   compiled artifacts and per-worker engine states;
+//! * `one_shot_ms` — the same 18 runs issued as independent
+//!   [`Experiment::run_seeded`] calls, the pre-compilation cost model.
+//!
+//! The JSON is written by hand (no serde in this offline workspace); the
+//! schema is one object per network in `"networks"`, plus a `"meta"`
+//! object recording the sweep shape. CI uploads the file as an artifact,
+//! so regressions in either the compiled path or the setup split leave a
+//! history.
+
+use minnet::sweep::replicated_curve;
+use minnet::{Experiment, NetworkSpec};
+use minnet_traffic::MessageSizeDist;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+const REPLICATIONS: usize = 3;
+const WARMUP: u64 = 500;
+const MEASURE: u64 = 4_000;
+
+fn smoke_experiment(spec: NetworkSpec) -> Experiment {
+    let mut exp = Experiment::paper_default(spec);
+    exp.sizes = MessageSizeDist::Fixed(64);
+    exp.sim.warmup = WARMUP;
+    exp.sim.measure = MEASURE;
+    exp
+}
+
+struct NetResult {
+    name: String,
+    setup_ms: f64,
+    run_ms: f64,
+    one_shot_ms: f64,
+    cycles_per_sec: f64,
+    total_cycles: u64,
+    mean_latency_cycles: f64,
+    latency_ci95_cycles: f64,
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String> {
+    let exp = smoke_experiment(spec);
+
+    let t = Instant::now();
+    let compiled = exp.compile()?;
+    let setup_ms = ms(t);
+    drop(compiled); // replicated_curve compiles internally; timed apart
+
+    let t = Instant::now();
+    let points = replicated_curve(&exp, &LOADS, REPLICATIONS, threads)?;
+    let run_ms = ms(t);
+
+    // The same number of runs issued one-shot — every run re-validates
+    // the spec, rebuilds the graph, recompiles the workload, and
+    // allocates fresh engine state, which is exactly what each sweep
+    // point cost before the compiled pipeline.
+    let t = Instant::now();
+    for (i, &load) in LOADS.iter().enumerate() {
+        for r in 0..REPLICATIONS {
+            exp.run_seeded(load, (i * REPLICATIONS + r) as u64 + 1)?;
+        }
+    }
+    let one_shot_ms = ms(t);
+
+    let total_cycles: u64 = points
+        .iter()
+        .flat_map(|p| p.replications.iter().map(|r| r.cycles))
+        .sum();
+    let knee = points.last().expect("sweep is nonempty");
+    Ok(NetResult {
+        name: spec.name(),
+        setup_ms,
+        run_ms,
+        one_shot_ms,
+        cycles_per_sec: total_cycles as f64 / (run_ms / 1e3),
+        total_cycles,
+        mean_latency_cycles: knee.mean_latency_cycles,
+        latency_ci95_cycles: knee.latency_ci95_cycles,
+    })
+}
+
+fn main() -> Result<(), String> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let mut results = Vec::new();
+    for spec in NetworkSpec::paper_lineup() {
+        let r = bench_network(spec, threads)?;
+        println!(
+            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s) | one-shot {:8.2} ms",
+            r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.one_shot_ms
+        );
+        results.push(r);
+    }
+
+    let mut json = String::from("{\n  \"meta\": {\n");
+    let _ = writeln!(json, "    \"loads\": {LOADS:?},");
+    let _ = writeln!(json, "    \"replications\": {REPLICATIONS},");
+    let _ = writeln!(json, "    \"warmup\": {WARMUP},");
+    let _ = writeln!(json, "    \"measure\": {MEASURE},");
+    let _ = writeln!(json, "    \"threads\": {threads}");
+    json.push_str("  },\n  \"networks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"setup_ms\": {:.3},", r.setup_ms);
+        let _ = writeln!(json, "      \"run_ms\": {:.3},", r.run_ms);
+        let _ = writeln!(json, "      \"one_shot_ms\": {:.3},", r.one_shot_ms);
+        let _ = writeln!(json, "      \"cycles_per_sec\": {:.1},", r.cycles_per_sec);
+        let _ = writeln!(json, "      \"total_cycles\": {},", r.total_cycles);
+        let _ = writeln!(
+            json,
+            "      \"mean_latency_cycles\": {:.6},",
+            r.mean_latency_cycles
+        );
+        let _ = writeln!(
+            json,
+            "      \"latency_ci95_cycles\": {:.6}",
+            r.latency_ci95_cycles
+        );
+        json.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -46,9 +46,12 @@ pub mod spec;
 pub mod sweep;
 pub mod table;
 
-pub use experiment::Experiment;
+pub use experiment::{CompiledExperiment, Experiment};
 pub use spec::NetworkSpec;
-pub use sweep::{find_saturation, latency_throughput_curve, saturation_load, SweepPoint};
+pub use sweep::{
+    compiled_curve, find_saturation, latency_throughput_curve, replicated_curve, saturation_load,
+    ReplicatedPoint, SweepPoint,
+};
 pub use table::{curve_csv, curve_table};
 
 // Re-export the layer crates under stable names.

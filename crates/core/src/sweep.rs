@@ -1,14 +1,27 @@
 //! Load sweeps: the latency–throughput curves behind every §5 figure.
 //!
 //! Individual simulation runs are sequential discrete-time programs, but a
-//! sweep's load points are independent — the natural parallel axis. The
-//! sweep fans the points out over a scoped thread pool that claims work
-//! from a shared atomic cursor; each worker writes into its point's
-//! pre-sized slot, so the output order (and, thanks to per-point seeds,
-//! the numbers themselves) is independent of the thread count.
+//! sweep's load points (and a replicated design's `(point, replication)`
+//! pairs) are independent — the natural parallel axis. Every sweep here:
+//!
+//! * compiles its experiment **once** ([`CompiledExperiment`]: network
+//!   graph, routing table, transmit order, workload template) and shares
+//!   the immutable artifacts across workers;
+//! * fans tasks out over a scoped thread pool claiming work from a shared
+//!   atomic cursor, each worker reusing **its own**
+//!   [`EngineState`](minnet_sim::EngineState) allocation run after run;
+//! * writes into pre-sized per-task slots, so the output order (and,
+//!   thanks to per-task seeds, the numbers themselves) is independent of
+//!   the thread count.
+//!
+//! Seeds are per-task SplitMix64 mixes of the experiment's base seed, so
+//! curves are deterministic, decorrelated across points, and — because the
+//! compiled path is bit-identical to [`Experiment::run_seeded`] — exactly
+//! the numbers the original per-run sweep produced.
 
-use crate::experiment::Experiment;
-use minnet_sim::SimReport;
+use crate::experiment::{CompiledExperiment, Experiment};
+use minnet_sim::stats::Welford;
+use minnet_sim::{EngineState, SimReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -29,6 +42,48 @@ fn mix(seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Run `total` independent tasks on `threads` scoped workers, each worker
+/// owning one reusable [`EngineState`]. `run(task, state)` fills slot
+/// `task`; results come back in task order. The shared cursor hands tasks
+/// out first-come-first-served, but per-task seeding makes the *values*
+/// schedule-independent.
+fn run_tasks(
+    total: usize,
+    threads: usize,
+    run: impl Fn(usize, &mut EngineState) -> Result<SimReport, String> + Sync,
+) -> Result<Vec<SimReport>, String> {
+    let threads = threads.max(1).min(total.max(1));
+    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || {
+                let mut st = EngineState::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let res = run(i, &mut st);
+                    *slots[i].lock().expect("sweep worker panicked") = Some(res);
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(total);
+    for slot in slots {
+        let slot = slot.into_inner().expect("sweep worker panicked");
+        out.push(slot.expect("every slot is filled")?);
+    }
+    Ok(out)
+}
+
 /// Evaluate the experiment at every load in `loads`, in parallel on
 /// `threads` workers (1 = sequential). Results come back in `loads`
 /// order; numbers are identical for any thread count.
@@ -37,34 +92,105 @@ pub fn latency_throughput_curve(
     loads: &[f64],
     threads: usize,
 ) -> Result<Vec<SweepPoint>, String> {
-    let threads = threads.max(1).min(loads.len().max(1));
-    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
-        loads.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
+    if loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    compiled_curve(&compiled, loads, threads)
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let slots = &slots;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= loads.len() {
-                    break;
-                }
-                let seed = mix(exp.sim.seed, i as u64 + 1);
-                let res = exp.run_seeded(loads[i], seed);
-                *slots[i].lock().expect("sweep worker panicked") = Some(res);
-            });
-        }
-    });
+/// [`latency_throughput_curve`] against an already-compiled experiment —
+/// chain several sweeps without paying compilation again.
+pub fn compiled_curve(
+    compiled: &CompiledExperiment,
+    loads: &[f64],
+    threads: usize,
+) -> Result<Vec<SweepPoint>, String> {
+    let base = compiled.base_seed();
+    let reports = run_tasks(loads.len(), threads, |i, st| {
+        compiled.run_with(loads[i], mix(base, i as u64 + 1), st)
+    })?;
+    Ok(loads
+        .iter()
+        .zip(reports)
+        .map(|(&offered, report)| SweepPoint { offered, report })
+        .collect())
+}
+
+/// One load point of a replicated sweep: `R` independent runs (one seed
+/// each) aggregated into across-replication means and 95% confidence
+/// half-widths. Unlike the within-run batch-means interval — which must
+/// fight autocorrelation — replication means are independent samples, so
+/// the plain normal-approximation interval (`1.96·s/√R`) applies.
+#[derive(Clone, Debug)]
+pub struct ReplicatedPoint {
+    /// Nominal offered load (flits/cycle/node).
+    pub offered: f64,
+    /// Per-replication reports, in replication order.
+    pub replications: Vec<SimReport>,
+    /// Mean over replications of the mean message latency (cycles).
+    pub mean_latency_cycles: f64,
+    /// 95% half-width of the latency mean across replications.
+    pub latency_ci95_cycles: f64,
+    /// Mean over replications of accepted throughput (flits/node/cycle).
+    pub accepted_flits_per_node_cycle: f64,
+    /// 95% half-width of accepted throughput across replications.
+    pub accepted_ci95: f64,
+    /// Whether *every* replication was sustainable (§5 queue criterion).
+    pub sustainable: bool,
+    /// Whether *every* replication kept delivery pace with generation.
+    pub steady: bool,
+}
+
+/// Evaluate every load in `loads` with `replications` independent seeded
+/// runs each, parallel over the whole `(point, replication)` grid on
+/// `threads` workers. Task `(i, r)` uses seed `mix(base, i·R + r + 1)` —
+/// for `R = 1` exactly the seeds (and hence bit-exactly the reports) of
+/// [`latency_throughput_curve`].
+///
+/// # Errors
+///
+/// Reports a zero replication count, invalid experiments, and invalid
+/// loads.
+pub fn replicated_curve(
+    exp: &Experiment,
+    loads: &[f64],
+    replications: usize,
+    threads: usize,
+) -> Result<Vec<ReplicatedPoint>, String> {
+    if replications == 0 {
+        return Err("replicated sweep needs at least one replication".into());
+    }
+    if loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
+    let total = loads.len() * replications;
+    let reports = run_tasks(total, threads, |t, st| {
+        let (i, _r) = (t / replications, t % replications);
+        compiled.run_with(loads[i], mix(base, t as u64 + 1), st)
+    })?;
 
     let mut out = Vec::with_capacity(loads.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        let slot = slot.into_inner().expect("sweep worker panicked");
-        let report = slot.expect("every slot is filled")?;
-        out.push(SweepPoint {
-            offered: loads[i],
-            report,
+    let mut reports = reports.into_iter();
+    for &offered in loads {
+        let reps: Vec<SimReport> = reports.by_ref().take(replications).collect();
+        let mut lat = Welford::new();
+        let mut acc = Welford::new();
+        for r in &reps {
+            lat.push(r.mean_latency_cycles);
+            acc.push(r.accepted_flits_per_node_cycle);
+        }
+        out.push(ReplicatedPoint {
+            offered,
+            mean_latency_cycles: lat.mean(),
+            latency_ci95_cycles: lat.ci95_half_width(),
+            accepted_flits_per_node_cycle: acc.mean(),
+            accepted_ci95: acc.ci95_half_width(),
+            sustainable: reps.iter().all(|r| r.sustainable),
+            steady: reps.iter().all(|r| r.steady),
+            replications: reps,
         });
     }
     Ok(out)
@@ -74,7 +200,8 @@ pub fn latency_throughput_curve(
 /// in `[lo, hi]` that remains sustainable, refined over `iters` halvings.
 /// Returns the boundary load and its report, or `None` when even `lo`
 /// saturates. Each probe uses a seed derived from the iteration, so the
-/// search is deterministic.
+/// search is deterministic. The experiment is compiled once; the probes
+/// reuse this thread's pooled engine state.
 pub fn find_saturation(
     exp: &Experiment,
     lo: f64,
@@ -82,10 +209,12 @@ pub fn find_saturation(
     iters: u32,
 ) -> Result<Option<SweepPoint>, String> {
     assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
     let mut lo = lo;
     let mut hi = hi;
     // Establish the bracket.
-    let first = exp.run_seeded(lo, mix(exp.sim.seed, 0xB15EC7))?;
+    let first = compiled.run_seeded(lo, mix(base, 0xB15EC7))?;
     if !(first.sustainable && first.steady) {
         return Ok(None);
     }
@@ -95,7 +224,7 @@ pub fn find_saturation(
     });
     for i in 0..iters {
         let mid = 0.5 * (lo + hi);
-        let report = exp.run_seeded(mid, mix(exp.sim.seed, 0xB15EC7 + 1 + i as u64))?;
+        let report = compiled.run_seeded(mid, mix(base, 0xB15EC7 + 1 + u64::from(i)))?;
         if report.sustainable && report.steady {
             best = Some(SweepPoint {
                 offered: mid,
@@ -146,8 +275,22 @@ mod tests {
         let par = latency_throughput_curve(&exp, &loads, 3).unwrap();
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.offered, b.offered);
-            assert_eq!(a.report.mean_latency_cycles, b.report.mean_latency_cycles);
-            assert_eq!(a.report.delivered_packets, b.report.delivered_packets);
+            assert!(a.report.bitwise_eq(&b.report));
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_run_path_bitwise() {
+        // The compiled sweep must reproduce exactly what per-point
+        // `Experiment::run_seeded` calls produced before the rewrite.
+        let exp = quick();
+        let loads = [0.15, 0.45];
+        let pts = latency_throughput_curve(&exp, &loads, 2).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            let direct = exp
+                .run_seeded(loads[i], mix(exp.sim.seed, i as u64 + 1))
+                .unwrap();
+            assert!(p.report.bitwise_eq(&direct), "point {i} diverged");
         }
     }
 
@@ -174,6 +317,7 @@ mod tests {
     fn empty_sweep() {
         let exp = quick();
         assert!(latency_throughput_curve(&exp, &[], 4).unwrap().is_empty());
+        assert!(replicated_curve(&exp, &[], 3, 4).unwrap().is_empty());
         assert!(saturation_load(&[]).is_none());
     }
 
@@ -195,5 +339,73 @@ mod tests {
         let mut exp = quick();
         exp.sim.queue_limit = 0; // nothing is sustainable
         assert!(find_saturation(&exp, 0.3, 0.9, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn replicated_curve_aggregates_independent_seeds() {
+        let mut exp = quick();
+        // A window long enough that the end-of-run transient cannot push
+        // a replication below the 95% steady criterion at these loads.
+        exp.sim.measure = 12_000;
+        let pts = replicated_curve(&exp, &[0.15, 0.35], 4, 3).unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.replications.len(), 4);
+            // Different seeds must actually differ …
+            let first = p.replications[0].mean_latency_cycles;
+            assert!(
+                p.replications
+                    .iter()
+                    .any(|r| r.mean_latency_cycles != first),
+                "replications collapsed to one seed"
+            );
+            // … and the aggregate lies inside the replication range.
+            let lo = p
+                .replications
+                .iter()
+                .map(|r| r.mean_latency_cycles)
+                .fold(f64::INFINITY, f64::min);
+            let hi = p
+                .replications
+                .iter()
+                .map(|r| r.mean_latency_cycles)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(p.mean_latency_cycles >= lo && p.mean_latency_cycles <= hi);
+            assert!(p.latency_ci95_cycles > 0.0);
+            assert!(p.accepted_ci95 >= 0.0);
+            assert!(p.sustainable && p.steady);
+        }
+        // More load, more latency — also through the aggregate.
+        assert!(pts[1].mean_latency_cycles > pts[0].mean_latency_cycles);
+    }
+
+    #[test]
+    fn replicated_curve_is_thread_count_invariant() {
+        let exp = quick();
+        let a = replicated_curve(&exp, &[0.3], 3, 1).unwrap();
+        let b = replicated_curve(&exp, &[0.3], 3, 4).unwrap();
+        for (x, y) in a[0].replications.iter().zip(&b[0].replications) {
+            assert!(x.bitwise_eq(y));
+        }
+        assert_eq!(a[0].latency_ci95_cycles.to_bits(), b[0].latency_ci95_cycles.to_bits());
+    }
+
+    #[test]
+    fn single_replication_matches_plain_curve() {
+        // R = 1 uses the same task seeds as the plain sweep, so the
+        // reports must be bit-identical.
+        let exp = quick();
+        let loads = [0.2, 0.4];
+        let plain = latency_throughput_curve(&exp, &loads, 2).unwrap();
+        let reps = replicated_curve(&exp, &loads, 1, 2).unwrap();
+        for (p, r) in plain.iter().zip(&reps) {
+            assert!(p.report.bitwise_eq(&r.replications[0]));
+            assert_eq!(r.latency_ci95_cycles, 0.0); // one sample, no CI
+        }
+    }
+
+    #[test]
+    fn replicated_curve_rejects_zero_replications() {
+        assert!(replicated_curve(&quick(), &[0.2], 0, 1).is_err());
     }
 }

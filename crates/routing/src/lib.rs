@@ -17,9 +17,11 @@
 pub mod deadlock;
 pub mod logic;
 pub mod paths;
+pub mod table;
 pub mod turnaround;
 
 pub use deadlock::{dependency_graph, find_cycle, DependencyRule};
 pub use logic::RouteLogic;
+pub use table::RouteTable;
 pub use paths::{enumerate_paths, paths_share_channel, shortest_path_count, shortest_path_length};
 pub use turnaround::{turnaround_action, TurnaroundAction};

@@ -1,0 +1,226 @@
+//! Precomputed routing tables: [`RouteLogic`] flattened into a lookup.
+//!
+//! The paper's networks are *self-routing*: a header's legal next channels
+//! depend only on where it is (the channel it arrived over) and where it
+//! is going (the destination tag / turnaround digits) — never on the rest
+//! of the path. That makes the whole routing function a finite table over
+//! `(arrival channel, destination node)`, which [`RouteTable::build`]
+//! precomputes once per network so the simulation engine's per-hop routing
+//! is a slice lookup instead of re-deriving tag digits or turnaround
+//! actions.
+//!
+//! The table is built by *walking* [`RouteLogic`] over every reachable
+//! `(channel, destination)` state — a breadth-first traversal from every
+//! source's injection channel, for every destination — rather than by
+//! re-implementing the routing rules. Whatever the logic answers is what
+//! the table stores, so the two cannot disagree on a reachable pair; the
+//! build errors out if two different sources ever induce different
+//! candidate sets at the same cell (self-routing would be violated).
+//! Unreachable cells stay empty and are never queried by the engine.
+
+use crate::logic::RouteLogic;
+use minnet_topology::{ChannelId, NetworkGraph, NodeId};
+
+/// Flattened routing function of one network: for every reachable
+/// `(arrival channel, destination)` pair, the candidate output channels in
+/// exactly the order [`RouteLogic::candidates`] produces them.
+///
+/// Storage is CSR-style: `starts` has one `(offset)` entry per cell plus a
+/// terminator, indexing into the shared `cands` pool. For the paper's
+/// 64-node networks the whole table is a few tens of kilobytes and is
+/// immutable after construction — share it freely across sweep threads.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    nodes: u32,
+    starts: Vec<u32>,
+    cands: Vec<ChannelId>,
+}
+
+impl RouteTable {
+    /// Precompute the routing table for `net` by exhaustively walking
+    /// [`RouteLogic::for_kind`] from every injection channel to every
+    /// destination.
+    ///
+    /// # Errors
+    ///
+    /// Reports a routing inconsistency (two sources disagreeing about the
+    /// candidates of the same `(channel, destination)` cell) — impossible
+    /// for the self-routing networks this crate models, but checked so a
+    /// future routing function that violates the assumption fails loudly
+    /// at build time instead of silently mis-simulating.
+    pub fn build(net: &NetworkGraph) -> Result<RouteTable, String> {
+        let logic = RouteLogic::for_kind(net.kind);
+        let nodes = net.geometry.nodes();
+        let nch = net.num_channels();
+        let ncells = nch * nodes as usize;
+
+        // Per-cell candidate lists, filled lazily as the walks reach them.
+        let mut cells: Vec<Option<Vec<ChannelId>>> = vec![None; ncells];
+        // Visited stamp per channel, regenerated per (src, dst) walk.
+        let mut stamp = vec![u32::MAX; nch];
+        let mut frontier: Vec<ChannelId> = Vec::new();
+        let mut scratch: Vec<ChannelId> = Vec::new();
+
+        let mut generation = 0u32;
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    continue;
+                }
+                frontier.clear();
+                frontier.push(net.inject[src as usize]);
+                stamp[net.inject[src as usize] as usize] = generation;
+                while let Some(at) = frontier.pop() {
+                    let cell = at as usize * nodes as usize + dst as usize;
+                    match &cells[cell] {
+                        Some(prev) => {
+                            // Already filled by an earlier source: the
+                            // candidates must agree (self-routing), and the
+                            // subtree below was already expanded then.
+                            logic.candidates(net, src, dst, at, &mut scratch);
+                            if *prev != scratch {
+                                return Err(format!(
+                                    "routing is not self-routing: channel {at} → node {dst} \
+                                     yields {prev:?} from one source but {scratch:?} from {src}"
+                                ));
+                            }
+                            continue;
+                        }
+                        None => {
+                            logic.candidates(net, src, dst, at, &mut scratch);
+                            for &c in &scratch {
+                                if stamp[c as usize] != generation {
+                                    stamp[c as usize] = generation;
+                                    frontier.push(c);
+                                }
+                            }
+                            cells[cell] = Some(scratch.clone());
+                        }
+                    }
+                }
+                generation = generation.wrapping_add(1);
+            }
+        }
+
+        // Flatten to CSR.
+        let mut starts = Vec::with_capacity(ncells + 1);
+        let total: usize = cells.iter().flatten().map(Vec::len).sum();
+        let mut cands = Vec::with_capacity(total);
+        for cell in &cells {
+            starts.push(cands.len() as u32);
+            if let Some(cs) = cell {
+                cands.extend_from_slice(cs);
+            }
+        }
+        starts.push(cands.len() as u32);
+        Ok(RouteTable {
+            nodes,
+            starts,
+            cands,
+        })
+    }
+
+    /// The output channels a header arriving over `at` may request next on
+    /// its way to `dst` — identical (contents *and* order) to what
+    /// [`RouteLogic::candidates`] computes. Empty when `at` terminates at
+    /// the destination node, and for `(at, dst)` pairs no legal route ever
+    /// reaches.
+    #[inline]
+    pub fn candidates(&self, at: ChannelId, dst: NodeId) -> &[ChannelId] {
+        let cell = at as usize * self.nodes as usize + dst as usize;
+        let lo = self.starts[cell] as usize;
+        let hi = self.starts[cell + 1] as usize;
+        &self.cands[lo..hi]
+    }
+
+    /// Number of destination nodes the table was built for.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Total stored candidate entries (a size/health metric for benches).
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Whether the table stores no candidates at all (degenerate network).
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnet_topology::{build_bmin, build_unidir, Geometry, UnidirKind};
+
+    fn nets() -> Vec<NetworkGraph> {
+        let g = Geometry::new(4, 3);
+        vec![
+            build_unidir(g, UnidirKind::Cube, 1),
+            build_unidir(g, UnidirKind::Cube, 2),
+            build_unidir(g, UnidirKind::Butterfly, 1),
+            build_bmin(g),
+        ]
+    }
+
+    /// Walk every (src, dst) route with RouteLogic and check the table
+    /// answers identically at every reachable channel.
+    #[test]
+    fn table_matches_logic_on_every_reachable_pair() {
+        for net in nets() {
+            let logic = RouteLogic::for_kind(net.kind);
+            let table = RouteTable::build(&net).unwrap();
+            let mut expect = Vec::new();
+            let mut frontier = Vec::new();
+            for src in 0..net.geometry.nodes() {
+                for dst in 0..net.geometry.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    frontier.clear();
+                    frontier.push(net.inject[src as usize]);
+                    let mut seen = vec![false; net.num_channels()];
+                    seen[net.inject[src as usize] as usize] = true;
+                    while let Some(at) = frontier.pop() {
+                        logic.candidates(&net, src, dst, at, &mut expect);
+                        assert_eq!(
+                            table.candidates(at, dst),
+                            &expect[..],
+                            "channel {at} → {dst}"
+                        );
+                        for &c in &expect {
+                            if !seen[c as usize] {
+                                seen[c as usize] = true;
+                                frontier.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ejection_cells_are_empty() {
+        for net in nets() {
+            let table = RouteTable::build(&net).unwrap();
+            for dst in 0..net.geometry.nodes() {
+                assert!(table.candidates(net.eject[dst as usize], dst).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_compact() {
+        let g = Geometry::new(4, 3);
+        let net = build_unidir(g, UnidirKind::Cube, 1);
+        let table = RouteTable::build(&net).unwrap();
+        // Every non-final channel × destination cell holds exactly one
+        // candidate in a TMIN (one output port, one lane), and the walk
+        // reaches n stages' worth of cells per pair.
+        assert!(!table.is_empty());
+        assert_eq!(table.nodes(), 64);
+        assert!(table.len() < net.num_channels() * 64);
+    }
+}

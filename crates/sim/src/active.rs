@@ -34,6 +34,14 @@ impl DenseBitSet {
         }
     }
 
+    /// Empty the set and re-dimension it for indices `0..capacity`,
+    /// keeping the word allocation when it suffices (the engine-state
+    /// pool resets in place between runs).
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+    }
+
     /// Insert `i`. Idempotent.
     #[inline]
     pub fn set(&mut self, i: u32) {

@@ -15,11 +15,11 @@
 //!    FCFS queue.
 //! 2. **Routing & allocation** — every header flit sitting in the buffer at
 //!    a switch input computes its candidate output channels
-//!    ([`RouteLogic`]) and tries to claim a free lane; queued messages try
-//!    to claim the injection channel (one packet per source at a time —
-//!    the one-port architecture transmits packets in sequence). Requests
-//!    are served in random order; lane choice among free candidates is
-//!    random (the paper's policy).
+//!    ([`RouteLogic`] or a precompiled [`RouteTable`]) and tries to claim a
+//!    free lane; queued messages try to claim the injection channel (one
+//!    packet per source at a time — the one-port architecture transmits
+//!    packets in sequence). Requests are served in random order; lane
+//!    choice among free candidates is random (the paper's policy).
 //! 3. **Transmission** — every physical channel forwards at most one flit,
 //!    chosen among its ready lanes by the VC multiplexer. Channels are
 //!    processed downstream-first (reverse topological order), so an
@@ -32,6 +32,26 @@
 //! the tail flit leaves a lane's buffer the lane is released. Ownership
 //! plus the acyclic channel-dependency graph (`minnet-routing`) make the
 //! simulation deadlock-free by construction.
+//!
+//! # Compile-once / run-many split
+//!
+//! Everything about a run that depends only on the *network and engine
+//! configuration* — the transmit order and its inverse, the
+//! ejection-channel mask, and the per-`(channel, destination)` routing
+//! table — lives in an immutable [`CompiledNet`], built once and shared
+//! (`Arc`-held network) across however many runs and threads a sweep
+//! needs. Everything that changes over a run — lanes, queues, heaps,
+//! statistics, the RNG — lives in a reusable [`EngineState`], whose
+//! `reset(seed)` path restores the exact fresh-construction state while
+//! keeping every allocation. One run = `CompiledNet` × `EngineState` ×
+//! a traffic source ([`minnet_traffic::Workload`], [`Script`], [`Chain`]).
+//!
+//! The original free functions ([`run_simulation`], [`run_scripted`],
+//! [`run_chained`]) remain as one-shot wrappers; they skip the routing
+//! table (routing dynamically through [`RouteLogic`], as before) so a
+//! single run pays no table-build cost. The differential tests pin both
+//! paths to bit-identical reports, so the table is exercised as a
+//! first-class equal of the closed-form logic.
 //!
 //! # Occupancy-scaled scheduling
 //!
@@ -65,10 +85,14 @@
 //! # Determinism contract
 //!
 //! Same seed + same build ⇒ bit-identical [`SimReport`], regardless of
-//! how many sweep threads call the engine (each run owns its RNG). The
-//! active sets are pure bookkeeping: every request list, arbiter call and
-//! RNG draw happens in exactly the order the scan-everything reference
-//! engine (`reference` module, feature `reference-engine`) produces, which
+//! how many sweep threads call the engine (each run owns its RNG), of
+//! whether routing goes through [`RouteLogic`] or a [`RouteTable`] (the
+//! table stores the logic's answers verbatim), and of whether the state
+//! is freshly allocated or reused through `reset` (reset restores every
+//! observable field the fresh constructor produces). The active sets are
+//! pure bookkeeping: every request list, arbiter call and RNG draw
+//! happens in exactly the order the scan-everything reference engine
+//! (`reference` module, feature `reference-engine`) produces, which
 //! `tests/engine_equivalence.rs` enforces report-for-report with
 //! [`SimReport::bitwise_eq`]. The load-bearing orderings are: bitset
 //! iteration is ascending (= the reference's node scan); every heap entry
@@ -94,14 +118,16 @@ use crate::active::DenseBitSet;
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
-use minnet_routing::RouteLogic;
-use minnet_switch::{Arbiter, Crossbar, FlitFifo, FlitRef, VcMux};
-use minnet_topology::{ChannelId, Endpoint, NetworkGraph, Side};
+use minnet_routing::{RouteLogic, RouteTable};
+use minnet_switch::{Arbiter, ArbiterKind, Crossbar, FlitFifo, FlitRef, VcMux};
+use minnet_topology::{ChannelId, Endpoint, Geometry, NetworkGraph, Side};
 use minnet_traffic::Workload;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 const NONE: u32 = u32::MAX;
 
@@ -196,44 +222,355 @@ pub struct ChainedMsg {
     pub after: Option<usize>,
 }
 
+/// A validated, time-sorted scripted workload, reusable across runs.
+///
+/// [`run_scripted`] used to re-sort and re-validate (and clone) its
+/// message slice on every invocation; compiling the script once moves
+/// that cost out of the run-many loop. The script pins the geometry it
+/// was validated against so it cannot silently be replayed on a network
+/// with fewer nodes.
+#[derive(Clone, Debug)]
+pub struct Script {
+    geometry: Geometry,
+    msgs: Vec<ScriptedMsg>,
+}
+
+impl Script {
+    /// Validate and time-sort `msgs` for networks of geometry `g`.
+    ///
+    /// # Errors
+    ///
+    /// Reports self-sends, out-of-range nodes, and zero-length messages.
+    pub fn compile(g: Geometry, msgs: &[ScriptedMsg]) -> Result<Script, String> {
+        let mut sorted: Vec<ScriptedMsg> = msgs.to_vec();
+        sorted.sort_by_key(|m| m.time);
+        for m in &sorted {
+            if m.src == m.dst {
+                return Err(format!("scripted message {m:?} sends to itself"));
+            }
+            if m.src >= g.nodes() || m.dst >= g.nodes() {
+                return Err(format!("scripted message {m:?} addresses a missing node"));
+            }
+            if m.len == 0 {
+                return Err(format!("scripted message {m:?} has no flits"));
+            }
+        }
+        Ok(Script {
+            geometry: g,
+            msgs: sorted,
+        })
+    }
+
+    /// The messages, sorted by injection time.
+    pub fn msgs(&self) -> &[ScriptedMsg] {
+        &self.msgs
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A validated chained (dependent-message) workload with its dependency
+/// fan-out and root release times precomputed — the reusable counterpart
+/// of what [`run_chained`] used to rebuild per invocation.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    geometry: Geometry,
+    msgs: Vec<ChainedMsg>,
+    /// `dependents[i]` lists the messages released by `i`'s delivery.
+    dependents: Vec<Vec<u32>>,
+    /// Initial release times: roots at their `earliest`, dependents
+    /// `None` until their parent delivers.
+    roots: Vec<Option<u64>>,
+    /// Software overhead at the relay: cycles between receiving the
+    /// parent message and making the dependent available.
+    overhead: u64,
+}
+
+impl Chain {
+    /// Validate `msgs` (parents must precede children) and precompute the
+    /// dependency fan-out for networks of geometry `g`.
+    ///
+    /// # Errors
+    ///
+    /// Reports self-sends, out-of-range nodes, zero-length messages, and
+    /// forward dependency references.
+    pub fn compile(g: Geometry, msgs: &[ChainedMsg], overhead: u64) -> Result<Chain, String> {
+        let mut dependents = vec![Vec::new(); msgs.len()];
+        let mut roots = vec![None; msgs.len()];
+        for (i, m) in msgs.iter().enumerate() {
+            if m.src == m.dst {
+                return Err(format!("chained message {i} sends to itself"));
+            }
+            if m.src >= g.nodes() || m.dst >= g.nodes() {
+                return Err(format!("chained message {i} addresses a missing node"));
+            }
+            if m.len == 0 {
+                return Err(format!("chained message {i} has no flits"));
+            }
+            match m.after {
+                None => roots[i] = Some(m.earliest),
+                Some(parent) if parent < i => dependents[parent].push(i as u32),
+                Some(parent) => {
+                    return Err(format!(
+                        "chained message {i} depends on later entry {parent}; \
+                         order messages so parents precede children"
+                    ));
+                }
+            }
+        }
+        Ok(Chain {
+            geometry: g,
+            msgs: msgs.to_vec(),
+            dependents,
+            roots,
+            overhead,
+        })
+    }
+
+    /// The chained messages, in entry order.
+    pub fn msgs(&self) -> &[ChainedMsg] {
+        &self.msgs
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
 enum Traffic<'a> {
     Poisson(&'a Workload),
     Scripted {
-        msgs: Vec<ScriptedMsg>,
+        msgs: &'a [ScriptedMsg],
         next: usize,
     },
     Chained {
-        msgs: Vec<ChainedMsg>,
+        msgs: &'a [ChainedMsg],
         /// `dependents[i]` lists the messages released by `i`'s delivery.
-        dependents: Vec<Vec<u32>>,
+        dependents: &'a [Vec<u32>],
         /// Release time per message (None = dependency not yet met).
         /// The release *heap* on the engine drives scheduling; this array
         /// only backs the double-release assertion.
         release: Vec<Option<u64>>,
         /// Messages not yet delivered.
         remaining: usize,
-        /// Software overhead at the relay: cycles between receiving the
-        /// parent message and making the dependent available.
+        /// Software overhead at the relay (see [`Chain`]).
         overhead: u64,
     },
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 enum Req {
     Inject(u32),
     Advance(u32),
 }
 
-struct Engine<'a> {
-    net: &'a NetworkGraph,
+/// How the engine answers "where may this header go next".
+#[derive(Clone, Copy)]
+enum Router<'a> {
+    /// Precomputed per-(channel, destination) lookup (compiled pipeline).
+    Table(&'a RouteTable),
+    /// Closed-form routing recomputed per hop (one-shot wrappers).
+    Logic(RouteLogic),
+}
+
+/// The network- and config-derived constants of a run: transmit order,
+/// its inverse, the ejection mask, and the precomputed routing table —
+/// built **once**, immutable, and shared across every run (and thread)
+/// of a sweep.
+///
+/// A `CompiledNet` plus a (resettable) [`EngineState`] plus a traffic
+/// source is one simulation run; see the module header's
+/// compile-once / run-many notes. The per-run `seed` argument overrides
+/// `config.seed`, so one compiled network serves a whole replicated
+/// sweep.
+#[derive(Clone, Debug)]
+pub struct CompiledNet {
+    net: Arc<NetworkGraph>,
     cfg: EngineConfig,
-    logic: RouteLogic,
-    traffic: Traffic<'a>,
-    vcs: usize,
+    routes: RouteTable,
+    order: Vec<ChannelId>,
+    order_pos: Vec<u32>,
+    dst_is_node: Vec<bool>,
+}
+
+/// Transmit order, inverse positions, and ejection mask for `net` under
+/// `cfg` — the non-table part of compilation, also used by the one-shot
+/// wrappers.
+fn order_parts(
+    net: &NetworkGraph,
+    cfg: &EngineConfig,
+) -> (Vec<ChannelId>, Vec<u32>, Vec<bool>) {
+    let nch = net.num_channels();
+    let order = match cfg.transmit_order {
+        TransmitOrder::ReverseTopo => net.transmit_order(),
+        TransmitOrder::BuildOrder => (0..nch as u32).collect(),
+    };
+    let mut order_pos = vec![0u32; nch];
+    for (pos, &ch) in order.iter().enumerate() {
+        order_pos[ch as usize] = pos as u32;
+    }
+    let dst_is_node = net
+        .channels
+        .iter()
+        .map(|c| matches!(c.dst, Endpoint::Node(_)))
+        .collect();
+    (order, order_pos, dst_is_node)
+}
+
+impl CompiledNet {
+    /// Compile `net` under `cfg`: validate the configuration, fix the
+    /// transmit order, and build the routing table.
+    ///
+    /// # Errors
+    ///
+    /// Reports invalid configurations and routing-table inconsistencies.
+    pub fn new(net: Arc<NetworkGraph>, cfg: EngineConfig) -> Result<CompiledNet, String> {
+        cfg.validate()?;
+        let routes = RouteTable::build(&net)?;
+        let (order, order_pos, dst_is_node) = order_parts(&net, &cfg);
+        Ok(CompiledNet {
+            net,
+            cfg,
+            routes,
+            order,
+            order_pos,
+            dst_is_node,
+        })
+    }
+
+    /// The shared network graph.
+    pub fn network(&self) -> &Arc<NetworkGraph> {
+        &self.net
+    }
+
+    /// The engine configuration this network was compiled under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The precomputed routing table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Run a stochastic (Poisson-workload) simulation with the given seed,
+    /// reusing `st`'s allocations.
+    ///
+    /// # Errors
+    ///
+    /// Reports a workload compiled for a different geometry.
+    pub fn run_poisson(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, String> {
+        if workload.geometry() != self.net.geometry {
+            return Err("workload geometry does not match the network".into());
+        }
+        Ok(self.run_traffic(Traffic::Poisson(workload), seed, st))
+    }
+
+    /// Run a deterministic scripted simulation (see [`run_scripted`]) with
+    /// the given seed, reusing `st`'s allocations. The script is already
+    /// validated and sorted — nothing per-run remains but the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Reports a script compiled for a different geometry.
+    pub fn run_script(
+        &self,
+        script: &Script,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, String> {
+        if script.geometry != self.net.geometry {
+            return Err("script geometry does not match the network".into());
+        }
+        Ok(self.run_traffic(
+            Traffic::Scripted {
+                msgs: &script.msgs,
+                next: 0,
+            },
+            seed,
+            st,
+        ))
+    }
+
+    /// Run a deterministic chained simulation (see [`run_chained`]) with
+    /// the given seed, reusing `st`'s allocations. Only the per-message
+    /// release times are per-run state; the dependency fan-out is shared
+    /// from the [`Chain`].
+    ///
+    /// # Errors
+    ///
+    /// Reports a chain compiled for a different geometry.
+    pub fn run_chain(
+        &self,
+        chain: &Chain,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, String> {
+        if chain.geometry != self.net.geometry {
+            return Err("chain geometry does not match the network".into());
+        }
+        Ok(self.run_traffic(
+            Traffic::Chained {
+                msgs: &chain.msgs,
+                dependents: &chain.dependents,
+                release: chain.roots.clone(),
+                remaining: chain.msgs.len(),
+                overhead: chain.overhead,
+            },
+            seed,
+            st,
+        ))
+    }
+
+    fn run_traffic(&self, traffic: Traffic<'_>, seed: u64, st: &mut EngineState) -> SimReport {
+        run_prepared(
+            &self.net,
+            &self.cfg,
+            Router::Table(&self.routes),
+            &self.order,
+            &self.order_pos,
+            &self.dst_is_node,
+            traffic,
+            seed,
+            st,
+        )
+    }
+}
+
+/// The mutable half of a simulation run: lanes, queues, heaps, packets,
+/// statistics, scratch buffers, and the RNG. Reusing one `EngineState`
+/// across runs (its `reset` restores the exact fresh state while keeping
+/// every allocation) removes the ~20 vector allocations a fresh engine
+/// pays per run — the dominant fixed cost of short sweep probes.
+///
+/// States are interchangeable between networks and configurations; the
+/// reset path re-dimensions every container. Determinism does not depend
+/// on *which* state a run uses — the differential tests drive the same
+/// run through fresh and heavily-reused states and require bit-identical
+/// reports.
+#[derive(Debug)]
+pub struct EngineState {
     lanes: Vec<Lane>,
     mux: Vec<VcMux>,
-    order: Vec<ChannelId>,
-    dst_is_node: Vec<bool>,
     packets: Vec<Packet>,
     free_slots: Vec<u32>,
     active: Vec<u32>,
@@ -254,8 +591,6 @@ struct Engine<'a> {
     injectable: DenseBitSet,
     /// Bit `p` ⟺ channel `order[p]` has at least one owned lane.
     occupied: DenseBitSet,
-    /// Transmit-order position of each channel (inverse of `order`).
-    order_pos: Vec<u32>,
     /// Owned-lane count per channel, backing `occupied`.
     owned_lanes: Vec<u32>,
     /// Messages sitting in source queues, across all sources.
@@ -281,49 +616,98 @@ struct Engine<'a> {
     ready: Vec<bool>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        net: &'a NetworkGraph,
-        traffic: Traffic<'a>,
-        cfg: EngineConfig,
-    ) -> Result<Engine<'a>, String> {
-        cfg.validate()?;
+impl EngineState {
+    /// An empty state; the first run dimensions it.
+    pub fn new() -> EngineState {
+        EngineState {
+            lanes: Vec::new(),
+            mux: Vec::new(),
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            active: Vec::new(),
+            sources: Vec::new(),
+            crossbars: None,
+            arbiter: Arbiter::new(ArbiterKind::Random),
+            rng: SmallRng::seed_from_u64(0),
+            now: 0,
+            end: 0,
+            arrivals: BinaryHeap::new(),
+            releases: BinaryHeap::new(),
+            injectable: DenseBitSet::with_capacity(0),
+            occupied: DenseBitSet::with_capacity(0),
+            owned_lanes: Vec::new(),
+            queued_msgs: 0,
+            generated_pkts: 0,
+            generated_flits: 0,
+            delivered_pkts: 0,
+            delivered_flits: 0,
+            latency: Welford::new(),
+            latency_hist: LatencyHistogram::new(),
+            latency_batches: BatchMeans::new(2, 1),
+            queue_time_avg: Welford::new(),
+            max_queue: 0,
+            util: Vec::new(),
+            deliveries: None,
+            trace: None,
+            cand: Vec::new(),
+            elig: Vec::new(),
+            reqs: Vec::new(),
+            sweep: Vec::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Restore the exact state a fresh engine construction produces for
+    /// `(net, cfg, seed)`, keeping allocations wherever dimensions allow.
+    /// `deterministic` enables the per-message delivery log (finite
+    /// scripted/chained runs).
+    fn reset(&mut self, net: &NetworkGraph, cfg: &EngineConfig, seed: u64, deterministic: bool) {
         let vcs = cfg.vcs as usize;
         let nch = net.num_channels();
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let n_nodes = net.geometry.nodes() as usize;
+        let depth = cfg.buffer_depth as usize;
 
-        let mut arrivals = BinaryHeap::new();
-        let mut sources: Vec<Source> = (0..n_nodes)
-            .map(|_| Source {
-                queue: VecDeque::new(),
-                injecting: NONE,
-                next_arrival: f64::INFINITY,
-            })
-            .collect();
-        if let Traffic::Poisson(wl) = &traffic {
-            if wl.geometry() != net.geometry {
-                return Err("workload geometry does not match the network".into());
+        self.rng = SmallRng::seed_from_u64(seed);
+
+        let want_lanes = nch * vcs;
+        if self.lanes.len() == want_lanes
+            && self.lanes.first().is_none_or(|l| l.buf.capacity() == depth)
+        {
+            for l in &mut self.lanes {
+                l.owner = NONE;
+                l.buf.clear();
+                l.upstream = Upstream::Exhausted;
             }
-            for (node, s) in sources.iter_mut().enumerate() {
-                let rate = wl.message_rate(node as u32);
-                if rate > 0.0 {
-                    let u: f64 = 1.0 - rng.random::<f64>();
-                    s.next_arrival = -u.ln() / rate;
-                    arrivals.push(Reverse((s.next_arrival.ceil() as u64, node as u32)));
-                }
-            }
-        }
-        let mut releases = BinaryHeap::new();
-        if let Traffic::Chained { release, .. } = &traffic {
-            for (i, r) in release.iter().enumerate() {
-                if let Some(t) = r {
-                    releases.push(Reverse((*t, i as u32)));
-                }
-            }
+        } else {
+            self.lanes.clear();
+            self.lanes.resize(
+                want_lanes,
+                Lane {
+                    owner: NONE,
+                    buf: FlitFifo::new(depth),
+                    upstream: Upstream::Exhausted,
+                },
+            );
         }
 
-        let crossbars = if cfg.validate_crossbars {
+        self.mux.clear();
+        self.mux.resize(nch, VcMux::new(cfg.vc_mux));
+        self.packets.clear();
+        self.free_slots.clear();
+        self.active.clear();
+
+        for s in &mut self.sources {
+            s.queue.clear();
+            s.injecting = NONE;
+            s.next_arrival = f64::INFINITY;
+        }
+        self.sources.resize_with(n_nodes, || Source {
+            queue: VecDeque::new(),
+            injecting: NONE,
+            next_arrival: f64::INFINITY,
+        });
+
+        self.crossbars = if cfg.validate_crossbars {
             let k = net.geometry.k() as u8;
             let d = net.kind.dilation();
             Some(
@@ -342,84 +726,143 @@ impl<'a> Engine<'a> {
             None
         };
 
-        let order = match cfg.transmit_order {
-            TransmitOrder::ReverseTopo => net.transmit_order(),
-            TransmitOrder::BuildOrder => (0..nch as u32).collect(),
-        };
-        let mut order_pos = vec![0u32; nch];
-        for (pos, &ch) in order.iter().enumerate() {
-            order_pos[ch as usize] = pos as u32;
-        }
-        let deterministic = !matches!(traffic, Traffic::Poisson(_));
+        self.arbiter = Arbiter::new(cfg.alloc);
+        self.now = 0;
+        self.end = cfg.warmup + cfg.measure;
+        self.arrivals.clear();
+        self.releases.clear();
+        self.injectable.reset(n_nodes);
+        self.occupied.reset(nch);
+        self.owned_lanes.clear();
+        self.owned_lanes.resize(nch, 0);
+        self.queued_msgs = 0;
 
-        Ok(Engine {
-            net,
-            logic: RouteLogic::for_kind(net.kind),
-            traffic,
-            vcs,
-            lanes: vec![
-                Lane {
-                    owner: NONE,
-                    buf: FlitFifo::new(cfg.buffer_depth as usize),
-                    upstream: Upstream::Exhausted,
-                };
-                nch * vcs
-            ],
-            mux: vec![VcMux::new(cfg.vc_mux); nch],
-            order,
-            dst_is_node: net
-                .channels
-                .iter()
-                .map(|c| matches!(c.dst, Endpoint::Node(_)))
-                .collect(),
-            packets: Vec::new(),
-            free_slots: Vec::new(),
-            active: Vec::new(),
-            sources,
-            crossbars,
-            arbiter: Arbiter::new(cfg.alloc),
-            rng,
-            now: 0,
-            end: cfg.warmup + cfg.measure,
-            arrivals,
-            releases,
-            injectable: DenseBitSet::with_capacity(n_nodes),
-            occupied: DenseBitSet::with_capacity(nch),
-            order_pos,
-            owned_lanes: vec![0; nch],
-            queued_msgs: 0,
-            generated_pkts: 0,
-            generated_flits: 0,
-            delivered_pkts: 0,
-            delivered_flits: 0,
-            latency: Welford::new(),
-            latency_hist: LatencyHistogram::new(),
-            latency_batches: BatchMeans::new(16, 64.max(cfg.measure / 2048)),
-            queue_time_avg: Welford::new(),
-            max_queue: 0,
-            util: if cfg.collect_channel_util {
-                vec![0; nch]
-            } else {
-                Vec::new()
-            },
-            deliveries: if deterministic { Some(Vec::new()) } else { None },
-            trace: if cfg.collect_trace {
-                Some(Trace::default())
-            } else {
-                None
-            },
-            cand: Vec::new(),
-            elig: Vec::new(),
-            reqs: Vec::new(),
-            sweep: Vec::new(),
-            ready: vec![false; vcs],
-            cfg,
-        })
+        self.generated_pkts = 0;
+        self.generated_flits = 0;
+        self.delivered_pkts = 0;
+        self.delivered_flits = 0;
+        self.latency.reset();
+        self.latency_hist.reset();
+        self.latency_batches.reset(16, 64.max(cfg.measure / 2048));
+        self.queue_time_avg.reset();
+        self.max_queue = 0;
+        self.util.clear();
+        if cfg.collect_channel_util {
+            self.util.resize(nch, 0);
+        }
+        self.deliveries = if deterministic { Some(Vec::new()) } else { None };
+        self.trace = if cfg.collect_trace {
+            Some(Trace::default())
+        } else {
+            None
+        };
+
+        self.cand.clear();
+        self.elig.clear();
+        self.reqs.clear();
+        self.sweep.clear();
+        self.ready.clear();
+        self.ready.resize(vcs, false);
+    }
+}
+
+impl Default for EngineState {
+    fn default() -> Self {
+        EngineState::new()
+    }
+}
+
+thread_local! {
+    /// One pooled [`EngineState`] per thread, shared by every caller that
+    /// does not thread its own state through (sequential saturation
+    /// probes, repeated `CompiledExperiment::run_seeded` calls, …).
+    static STATE_POOL: RefCell<Option<Box<EngineState>>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with this thread's pooled [`EngineState`], creating it on
+/// first use. Reentrant calls get a temporary fresh state (the pooled one
+/// is taken out while `f` runs), so nesting is safe if pointless.
+pub fn with_pooled_state<R>(f: impl FnOnce(&mut EngineState) -> R) -> R {
+    let taken = STATE_POOL.with(|cell| cell.borrow_mut().take());
+    let mut st = taken.unwrap_or_else(|| Box::new(EngineState::new()));
+    let r = f(&mut st);
+    STATE_POOL.with(|cell| *cell.borrow_mut() = Some(st));
+    r
+}
+
+struct Engine<'a> {
+    net: &'a NetworkGraph,
+    cfg: &'a EngineConfig,
+    router: Router<'a>,
+    order: &'a [ChannelId],
+    order_pos: &'a [u32],
+    dst_is_node: &'a [bool],
+    vcs: usize,
+    traffic: Traffic<'a>,
+    st: &'a mut EngineState,
+}
+
+/// The single run entry: resets `st` for `(net, cfg, seed)`, primes the
+/// traffic source, and executes the cycle loop. Both the compiled and the
+/// one-shot paths funnel through here — there is exactly one engine.
+#[allow(clippy::too_many_arguments)]
+fn run_prepared(
+    net: &NetworkGraph,
+    cfg: &EngineConfig,
+    router: Router<'_>,
+    order: &[ChannelId],
+    order_pos: &[u32],
+    dst_is_node: &[bool],
+    traffic: Traffic<'_>,
+    seed: u64,
+    st: &mut EngineState,
+) -> SimReport {
+    let deterministic = !matches!(traffic, Traffic::Poisson(_));
+    st.reset(net, cfg, seed, deterministic);
+
+    // Prime the event heaps. Poisson: one initial arrival per generating
+    // node, drawn in ascending node order — the first draws of the run's
+    // RNG stream, exactly as the reference engine makes them.
+    match &traffic {
+        Traffic::Poisson(wl) => {
+            for node in 0..net.geometry.nodes() {
+                let rate = wl.message_rate(node);
+                if rate > 0.0 {
+                    let u: f64 = 1.0 - st.rng.random::<f64>();
+                    let t = -u.ln() / rate;
+                    st.sources[node as usize].next_arrival = t;
+                    st.arrivals.push(Reverse((t.ceil() as u64, node)));
+                }
+            }
+        }
+        Traffic::Scripted { .. } => {}
+        Traffic::Chained { release, .. } => {
+            for (i, r) in release.iter().enumerate() {
+                if let Some(t) = r {
+                    st.releases.push(Reverse((*t, i as u32)));
+                }
+            }
+        }
     }
 
+    Engine {
+        net,
+        cfg,
+        router,
+        order,
+        order_pos,
+        dst_is_node,
+        vcs: cfg.vcs as usize,
+        traffic,
+        st,
+    }
+    .run()
+}
+
+impl<'a> Engine<'a> {
     #[inline]
     fn measuring(&self) -> bool {
-        self.now >= self.cfg.warmup
+        self.st.now >= self.cfg.warmup
     }
 
     /// In-code of an input channel at its destination switch, for crossbar
@@ -461,7 +904,8 @@ impl<'a> Engine<'a> {
     // ---- phase 1: arrivals -------------------------------------------
 
     fn generate_arrivals(&mut self) {
-        let now_f = self.now as f64;
+        let now = self.st.now;
+        let now_f = now as f64;
         let measuring = self.measuring();
         match &mut self.traffic {
             Traffic::Poisson(wl) => {
@@ -470,79 +914,80 @@ impl<'a> Engine<'a> {
                 // was strictly in the future, and nothing is left behind a
                 // cycle), so matured nodes come out in ascending node
                 // order — the reference engine's scan order.
-                while let Some(&Reverse((fire, node))) = self.arrivals.peek() {
-                    if fire > self.now {
+                while let Some(&Reverse((fire, node))) = self.st.arrivals.peek() {
+                    if fire > now {
                         break;
                     }
-                    self.arrivals.pop();
-                    debug_assert_eq!(fire, self.now, "arrival missed its cycle");
+                    self.st.arrivals.pop();
+                    debug_assert_eq!(fire, now, "arrival missed its cycle");
                     let mut enqueued = 0u32;
-                    let src = &mut self.sources[node as usize];
+                    let src = &mut self.st.sources[node as usize];
                     while src.next_arrival <= now_f {
-                        let dst = wl.draw_destination(node, &mut self.rng);
-                        let len = wl.draw_length(&mut self.rng);
+                        let dst = wl.draw_destination(node, &mut self.st.rng);
+                        let len = wl.draw_length(&mut self.st.rng);
                         src.queue.push_back(QueuedMsg {
                             dst,
                             len,
-                            gen_time: self.now,
+                            gen_time: now,
                             tag: NONE,
                         });
                         enqueued += 1;
-                        if let Some(tr) = &mut self.trace {
+                        if let Some(tr) = &mut self.st.trace {
                             tr.events.push(TraceEvent::Queued {
                                 tag: NONE,
-                                time: self.now,
+                                time: now,
                                 src: node,
                                 dst,
                                 len,
                             });
                         }
                         if measuring {
-                            self.generated_pkts += 1;
-                            self.generated_flits += u64::from(len);
-                            self.max_queue = self.max_queue.max(src.queue.len());
+                            self.st.generated_pkts += 1;
+                            self.st.generated_flits += u64::from(len);
+                            self.st.max_queue = self.st.max_queue.max(src.queue.len());
                         }
                         let rate = wl.message_rate(node);
-                        let u: f64 = 1.0 - self.rng.random::<f64>();
+                        let u: f64 = 1.0 - self.st.rng.random::<f64>();
                         src.next_arrival += -u.ln() / rate;
                     }
-                    self.arrivals
+                    self.st
+                        .arrivals
                         .push(Reverse((src.next_arrival.ceil() as u64, node)));
-                    self.queued_msgs += u64::from(enqueued);
-                    if enqueued > 0 && self.sources[node as usize].injecting == NONE {
-                        self.injectable.set(node);
+                    self.st.queued_msgs += u64::from(enqueued);
+                    if enqueued > 0 && self.st.sources[node as usize].injecting == NONE {
+                        self.st.injectable.set(node);
                     }
                 }
             }
             Traffic::Scripted { msgs, next } => {
-                while *next < msgs.len() && msgs[*next].time <= self.now {
+                while *next < msgs.len() && msgs[*next].time <= now {
                     let m = msgs[*next];
                     let tag = *next as u32;
                     *next += 1;
-                    let src = &mut self.sources[m.src as usize];
+                    let src = &mut self.st.sources[m.src as usize];
                     src.queue.push_back(QueuedMsg {
                         dst: m.dst,
                         len: m.len,
                         gen_time: m.time,
                         tag,
                     });
-                    if let Some(tr) = &mut self.trace {
+                    if let Some(tr) = &mut self.st.trace {
                         tr.events.push(TraceEvent::Queued {
                             tag,
-                            time: self.now,
+                            time: now,
                             src: m.src,
                             dst: m.dst,
                             len: m.len,
                         });
                     }
                     if measuring {
-                        self.generated_pkts += 1;
-                        self.generated_flits += u64::from(m.len);
-                        self.max_queue = self.max_queue.max(src.queue.len());
+                        self.st.generated_pkts += 1;
+                        self.st.generated_flits += u64::from(m.len);
+                        self.st.max_queue = self.st.max_queue.max(src.queue.len());
                     }
-                    self.queued_msgs += 1;
-                    if self.sources[m.src as usize].injecting == NONE {
-                        self.injectable.set(m.src);
+                    self.st.queued_msgs += 1;
+                    if self.st.sources[m.src as usize].injecting == NONE {
+                        self.st.injectable.set(m.src);
                     }
                 }
             }
@@ -550,36 +995,36 @@ impl<'a> Engine<'a> {
                 // Due entries carry key == now (roots mature untouched;
                 // dependents are released at ≥ delivery cycle + 1), so
                 // pops are index-ascending — the reference's scan order.
-                while let Some(&Reverse((t, i))) = self.releases.peek() {
-                    if t > self.now {
+                while let Some(&Reverse((t, i))) = self.st.releases.peek() {
+                    if t > now {
                         break;
                     }
-                    self.releases.pop();
+                    self.st.releases.pop();
                     let m = msgs[i as usize];
-                    let src = &mut self.sources[m.src as usize];
+                    let src = &mut self.st.sources[m.src as usize];
                     src.queue.push_back(QueuedMsg {
                         dst: m.dst,
                         len: m.len,
                         gen_time: t,
                         tag: i,
                     });
-                    if let Some(tr) = &mut self.trace {
+                    if let Some(tr) = &mut self.st.trace {
                         tr.events.push(TraceEvent::Queued {
                             tag: i,
-                            time: self.now,
+                            time: now,
                             src: m.src,
                             dst: m.dst,
                             len: m.len,
                         });
                     }
                     if measuring {
-                        self.generated_pkts += 1;
-                        self.generated_flits += u64::from(m.len);
-                        self.max_queue = self.max_queue.max(src.queue.len());
+                        self.st.generated_pkts += 1;
+                        self.st.generated_flits += u64::from(m.len);
+                        self.st.max_queue = self.st.max_queue.max(src.queue.len());
                     }
-                    self.queued_msgs += 1;
-                    if self.sources[m.src as usize].injecting == NONE {
-                        self.injectable.set(m.src);
+                    self.st.queued_msgs += 1;
+                    if self.st.sources[m.src as usize].injecting == NONE {
+                        self.st.injectable.set(m.src);
                     }
                 }
             }
@@ -589,18 +1034,20 @@ impl<'a> Engine<'a> {
     // ---- phase 2: routing and lane allocation ------------------------
 
     fn allocate(&mut self) {
-        let mut reqs = std::mem::take(&mut self.reqs);
+        let mut reqs = std::mem::take(&mut self.st.reqs);
         reqs.clear();
-        self.injectable.for_each(|node| reqs.push(Req::Inject(node)));
-        for &p in &self.active {
-            let pkt = &self.packets[p as usize];
+        self.st
+            .injectable
+            .for_each(|node| reqs.push(Req::Inject(node)));
+        for &p in &self.st.active {
+            let pkt = &self.st.packets[p as usize];
             let hl = pkt.head_lane;
             debug_assert_ne!(hl, NONE);
             let ch = (hl as usize / self.vcs) as u32;
             if self.dst_is_node[ch as usize] {
                 continue; // header already on the ejection channel
             }
-            if let Some(flit) = self.lanes[hl as usize].buf.front() {
+            if let Some(flit) = self.st.lanes[hl as usize].buf.front() {
                 if flit.packet == p && flit.is_header() {
                     reqs.push(Req::Advance(p));
                 }
@@ -609,7 +1056,7 @@ impl<'a> Engine<'a> {
         // Serve requests in random order (distributed arbitration).
         let n = reqs.len();
         for i in (1..n).rev() {
-            let j = self.rng.random_range(0..=i);
+            let j = self.st.rng.random_range(0..=i);
             reqs.swap(i, j);
         }
         for &req in &reqs {
@@ -618,47 +1065,56 @@ impl<'a> Engine<'a> {
                 Req::Advance(p) => self.try_advance(p),
             }
         }
-        self.reqs = reqs;
+        self.st.reqs = reqs;
     }
 
-    /// Claim a free lane among `self.cand` channels; returns the lane.
-    fn claim_lane(&mut self, owner: u32) -> Option<u32> {
-        self.elig.clear();
-        for &ch in &self.cand {
+    /// Collect the free lanes of `cands` into the eligibility scratch.
+    /// `cands` must not alias engine state (it is a routing-table slice,
+    /// a local array, or the detached `cand` scratch).
+    fn gather_free(&mut self, cands: &[ChannelId]) {
+        self.st.elig.clear();
+        for &ch in cands {
             for vc in 0..self.vcs {
                 let li = ch as usize * self.vcs + vc;
-                if self.lanes[li].owner == NONE {
-                    self.elig.push(li as u32);
+                if self.st.lanes[li].owner == NONE {
+                    self.st.elig.push(li as u32);
                 }
             }
         }
-        if self.elig.is_empty() {
+    }
+
+    /// Claim one of the gathered free lanes for `owner`; returns the lane.
+    fn claim_gathered(&mut self, owner: u32) -> Option<u32> {
+        if self.st.elig.is_empty() {
             return None;
         }
-        let idx = self.arbiter.pick_uncontested(self.elig.len(), &mut self.rng);
-        let lane = self.elig[idx];
-        self.lanes[lane as usize].owner = owner;
+        let idx = self
+            .st
+            .arbiter
+            .pick_uncontested(self.st.elig.len(), &mut self.st.rng);
+        let lane = self.st.elig[idx];
+        self.st.lanes[lane as usize].owner = owner;
         let ch = lane as usize / self.vcs;
-        self.owned_lanes[ch] += 1;
-        if self.owned_lanes[ch] == 1 {
-            self.occupied.set(self.order_pos[ch]);
+        self.st.owned_lanes[ch] += 1;
+        if self.st.owned_lanes[ch] == 1 {
+            self.st.occupied.set(self.order_pos[ch]);
         }
         Some(lane)
     }
 
     fn try_inject(&mut self, node: u32) {
-        self.cand.clear();
-        self.cand.push(self.net.inject[node as usize]);
+        let inj = self.net.inject[node as usize];
+        self.gather_free(&[inj]);
         // Claim with a placeholder owner; fixed up after slot allocation.
-        let Some(lane) = self.claim_lane(NONE - 1) else {
+        let Some(lane) = self.claim_gathered(NONE - 1) else {
             return;
         };
-        let msg = self.sources[node as usize]
+        let msg = self.st.sources[node as usize]
             .queue
             .pop_front()
             .expect("inject request without a queued message");
-        self.queued_msgs -= 1;
-        self.injectable.clear(node);
+        self.st.queued_msgs -= 1;
+        self.st.injectable.clear(node);
         let pkt = Packet {
             src: node,
             dst: msg.dst,
@@ -670,27 +1126,30 @@ impl<'a> Engine<'a> {
             measured: msg.gen_time >= self.cfg.warmup,
             tag: msg.tag,
         };
-        let slot = match self.free_slots.pop() {
+        let slot = match self.st.free_slots.pop() {
             Some(s) => {
-                self.packets[s as usize] = pkt;
+                self.st.packets[s as usize] = pkt;
                 s
             }
             None => {
-                self.packets.push(pkt);
-                (self.packets.len() - 1) as u32
+                self.st.packets.push(pkt);
+                (self.st.packets.len() - 1) as u32
             }
         };
-        let l = &mut self.lanes[lane as usize];
+        let l = &mut self.st.lanes[lane as usize];
         l.owner = slot;
         l.upstream = Upstream::Source(node);
-        self.sources[node as usize].injecting = slot;
-        self.active.push(slot);
-        if let Some(tr) = &mut self.trace {
-            let tag = self.packets[slot as usize].tag;
-            tr.events.push(TraceEvent::Injected { tag, time: self.now });
+        self.st.sources[node as usize].injecting = slot;
+        self.st.active.push(slot);
+        if let Some(tr) = &mut self.st.trace {
+            let tag = self.st.packets[slot as usize].tag;
+            tr.events.push(TraceEvent::Injected {
+                tag,
+                time: self.st.now,
+            });
             tr.events.push(TraceEvent::Hop {
                 tag,
-                time: self.now,
+                time: self.st.now,
                 channel: (lane as usize / self.vcs) as u32,
             });
         }
@@ -698,33 +1157,44 @@ impl<'a> Engine<'a> {
 
     fn try_advance(&mut self, p: u32) {
         let (src, dst, at_lane) = {
-            let pkt = &self.packets[p as usize];
+            let pkt = &self.st.packets[p as usize];
             (pkt.src, pkt.dst, pkt.head_lane)
         };
         let at_ch = (at_lane as usize / self.vcs) as u32;
-        self.logic
-            .candidates(self.net, src, dst, at_ch, &mut self.cand);
-        debug_assert!(!self.cand.is_empty(), "advance request at the destination");
-        let Some(lane) = self.claim_lane(p) else {
+        match self.router {
+            Router::Table(table) => {
+                let cands = table.candidates(at_ch, dst);
+                debug_assert!(!cands.is_empty(), "advance request at the destination");
+                self.gather_free(cands);
+            }
+            Router::Logic(logic) => {
+                let mut cand = std::mem::take(&mut self.st.cand);
+                logic.candidates(self.net, src, dst, at_ch, &mut cand);
+                debug_assert!(!cand.is_empty(), "advance request at the destination");
+                self.gather_free(&cand);
+                self.st.cand = cand;
+            }
+        }
+        let Some(lane) = self.claim_gathered(p) else {
             return; // blocked; the worm holds its lanes and waits
         };
         let new_ch = (lane as usize / self.vcs) as u32;
-        self.lanes[lane as usize].upstream = Upstream::Lane(at_lane);
-        self.packets[p as usize].head_lane = lane;
-        if let Some(tr) = &mut self.trace {
+        self.st.lanes[lane as usize].upstream = Upstream::Lane(at_lane);
+        self.st.packets[p as usize].head_lane = lane;
+        if let Some(tr) = &mut self.st.trace {
             tr.events.push(TraceEvent::Hop {
-                tag: self.packets[p as usize].tag,
-                time: self.now,
+                tag: self.st.packets[p as usize].tag,
+                time: self.st.now,
                 channel: new_ch,
             });
         }
-        if self.crossbars.is_none() {
+        if self.st.crossbars.is_none() {
             return;
         }
         let (sw_in, code_in) = self.in_code(at_ch);
         let (sw_out, code_out) = self.out_code(new_ch);
         debug_assert_eq!(sw_in, sw_out, "allocation must stay inside one switch");
-        if let Some(xbars) = &mut self.crossbars {
+        if let Some(xbars) = &mut self.st.crossbars {
             xbars[sw_in as usize]
                 .connect(code_in, code_out)
                 .expect("engine requested an illegal crossbar connection");
@@ -739,116 +1209,116 @@ impl<'a> Engine<'a> {
         // or repeat members. A snapshotted channel that empties before its
         // turn has no ready lane — visiting it is a no-op. Nothing is
         // *claimed* during transmission, so the snapshot is complete.
-        let mut sweep = std::mem::take(&mut self.sweep);
-        self.occupied.collect_into(&mut sweep);
+        let mut sweep = std::mem::take(&mut self.st.sweep);
+        self.st.occupied.collect_into(&mut sweep);
         for &pos in &sweep {
             let ch = self.order[pos as usize];
             let base = ch as usize * self.vcs;
             let mut any = false;
             for vc in 0..self.vcs {
                 let r = self.lane_ready(base + vc, ch);
-                self.ready[vc] = r;
+                self.st.ready[vc] = r;
                 any |= r;
             }
             if !any {
                 continue;
             }
-            let vc = self.mux[ch as usize]
-                .select(&self.ready[..self.vcs])
+            let vc = self.st.mux[ch as usize]
+                .select(&self.st.ready[..self.vcs])
                 .expect("a ready lane must be selectable");
             self.move_flit(ch, base + vc);
         }
-        self.sweep = sweep;
+        self.st.sweep = sweep;
     }
 
     #[inline]
     fn lane_ready(&self, li: usize, ch: ChannelId) -> bool {
-        let lane = &self.lanes[li];
+        let lane = &self.st.lanes[li];
         if lane.owner == NONE {
             return false;
         }
         let has_input = match lane.upstream {
             Upstream::Exhausted => false,
             Upstream::Source(_) => {
-                let pkt = &self.packets[lane.owner as usize];
+                let pkt = &self.st.packets[lane.owner as usize];
                 pkt.sent < pkt.len
             }
-            Upstream::Lane(u) => !self.lanes[u as usize].buf.is_empty(),
+            Upstream::Lane(u) => !self.st.lanes[u as usize].buf.is_empty(),
         };
         has_input && (self.dst_is_node[ch as usize] || !lane.buf.is_full())
     }
 
     fn move_flit(&mut self, ch: ChannelId, li: usize) {
-        let p = self.lanes[li].owner;
-        let upstream = self.lanes[li].upstream;
+        let p = self.st.lanes[li].owner;
+        let upstream = self.st.lanes[li].upstream;
         let (len, gen_time, measured) = {
-            let pkt = &self.packets[p as usize];
+            let pkt = &self.st.packets[p as usize];
             (pkt.len, pkt.gen_time, pkt.measured)
         };
         let flit = match upstream {
             Upstream::Source(node) => {
-                let pkt = &mut self.packets[p as usize];
+                let pkt = &mut self.st.packets[p as usize];
                 let f = FlitRef {
                     packet: p,
                     index: pkt.sent,
                 };
                 pkt.sent += 1;
                 if pkt.sent == len {
-                    self.sources[node as usize].injecting = NONE;
-                    self.lanes[li].upstream = Upstream::Exhausted;
-                    if !self.sources[node as usize].queue.is_empty() {
-                        self.injectable.set(node);
+                    self.st.sources[node as usize].injecting = NONE;
+                    self.st.lanes[li].upstream = Upstream::Exhausted;
+                    if !self.st.sources[node as usize].queue.is_empty() {
+                        self.st.injectable.set(node);
                     }
                 }
                 f
             }
-            Upstream::Lane(u) => self.lanes[u as usize]
+            Upstream::Lane(u) => self.st.lanes[u as usize]
                 .buf
                 .pop()
                 .expect("ready lane lost its upstream flit"),
             Upstream::Exhausted => unreachable!("exhausted lanes are never ready"),
         };
         debug_assert_eq!(flit.packet, p, "foreign flit in the worm's upstream buffer");
-        if !self.util.is_empty() && self.measuring() {
-            self.util[ch as usize] += 1;
+        if !self.st.util.is_empty() && self.measuring() {
+            self.st.util[ch as usize] += 1;
         }
         let is_tail = flit.is_tail(len);
         if is_tail {
             if let Upstream::Lane(u) = upstream {
                 self.release_lane(u);
             }
-            self.lanes[li].upstream = Upstream::Exhausted;
+            self.st.lanes[li].upstream = Upstream::Exhausted;
         }
         if self.dst_is_node[ch as usize] {
             // Consumption: the destination absorbs the flit immediately.
-            let pkt = &mut self.packets[p as usize];
+            let pkt = &mut self.st.packets[p as usize];
             pkt.delivered += 1;
             // Count flits of *measured* packets, matching delivered_pkts
             // (see the module header's measurement-accounting notes).
             if measured {
-                self.delivered_flits += 1;
+                self.st.delivered_flits += 1;
             }
             if is_tail {
                 self.release_lane(li as u32);
                 self.complete_packet(p, gen_time, measured, len);
             }
         } else {
-            self.lanes[li].buf.push(flit);
+            self.st.lanes[li].buf.push(flit);
         }
     }
 
     fn release_lane(&mut self, li: u32) {
-        let lane = &mut self.lanes[li as usize];
+        let lane = &mut self.st.lanes[li as usize];
         debug_assert!(lane.buf.is_empty(), "releasing a lane with a buffered flit");
         debug_assert_ne!(lane.owner, NONE, "double lane release");
         lane.owner = NONE;
         lane.upstream = Upstream::Exhausted;
         let ch = li as usize / self.vcs;
-        self.owned_lanes[ch] -= 1;
-        if self.owned_lanes[ch] == 0 {
-            self.occupied.clear(self.order_pos[ch]);
+        self.st.owned_lanes[ch] -= 1;
+        if self.st.owned_lanes[ch] == 0 {
+            self.st.occupied.clear(self.order_pos[ch]);
         }
-        if let Some(xbars) = &mut self.crossbars {
+        if let Some(xbars) = &mut self.st.crossbars {
             let c = self.net.channel(ch as u32);
             if let Endpoint::Switch { sw, side, port } = c.dst {
                 let code = if self.net.kind.is_bidirectional() {
@@ -868,15 +1338,15 @@ impl<'a> Engine<'a> {
     }
 
     fn complete_packet(&mut self, p: u32, gen_time: u64, measured: bool, len: u32) {
-        let done = self.now + 1; // flit arrives at the end of this cycle
+        let done = self.st.now + 1; // flit arrives at the end of this cycle
         if measured {
             let lat = (done - gen_time) as f64;
-            self.latency.push(lat);
-            self.latency_hist.record(done - gen_time);
-            self.latency_batches.push(lat);
-            self.delivered_pkts += 1;
+            self.st.latency.push(lat);
+            self.st.latency_hist.record(done - gen_time);
+            self.st.latency_batches.push(lat);
+            self.st.delivered_pkts += 1;
         }
-        let tag = self.packets[p as usize].tag;
+        let tag = self.st.packets[p as usize].tag;
         if let Traffic::Chained {
             msgs,
             dependents,
@@ -890,14 +1360,14 @@ impl<'a> Engine<'a> {
                 debug_assert!(release[d as usize].is_none(), "double release");
                 let t = (done + *overhead).max(msgs[d as usize].earliest);
                 release[d as usize] = Some(t);
-                self.releases.push(Reverse((t, d)));
+                self.st.releases.push(Reverse((t, d)));
             }
         }
-        if let Some(tr) = &mut self.trace {
+        if let Some(tr) = &mut self.st.trace {
             tr.events.push(TraceEvent::Delivered { tag, time: done });
         }
-        if let Some(log) = &mut self.deliveries {
-            let pkt = &self.packets[p as usize];
+        if let Some(log) = &mut self.st.deliveries {
+            let pkt = &self.st.packets[p as usize];
             log.push(Delivery {
                 src: pkt.src,
                 dst: pkt.dst,
@@ -908,27 +1378,29 @@ impl<'a> Engine<'a> {
             });
         }
         let idx = self
+            .st
             .active
             .iter()
             .position(|&a| a == p)
             .expect("completing an inactive packet");
-        self.active.swap_remove(idx);
-        self.free_slots.push(p);
+        self.st.active.swap_remove(idx);
+        self.st.free_slots.push(p);
     }
 
     // ---- main loop ----------------------------------------------------
 
     fn run(mut self) -> SimReport {
         let finite = !matches!(self.traffic, Traffic::Poisson(_));
-        while self.now < self.end {
+        while self.st.now < self.st.end {
             self.generate_arrivals();
             self.allocate();
             self.transmit();
             if self.measuring() {
-                self.queue_time_avg.push(self.queued_msgs as f64);
+                let queued = self.st.queued_msgs as f64;
+                self.st.queue_time_avg.push(queued);
             }
-            self.now += 1;
-            if finite && self.active.is_empty() && self.drained() {
+            self.st.now += 1;
+            if finite && self.st.active.is_empty() && self.drained() {
                 break;
             }
         }
@@ -938,7 +1410,7 @@ impl<'a> Engine<'a> {
     /// Whether a finite (scripted/chained) traffic source has nothing left
     /// to inject.
     fn drained(&self) -> bool {
-        if self.queued_msgs > 0 {
+        if self.st.queued_msgs > 0 {
             return false;
         }
         match &self.traffic {
@@ -949,11 +1421,12 @@ impl<'a> Engine<'a> {
     }
 
     fn finish(self) -> SimReport {
+        let st = self.st;
         let n_nodes = self.net.geometry.nodes() as f64;
         // Normalize by the cycles actually measured, not the configured
         // window: finite runs drain early (module header, "Measurement
         // accounting").
-        let measured_cycles = self.now.saturating_sub(self.cfg.warmup);
+        let measured_cycles = st.now.saturating_sub(self.cfg.warmup);
         let window = measured_cycles as f64;
         let per_node_cycle = |flits: u64| {
             if measured_cycles == 0 {
@@ -963,37 +1436,66 @@ impl<'a> Engine<'a> {
             }
         };
         SimReport {
-            cycles: self.now,
+            cycles: st.now,
             measured_cycles,
-            generated_packets: self.generated_pkts,
-            delivered_packets: self.delivered_pkts,
-            offered_flits_per_node_cycle: per_node_cycle(self.generated_flits),
-            accepted_flits_per_node_cycle: per_node_cycle(self.delivered_flits),
-            mean_latency_cycles: self.latency.mean(),
-            latency_ci95_cycles: self.latency_batches.ci95_half_width(),
-            p50_latency_cycles: self.latency_hist.quantile(0.50),
-            p95_latency_cycles: self.latency_hist.quantile(0.95),
-            p99_latency_cycles: self.latency_hist.quantile(0.99),
-            max_latency_cycles: self.latency_hist.max(),
-            mean_queue: self.queue_time_avg.mean(),
-            max_queue: self.max_queue,
-            sustainable: self.max_queue <= self.cfg.queue_limit,
-            steady: self.delivered_flits as f64 >= 0.95 * self.generated_flits as f64,
-            in_flight_at_end: self.active.len() as u64 + self.queued_msgs,
-            channel_utilization: if self.util.is_empty() {
+            generated_packets: st.generated_pkts,
+            delivered_packets: st.delivered_pkts,
+            offered_flits_per_node_cycle: per_node_cycle(st.generated_flits),
+            accepted_flits_per_node_cycle: per_node_cycle(st.delivered_flits),
+            mean_latency_cycles: st.latency.mean(),
+            latency_ci95_cycles: st.latency_batches.ci95_half_width(),
+            p50_latency_cycles: st.latency_hist.quantile(0.50),
+            p95_latency_cycles: st.latency_hist.quantile(0.95),
+            p99_latency_cycles: st.latency_hist.quantile(0.99),
+            max_latency_cycles: st.latency_hist.max(),
+            mean_queue: st.queue_time_avg.mean(),
+            max_queue: st.max_queue,
+            sustainable: st.max_queue <= self.cfg.queue_limit,
+            steady: st.delivered_flits as f64 >= 0.95 * st.generated_flits as f64,
+            in_flight_at_end: st.active.len() as u64 + st.queued_msgs,
+            channel_utilization: if st.util.is_empty() {
                 None
             } else {
                 Some(
-                    self.util
+                    st.util
                         .iter()
                         .map(|&u| if measured_cycles == 0 { 0.0 } else { u as f64 / window })
                         .collect(),
                 )
             },
-            deliveries: self.deliveries,
-            trace: self.trace,
+            deliveries: st.deliveries.take(),
+            trace: st.trace.take(),
         }
     }
+}
+
+/// One-shot run shared by the free functions: fresh state, dynamic
+/// routing (no table build), per-call order computation — the behaviour
+/// (and bit-exact output) the per-run API always had.
+fn run_oneshot(
+    net: &NetworkGraph,
+    cfg: &EngineConfig,
+    traffic: Traffic<'_>,
+) -> Result<SimReport, String> {
+    cfg.validate()?;
+    if let Traffic::Poisson(wl) = &traffic {
+        if wl.geometry() != net.geometry {
+            return Err("workload geometry does not match the network".into());
+        }
+    }
+    let (order, order_pos, dst_is_node) = order_parts(net, cfg);
+    let mut st = EngineState::new();
+    Ok(run_prepared(
+        net,
+        cfg,
+        Router::Logic(RouteLogic::for_kind(net.kind)),
+        &order,
+        &order_pos,
+        &dst_is_node,
+        traffic,
+        cfg.seed,
+        &mut st,
+    ))
 }
 
 /// Run a stochastic (Poisson-workload) simulation.
@@ -1002,40 +1504,30 @@ pub fn run_simulation(
     workload: &Workload,
     cfg: &EngineConfig,
 ) -> Result<SimReport, String> {
-    Engine::new(net, Traffic::Poisson(workload), cfg.clone()).map(Engine::run)
+    run_oneshot(net, cfg, Traffic::Poisson(workload))
 }
 
 /// Run a deterministic scripted simulation: the given messages are
 /// injected at fixed times; the run ends when all are delivered (or the
 /// configured horizon is reached). The report's `deliveries` field records
 /// per-message completions in completion order.
+///
+/// This is a thin wrapper compiling a [`Script`] per call; run-many
+/// callers should compile once and use [`CompiledNet::run_script`].
 pub fn run_scripted(
     net: &NetworkGraph,
     msgs: &[ScriptedMsg],
     cfg: &EngineConfig,
 ) -> Result<SimReport, String> {
-    let mut sorted: Vec<ScriptedMsg> = msgs.to_vec();
-    sorted.sort_by_key(|m| m.time);
-    for m in &sorted {
-        if m.src == m.dst {
-            return Err(format!("scripted message {m:?} sends to itself"));
-        }
-        if m.src >= net.geometry.nodes() || m.dst >= net.geometry.nodes() {
-            return Err(format!("scripted message {m:?} addresses a missing node"));
-        }
-        if m.len == 0 {
-            return Err(format!("scripted message {m:?} has no flits"));
-        }
-    }
-    Engine::new(
+    let script = Script::compile(net.geometry, msgs)?;
+    run_oneshot(
         net,
+        cfg,
         Traffic::Scripted {
-            msgs: sorted,
+            msgs: &script.msgs,
             next: 0,
         },
-        cfg.clone(),
     )
-    .map(Engine::run)
 }
 
 /// Run a deterministic simulation of *dependent* messages: entry `i`
@@ -1047,45 +1539,25 @@ pub fn run_scripted(
 /// This is the substrate for *software multicast* (paper §6): a multicast
 /// is a tree of chained unicasts, with `overhead` modelling the software
 /// latency at each relay node.
+///
+/// This is a thin wrapper compiling a [`Chain`] per call; run-many
+/// callers should compile once and use [`CompiledNet::run_chain`].
 pub fn run_chained(
     net: &NetworkGraph,
     msgs: &[ChainedMsg],
     overhead: u64,
     cfg: &EngineConfig,
 ) -> Result<SimReport, String> {
-    let mut dependents = vec![Vec::new(); msgs.len()];
-    let mut release = vec![None; msgs.len()];
-    for (i, m) in msgs.iter().enumerate() {
-        if m.src == m.dst {
-            return Err(format!("chained message {i} sends to itself"));
-        }
-        if m.src >= net.geometry.nodes() || m.dst >= net.geometry.nodes() {
-            return Err(format!("chained message {i} addresses a missing node"));
-        }
-        if m.len == 0 {
-            return Err(format!("chained message {i} has no flits"));
-        }
-        match m.after {
-            None => release[i] = Some(m.earliest),
-            Some(parent) if parent < i => dependents[parent].push(i as u32),
-            Some(parent) => {
-                return Err(format!(
-                    "chained message {i} depends on later entry {parent}; \
-                     order messages so parents precede children"
-                ));
-            }
-        }
-    }
-    Engine::new(
+    let chain = Chain::compile(net.geometry, msgs, overhead)?;
+    run_oneshot(
         net,
+        cfg,
         Traffic::Chained {
-            msgs: msgs.to_vec(),
-            dependents,
-            release,
-            remaining: msgs.len(),
+            msgs: &chain.msgs,
+            dependents: &chain.dependents,
+            release: chain.roots.clone(),
+            remaining: chain.msgs.len(),
             overhead,
         },
-        cfg.clone(),
     )
-    .map(Engine::run)
 }

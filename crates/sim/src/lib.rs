@@ -16,6 +16,13 @@
 //! for the measurement machinery. The `reference-engine` feature exposes
 //! [`reference`], the frozen scan-everything implementation used as a
 //! differential-testing oracle.
+//!
+//! Sweep-style callers should use the compile-once pipeline:
+//! [`CompiledNet`] (immutable network + routing table + transmit order)
+//! plus a reusable [`EngineState`] — see the [`engine`] module header.
+//! The free functions [`run_simulation`] / [`run_scripted`] /
+//! [`run_chained`] remain the one-shot API and produce bit-identical
+//! reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +36,8 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{Delivery, EngineConfig, SimReport, TransmitOrder, CYCLE_US};
-pub use engine::{run_chained, run_scripted, run_simulation, ChainedMsg, ScriptedMsg};
+pub use engine::{
+    run_chained, run_scripted, run_simulation, with_pooled_state, Chain, ChainedMsg, CompiledNet,
+    EngineState, Script, ScriptedMsg,
+};
 pub use trace::{Trace, TraceEvent};

@@ -23,6 +23,23 @@ impl Welford {
         self.m2 += d * (x - self.mean);
     }
 
+    /// Forget every sample — equivalent to a fresh accumulator, without
+    /// an allocation (the engine-state pool resets in place).
+    pub fn reset(&mut self) {
+        *self = Welford::default();
+    }
+
+    /// Half-width of an approximate 95% CI of the mean under a normal
+    /// approximation: `1.96 · s / √n`. Used to aggregate *independent*
+    /// replication means (each replication runs its own seed, so unlike
+    /// within-run latencies there is no autocorrelation to batch away).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * (self.variance() / self.n as f64).sqrt()
+    }
+
     /// Sample count.
     pub fn count(&self) -> u64 {
         self.n
@@ -95,6 +112,13 @@ impl LatencyHistogram {
         (1 << exp) | (mantissa << (exp - 4))
     }
 
+    /// Forget every sample in place, keeping the bucket allocation.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.max = 0;
+    }
+
     /// Record one sample.
     pub fn record(&mut self, x: u64) {
         self.counts[Self::bucket_of(x)] += 1;
@@ -158,6 +182,18 @@ impl BatchMeans {
             current: 0,
             in_current: 0,
         }
+    }
+
+    /// Re-dimension and empty the accumulator in place — equivalent to
+    /// `BatchMeans::new(nbatches, per_batch)` but reusing the batch
+    /// allocation when the count matches.
+    pub fn reset(&mut self, nbatches: usize, per_batch: u64) {
+        assert!(nbatches >= 2 && per_batch >= 1);
+        self.batches.clear();
+        self.batches.resize(nbatches, Welford::new());
+        self.per_batch = per_batch;
+        self.current = 0;
+        self.in_current = 0;
     }
 
     /// Add a sample.

@@ -27,4 +27,4 @@ pub use arrival::PoissonArrivals;
 pub use cluster::{ClusterMap, Clustering};
 pub use pattern::TrafficPattern;
 pub use size::MessageSizeDist;
-pub use workload::{Workload, WorkloadSpec};
+pub use workload::{Workload, WorkloadSpec, WorkloadTemplate};

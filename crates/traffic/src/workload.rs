@@ -18,6 +18,7 @@ use crate::pattern::{hot_spot_probabilities, TrafficPattern};
 use crate::size::MessageSizeDist;
 use minnet_topology::{Geometry, NodeAddr, NodeId};
 use rand::{Rng, RngExt};
+use std::sync::Arc;
 
 /// Declarative description of a workload.
 #[derive(Clone, Debug)]
@@ -68,28 +69,53 @@ enum DestSampler {
 }
 
 /// A compiled workload: what each node sends, to whom, and how often.
+///
+/// The destination samplers and cluster map are shared (`Arc`) with the
+/// [`WorkloadTemplate`] that produced them, so instantiating the same
+/// experiment at another load copies only the per-node rate vector.
 #[derive(Clone, Debug)]
 pub struct Workload {
     geometry: Geometry,
-    clusters: ClusterMap,
+    clusters: Arc<ClusterMap>,
     sizes: MessageSizeDist,
     offered_load: f64,
     /// Message rate per node, messages/cycle (0 for silent nodes).
     msg_rate: Vec<f64>,
-    samplers: Vec<DestSampler>,
+    samplers: Arc<[DestSampler]>,
 }
 
-impl Workload {
-    /// Compile a spec against a geometry.
+/// The load-independent part of a compiled workload: destination samplers,
+/// cluster structure, per-node rate weights, and the size distribution.
+///
+/// A sweep compiles the template **once** and calls
+/// [`WorkloadTemplate::workload_at`] per load point; the instantiation is
+/// a handful of multiplications and produces a [`Workload`] bit-identical
+/// (every `f64` down to its bit pattern) to what [`Workload::compile`]
+/// would build from scratch at that load — `compile` is itself a thin
+/// wrapper over this type, so there is only one code path to trust.
+#[derive(Clone, Debug)]
+pub struct WorkloadTemplate {
+    geometry: Geometry,
+    clusters: Arc<ClusterMap>,
+    sizes: MessageSizeDist,
+    samplers: Arc<[DestSampler]>,
+    /// Per-node relative rate weight (the node's cluster ratio entry).
+    node_weight: Vec<f64>,
+    /// Σ_c r_c |C_c| — the load-normalisation denominator.
+    weighted: f64,
+    mean_len: f64,
+}
+
+impl WorkloadTemplate {
+    /// Compile everything about `spec` that does not depend on
+    /// `spec.offered_load` (which is ignored here and supplied to
+    /// [`WorkloadTemplate::workload_at`] instead).
     ///
     /// # Errors
     ///
-    /// Reports invalid loads, malformed clusterings, rate/cluster count
-    /// mismatches, and permutation indices out of range.
-    pub fn compile(g: Geometry, spec: &WorkloadSpec) -> Result<Workload, String> {
-        if spec.offered_load <= 0.0 || !spec.offered_load.is_finite() {
-            return Err(format!("offered load must be positive, got {}", spec.offered_load));
-        }
+    /// Reports malformed clusterings, rate/cluster count mismatches, and
+    /// permutation indices out of range.
+    pub fn compile(g: Geometry, spec: &WorkloadSpec) -> Result<WorkloadTemplate, String> {
         spec.pattern.validate()?;
         spec.sizes.validate()?;
         let clusters = ClusterMap::build(&g, &spec.clustering)?;
@@ -121,14 +147,13 @@ impl Workload {
             .zip(&clusters.members)
             .map(|(r, m)| r * m.len() as f64)
             .sum();
-        let scale = spec.offered_load * n as f64 / weighted;
         let mean_len = spec.sizes.mean();
 
         let mut samplers = Vec::with_capacity(n);
-        let mut msg_rate = vec![0.0; n];
+        let mut node_weight = vec![0.0; n];
         for node in 0..n as u32 {
             let cl = clusters.cluster_of(node);
-            let flit_rate = rates[cl as usize] * scale;
+            node_weight[node as usize] = rates[cl as usize];
             let sampler = match spec.pattern {
                 TrafficPattern::Uniform => {
                     if clusters.members[cl as usize].len() < 2 {
@@ -163,20 +188,70 @@ impl Workload {
                     }
                 }
             };
-            if !matches!(sampler, DestSampler::Silent) && flit_rate > 0.0 {
-                msg_rate[node as usize] = flit_rate / mean_len;
-            }
             samplers.push(sampler);
         }
 
-        Ok(Workload {
+        Ok(WorkloadTemplate {
             geometry: g,
-            clusters,
+            clusters: Arc::new(clusters),
             sizes: spec.sizes,
-            offered_load: spec.offered_load,
-            msg_rate,
-            samplers,
+            samplers: samplers.into(),
+            node_weight,
+            weighted,
+            mean_len,
         })
+    }
+
+    /// The geometry this template was compiled for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Instantiate a [`Workload`] at the given offered load
+    /// (flits/cycle/node, averaged over all nodes).
+    ///
+    /// # Errors
+    ///
+    /// Reports non-positive or non-finite loads.
+    pub fn workload_at(&self, offered_load: f64) -> Result<Workload, String> {
+        if offered_load <= 0.0 || !offered_load.is_finite() {
+            return Err(format!("offered load must be positive, got {offered_load}"));
+        }
+        let n = self.geometry.nodes() as usize;
+        let scale = offered_load * n as f64 / self.weighted;
+        let mut msg_rate = vec![0.0; n];
+        for (node, rate) in msg_rate.iter_mut().enumerate() {
+            let flit_rate = self.node_weight[node] * scale;
+            if !matches!(self.samplers[node], DestSampler::Silent) && flit_rate > 0.0 {
+                *rate = flit_rate / self.mean_len;
+            }
+        }
+        Ok(Workload {
+            geometry: self.geometry,
+            clusters: Arc::clone(&self.clusters),
+            sizes: self.sizes,
+            offered_load,
+            msg_rate,
+            samplers: Arc::clone(&self.samplers),
+        })
+    }
+}
+
+impl Workload {
+    /// Compile a spec against a geometry — equivalent to
+    /// [`WorkloadTemplate::compile`] followed by
+    /// [`WorkloadTemplate::workload_at`] at `spec.offered_load` (it *is*
+    /// that, so the per-load fast path cannot drift from this one).
+    ///
+    /// # Errors
+    ///
+    /// Reports invalid loads, malformed clusterings, rate/cluster count
+    /// mismatches, and permutation indices out of range.
+    pub fn compile(g: Geometry, spec: &WorkloadSpec) -> Result<Workload, String> {
+        if spec.offered_load <= 0.0 || !spec.offered_load.is_finite() {
+            return Err(format!("offered load must be positive, got {}", spec.offered_load));
+        }
+        WorkloadTemplate::compile(g, spec)?.workload_at(spec.offered_load)
     }
 
     /// The geometry this workload was compiled for.
@@ -193,6 +268,7 @@ impl Workload {
     pub fn clusters(&self) -> &ClusterMap {
         &self.clusters
     }
+
 
     /// Message generation rate of `node` in messages/cycle; `0.0` means
     /// the node is silent.
@@ -382,6 +458,60 @@ mod tests {
             assert_eq!(w.message_rate(fp), 0.0);
         }
         assert!(w.message_rate(1) > 0.0);
+    }
+
+    #[test]
+    fn template_instantiation_is_bit_identical_to_compile() {
+        let g = g64();
+        let specs = [
+            WorkloadSpec::global_uniform(0.123),
+            WorkloadSpec {
+                offered_load: 0.7,
+                pattern: TrafficPattern::HotSpot { extra: 0.05 },
+                clustering: Clustering::cubes_from_patterns(&g, &["0XX", "1XX", "2XX", "3XX"])
+                    .unwrap(),
+                rates: Some(vec![4.0, 2.0, 1.0, 1.0]),
+                sizes: MessageSizeDist::PAPER,
+            },
+            WorkloadSpec {
+                offered_load: 0.31,
+                pattern: TrafficPattern::Permutation(Perm::PerfectShuffle),
+                clustering: Clustering::Global,
+                rates: None,
+                sizes: MessageSizeDist::Fixed(32),
+            },
+        ];
+        for spec in specs {
+            let tpl = WorkloadTemplate::compile(g, &spec).unwrap();
+            for load in [0.05, spec.offered_load, 0.9] {
+                let via_tpl = tpl.workload_at(load).unwrap();
+                let fresh = Workload::compile(
+                    g,
+                    &WorkloadSpec {
+                        offered_load: load,
+                        ..spec.clone()
+                    },
+                )
+                .unwrap();
+                for node in 0..g.nodes() {
+                    assert_eq!(
+                        via_tpl.message_rate(node).to_bits(),
+                        fresh.message_rate(node).to_bits(),
+                        "node {node} at load {load}"
+                    );
+                }
+                assert_eq!(via_tpl.offered_load().to_bits(), fresh.offered_load().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn template_rejects_bad_load_late() {
+        let tpl = WorkloadTemplate::compile(g64(), &WorkloadSpec::global_uniform(0.5)).unwrap();
+        assert!(tpl.workload_at(0.0).is_err());
+        assert!(tpl.workload_at(f64::NAN).is_err());
+        assert!(tpl.workload_at(0.4).is_ok());
+        assert_eq!(tpl.geometry(), g64());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Property tests for the compile-once pipeline: random specs, loads,
+//! seeds and scripts must behave **bit-identically** through the compiled
+//! path ([`CompiledExperiment`], [`CompiledNet`] + [`Script`]/[`Chain`])
+//! and the original one-shot path — and the precomputed routing table
+//! must answer exactly like the closed-form [`RouteLogic`] along random
+//! routes.
+//!
+//! The vendored proptest shim draws each test's cases from a fixed seed,
+//! so failures reproduce without a persistence file.
+
+use minnet::{CompiledExperiment, Experiment, NetworkSpec};
+use minnet_routing::{RouteLogic, RouteTable};
+use minnet_sim::{run_scripted, with_pooled_state, CompiledNet, EngineConfig, Script, ScriptedMsg};
+use minnet_topology::Geometry;
+use minnet_traffic::MessageSizeDist;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn lineup_spec(i: usize) -> NetworkSpec {
+    NetworkSpec::paper_lineup()[i % 4]
+}
+
+/// Compiled experiments are load-independent; build each lineup entry
+/// once for the whole test binary.
+fn compiled_lineup() -> &'static Vec<(Experiment, CompiledExperiment)> {
+    static CACHE: OnceLock<Vec<(Experiment, CompiledExperiment)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        NetworkSpec::paper_lineup()
+            .into_iter()
+            .map(|spec| {
+                let mut exp = Experiment::paper_default(spec);
+                exp.sizes = MessageSizeDist::Fixed(16);
+                exp.sim.warmup = 300;
+                exp.sim.measure = 1_500;
+                let compiled = exp.compile().unwrap();
+                (exp, compiled)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Random (network, load, seed): the compiled pipeline — shared
+    // routing table, pooled reused state — equals a fresh one-shot run
+    // bit for bit.
+    #[test]
+    fn compiled_run_equals_fresh_run(
+        which in 0usize..4,
+        load_pct in 5u32..65,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (exp, compiled) = &compiled_lineup()[which];
+        let load = f64::from(load_pct) / 100.0;
+        let fresh = exp.run_seeded(load, seed).unwrap();
+        let fast = compiled.run_seeded(load, seed).unwrap();
+        prop_assert!(
+            fresh.bitwise_eq(&fast),
+            "{} load {load} seed {seed:#x}: compiled diverged",
+            exp.network.name()
+        );
+    }
+
+    // Random scripts: compiling the script once (validate + sort once)
+    // and replaying it through `CompiledNet::run_script` equals the
+    // per-call `run_scripted` wrapper bit for bit.
+    #[test]
+    fn compiled_script_equals_run_scripted(
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+        raw in proptest::collection::vec((0u64..60, 0u32..64, 0u32..64, 1u32..24), 1..40),
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = Arc::new(spec.build(g));
+        let msgs: Vec<ScriptedMsg> = raw
+            .into_iter()
+            .map(|(time, src, dst, len)| ScriptedMsg {
+                time,
+                src,
+                // Self-sends are invalid by contract; remap instead of
+                // discarding so every drawn case tests something.
+                dst: if dst == src { (dst + 1) % 64 } else { dst },
+                len,
+            })
+            .collect();
+        let cfg = EngineConfig {
+            vcs: spec.vcs(),
+            warmup: 0,
+            measure: 1_000_000,
+            seed,
+            ..EngineConfig::default()
+        };
+        let wrapper = run_scripted(&net, &msgs, &cfg).unwrap();
+        let script = Script::compile(g, &msgs).unwrap();
+        let compiled = CompiledNet::new(Arc::clone(&net), cfg).unwrap();
+        let fast = with_pooled_state(|st| compiled.run_script(&script, seed, st)).unwrap();
+        prop_assert!(
+            wrapper.bitwise_eq(&fast),
+            "{} seed {seed:#x}: compiled script diverged",
+            spec.name()
+        );
+        prop_assert_eq!(wrapper.delivered_packets as usize, msgs.len());
+    }
+
+    // Random routes: walking a (src, dst) route with `RouteLogic`, the
+    // precomputed table must offer the identical candidate slice at
+    // every hop — on all four networks.
+    #[test]
+    fn route_table_matches_logic_along_random_routes(
+        which in 0usize..4,
+        src in 0u32..64,
+        dst_raw in 0u32..64,
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = spec.build(g);
+        let dst = if dst_raw == src { (dst_raw + 1) % 64 } else { dst_raw };
+        let logic = RouteLogic::for_kind(net.kind);
+        let table = RouteTable::build(&net).unwrap();
+        // Breadth-first over every channel the route may visit.
+        let mut frontier = vec![net.inject[src as usize]];
+        let mut seen = vec![false; net.num_channels()];
+        seen[net.inject[src as usize] as usize] = true;
+        let mut expect = Vec::new();
+        let mut hops = 0usize;
+        while let Some(at) = frontier.pop() {
+            logic.candidates(&net, src, dst, at, &mut expect);
+            prop_assert_eq!(
+                table.candidates(at, dst),
+                &expect[..],
+                "{}: channel {} → {}",
+                spec.name(),
+                at,
+                dst
+            );
+            hops += 1;
+            for &c in &expect {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
+                    frontier.push(c);
+                }
+            }
+        }
+        prop_assert!(hops > 1, "route must traverse at least one switch");
+    }
+}

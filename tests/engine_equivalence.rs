@@ -1,6 +1,6 @@
 //! Differential tests: the occupancy-scaled engine against the frozen
 //! scan-everything reference (`minnet_sim::reference`, feature
-//! `reference-engine`).
+//! `reference-engine`), and the compiled pipeline against both.
 //!
 //! The optimized engine's contract is **bit-identical** [`SimReport`]s —
 //! every integer equal, every float equal down to its bit pattern
@@ -10,16 +10,24 @@
 //! occupied-channel sweep) must be pure scheduling: any reordered RNG
 //! draw, dropped request, or skipped ready channel shows up here as a
 //! diverging report.
+//!
+//! The compile-once path ([`CompiledNet`] + reused [`EngineState`],
+//! routing through the precomputed [`minnet_routing::RouteTable`]) is
+//! held to the same standard: every differential below runs it third,
+//! *reusing one engine state across all networks and seeds*, so a table
+//! cell that disagrees with [`minnet_routing::RouteLogic`] or a reset
+//! path that leaks state across runs diverges here.
 
 use minnet::NetworkSpec;
 use minnet_sim::{
-    reference, run_chained, run_scripted, run_simulation, ChainedMsg, EngineConfig, ScriptedMsg,
-    SimReport,
+    reference, run_chained, run_scripted, run_simulation, Chain, ChainedMsg, CompiledNet,
+    EngineConfig, EngineState, Script, ScriptedMsg, SimReport,
 };
 use minnet_topology::Geometry;
 use minnet_traffic::{Workload, WorkloadSpec};
+use std::sync::Arc;
 
-const SEEDS: [u64; 2] = [0x5EED, 0xD1FF_E7EA];
+const SEEDS: [u64; 3] = [0x5EED, 0xD1FF_E7EA, 0xC0FF_EE00_0042];
 
 fn cfg_for(spec: &NetworkSpec, seed: u64) -> EngineConfig {
     EngineConfig {
@@ -39,18 +47,23 @@ fn assert_identical(kind: &str, opt: &SimReport, refr: &SimReport) {
     );
 }
 
-/// Poisson traffic: moderate load, all four §5.3 networks, two seeds.
+/// Poisson traffic: moderate load, all four §5.3 networks, three seeds,
+/// three engines (optimized, reference, compiled-with-reused-state).
 #[test]
 fn poisson_reports_are_bit_identical() {
     let g = Geometry::new(4, 3);
+    let mut st = EngineState::new(); // one state across ALL runs below
     for spec in NetworkSpec::paper_lineup() {
-        let net = spec.build(g);
+        let net = Arc::new(spec.build(g));
         let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.35)).unwrap();
+        let compiled = CompiledNet::new(Arc::clone(&net), cfg_for(&spec, 0)).unwrap();
         for seed in SEEDS {
             let cfg = cfg_for(&spec, seed);
             let opt = run_simulation(&net, &wl, &cfg).unwrap();
             let refr = reference::run_simulation(&net, &wl, &cfg).unwrap();
             assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            let fast = compiled.run_poisson(&wl, seed, &mut st).unwrap();
+            assert_identical(&format!("{} seed {seed:#x} compiled", spec.name()), &fast, &refr);
             assert!(opt.delivered_packets > 0, "{}: nothing simulated", spec.name());
         }
     }
@@ -84,16 +97,22 @@ fn script(g: Geometry) -> Vec<ScriptedMsg> {
 #[test]
 fn scripted_reports_are_bit_identical() {
     let g = Geometry::new(4, 3);
+    let mut st = EngineState::new();
     for spec in NetworkSpec::paper_lineup() {
-        let net = spec.build(g);
+        let net = Arc::new(spec.build(g));
+        let mut base = cfg_for(&spec, 0);
+        base.warmup = 0;
+        base.measure = 1_000_000;
+        base.collect_trace = true;
+        let compiled = CompiledNet::new(Arc::clone(&net), base.clone()).unwrap();
+        let once = Script::compile(g, &script(g)).unwrap(); // validated once
         for seed in SEEDS {
-            let mut cfg = cfg_for(&spec, seed);
-            cfg.warmup = 0;
-            cfg.measure = 1_000_000;
-            cfg.collect_trace = true;
+            let cfg = EngineConfig { seed, ..base.clone() };
             let opt = run_scripted(&net, &script(g), &cfg).unwrap();
             let refr = reference::run_scripted(&net, &script(g), &cfg).unwrap();
             assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            let fast = compiled.run_script(&once, seed, &mut st).unwrap();
+            assert_identical(&format!("{} seed {seed:#x} compiled", spec.name()), &fast, &refr);
             assert_eq!(
                 opt.delivered_packets as usize,
                 script(g).len(),
@@ -144,16 +163,22 @@ fn chain(g: Geometry) -> Vec<ChainedMsg> {
 #[test]
 fn chained_reports_are_bit_identical() {
     let g = Geometry::new(4, 3);
+    let mut st = EngineState::new();
     for spec in NetworkSpec::paper_lineup() {
-        let net = spec.build(g);
+        let net = Arc::new(spec.build(g));
+        let mut base = cfg_for(&spec, 0);
+        base.warmup = 0;
+        base.measure = 1_000_000;
+        base.collect_trace = true;
+        let compiled = CompiledNet::new(Arc::clone(&net), base.clone()).unwrap();
+        let once = Chain::compile(g, &chain(g), 20).unwrap();
         for seed in SEEDS {
-            let mut cfg = cfg_for(&spec, seed);
-            cfg.warmup = 0;
-            cfg.measure = 1_000_000;
-            cfg.collect_trace = true;
+            let cfg = EngineConfig { seed, ..base.clone() };
             let opt = run_chained(&net, &chain(g), 20, &cfg).unwrap();
             let refr = reference::run_chained(&net, &chain(g), 20, &cfg).unwrap();
             assert_identical(&format!("{} seed {seed:#x}", spec.name()), &opt, &refr);
+            let fast = compiled.run_chain(&once, seed, &mut st).unwrap();
+            assert_identical(&format!("{} seed {seed:#x} compiled", spec.name()), &fast, &refr);
             assert_eq!(
                 opt.delivered_packets as usize,
                 chain(g).len(),
@@ -195,29 +220,99 @@ fn crossbar_validated_run_is_bit_identical() {
 }
 
 /// A parallel sweep must give byte-for-byte the same curve no matter how
-/// many worker threads carve it up — each point owns a derived seed and
-/// its own engine.
+/// many worker threads carve it up — each task owns a derived seed, and
+/// workers reuse their own engine states. All four networks, 1 vs 8
+/// threads, and the sweep must equal what per-point one-shot runs give.
 #[test]
 fn sweep_reports_are_thread_count_invariant() {
     use minnet::sweep::latency_throughput_curve;
     use minnet::Experiment;
     use minnet_traffic::MessageSizeDist;
 
-    let mut exp = Experiment::paper_default(NetworkSpec::tmin());
+    let loads = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75];
+    for spec in NetworkSpec::paper_lineup() {
+        let mut exp = Experiment::paper_default(spec);
+        exp.sizes = MessageSizeDist::Fixed(32);
+        exp.sim.warmup = 500;
+        exp.sim.measure = 4_000;
+        let seq = latency_throughput_curve(&exp, &loads, 1).unwrap();
+        let par = latency_throughput_curve(&exp, &loads, 8).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.offered.to_bits(), b.offered.to_bits());
+            assert!(
+                a.report.bitwise_eq(&b.report),
+                "{}: thread count changed the report at load {}",
+                spec.name(),
+                a.offered
+            );
+        }
+    }
+}
+
+/// The replicated sweep parallelizes over the (point, replication) grid;
+/// its aggregates must not depend on how workers claim that grid.
+#[test]
+fn replicated_sweep_is_thread_count_invariant() {
+    use minnet::sweep::replicated_curve;
+    use minnet::Experiment;
+    use minnet_traffic::MessageSizeDist;
+
+    let mut exp = Experiment::paper_default(NetworkSpec::vmin(2));
     exp.sizes = MessageSizeDist::Fixed(32);
     exp.sim.warmup = 500;
     exp.sim.measure = 4_000;
-    let loads = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75];
-    let seq = latency_throughput_curve(&exp, &loads, 1).unwrap();
-    let par = latency_throughput_curve(&exp, &loads, 8).unwrap();
-    assert_eq!(seq.len(), par.len());
+    let loads = [0.1, 0.3, 0.5];
+    let seq = replicated_curve(&exp, &loads, 5, 1).unwrap();
+    let par = replicated_curve(&exp, &loads, 5, 8).unwrap();
     for (a, b) in seq.iter().zip(&par) {
-        assert_eq!(a.offered.to_bits(), b.offered.to_bits());
-        assert!(
-            a.report.bitwise_eq(&b.report),
-            "thread count changed the report at load {}",
-            a.offered
+        assert_eq!(a.mean_latency_cycles.to_bits(), b.mean_latency_cycles.to_bits());
+        assert_eq!(a.latency_ci95_cycles.to_bits(), b.latency_ci95_cycles.to_bits());
+        assert_eq!(
+            a.accepted_flits_per_node_cycle.to_bits(),
+            b.accepted_flits_per_node_cycle.to_bits()
         );
+        for (x, y) in a.replications.iter().zip(&b.replications) {
+            assert!(x.bitwise_eq(y), "replication diverged at load {}", a.offered);
+        }
+    }
+}
+
+/// One engine state dragged across traffic *modes* (Poisson → scripted →
+/// chained → Poisson) must behave exactly like fresh states: the reset
+/// path owns every mode-specific structure (heaps, delivery logs,
+/// traces).
+#[test]
+fn state_reuse_across_traffic_modes_is_bit_identical() {
+    let g = Geometry::new(4, 3);
+    let spec = NetworkSpec::dmin(2);
+    let net = Arc::new(spec.build(g));
+    let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.3)).unwrap();
+    let mut poisson_cfg = cfg_for(&spec, SEEDS[0]);
+    poisson_cfg.collect_trace = true;
+    let mut det_cfg = poisson_cfg.clone();
+    det_cfg.warmup = 0;
+    det_cfg.measure = 1_000_000;
+
+    let compiled_p = CompiledNet::new(Arc::clone(&net), poisson_cfg.clone()).unwrap();
+    let compiled_d = CompiledNet::new(Arc::clone(&net), det_cfg.clone()).unwrap();
+    let once_script = Script::compile(g, &script(g)).unwrap();
+    let once_chain = Chain::compile(g, &chain(g), 20).unwrap();
+
+    // Fresh-state baselines.
+    let want_p = run_simulation(&net, &wl, &poisson_cfg).unwrap();
+    let want_s = run_scripted(&net, &script(g), &det_cfg).unwrap();
+    let want_c = run_chained(&net, &chain(g), 20, &det_cfg).unwrap();
+
+    // The same state cycles through all modes, twice.
+    let mut st = EngineState::new();
+    for round in 0..2 {
+        let p = compiled_p.run_poisson(&wl, SEEDS[0], &mut st).unwrap();
+        assert_identical(&format!("poisson round {round}"), &p, &want_p);
+        let s = compiled_d.run_script(&once_script, SEEDS[0], &mut st).unwrap();
+        assert_identical(&format!("scripted round {round}"), &s, &want_s);
+        let c = compiled_d.run_chain(&once_chain, SEEDS[0], &mut st).unwrap();
+        assert_identical(&format!("chained round {round}"), &c, &want_c);
     }
 }
 

@@ -1,0 +1,86 @@
+//! [`Router::Table`] vs [`Router::Logic`] across switch radix and
+//! network size.
+//!
+//! The compiled pipeline answers "where may this header go next" from a
+//! precomputed per-(channel, destination) [`RouteTable`]; the one-shot
+//! path recomputes the closed-form [`RouteLogic`] at every hop. Both
+//! produce bit-identical reports, so the only question is cost — and
+//! the answer depends on the switch radix `k` (candidate fan-out per
+//! hop, table row width) and the network size (table footprint vs cache)
+//! in ways a single 64-node BMIN point can't show. Two sweeps:
+//!
+//! * **radix** — 64 nodes factored as k ∈ {2, 4, 8} (k^n fixed:
+//!   2^6 = 4^3 = 8^2), for both the TMIN and BMIN lineups;
+//! * **size** — k = 4 with n ∈ {2, 3, 4} (16 → 256 nodes) on the BMIN,
+//!   where routing work per header is deepest.
+//!
+//! Every pair runs the same Poisson workload at a moderate 0.3 load with
+//! identical seeds; the table path reuses one [`EngineState`] exactly as
+//! sweeps do.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet::NetworkSpec;
+use minnet_sim::{run_simulation, CompiledNet, EngineConfig, EngineState};
+use minnet_topology::Geometry;
+use minnet_traffic::{MessageSizeDist, Workload, WorkloadSpec};
+use std::sync::Arc;
+
+const LOAD: f64 = 0.3;
+
+fn probe_cfg(spec: &NetworkSpec) -> EngineConfig {
+    EngineConfig {
+        vcs: spec.vcs(),
+        warmup: 200,
+        measure: 2_000,
+        ..EngineConfig::default()
+    }
+}
+
+/// Bench the same run through per-hop logic and through the table.
+fn bench_pair(c: &mut Criterion, group_name: &str, label: &str, spec: &NetworkSpec, g: Geometry) {
+    let net = Arc::new(spec.build(g));
+    let mut wspec = WorkloadSpec::global_uniform(LOAD);
+    wspec.sizes = MessageSizeDist::Fixed(64);
+    let wl = Workload::compile(g, &wspec).expect("workload compiles");
+    let cfg = probe_cfg(spec);
+    let compiled = CompiledNet::new(Arc::clone(&net), cfg.clone()).expect("net compiles");
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("logic", label), &(), |b, _| {
+        b.iter(|| run_simulation(&net, &wl, &cfg).expect("simulation runs"));
+    });
+    group.bench_with_input(BenchmarkId::new("table", label), &(), |b, _| {
+        let mut st = EngineState::new();
+        b.iter(|| {
+            compiled
+                .run_poisson(&wl, cfg.seed, &mut st)
+                .expect("simulation runs")
+        });
+    });
+    group.finish();
+}
+
+fn radix_sweep(c: &mut Criterion) {
+    // 64 nodes under every radix: 2^6 = 4^3 = 8^2.
+    for (k, n) in [(2u32, 6u32), (4, 3), (8, 2)] {
+        let g = Geometry::new(k, n);
+        for spec in [NetworkSpec::tmin(), NetworkSpec::Bmin] {
+            let label = format!("{}_k{k}n{n}", spec.name());
+            bench_pair(c, "router_modes_radix", &label, &spec, g);
+        }
+    }
+}
+
+fn size_sweep(c: &mut Criterion) {
+    // Fixed radix, growing network: 16, 64, 256 nodes.
+    for n in [2u32, 3, 4] {
+        let g = Geometry::new(4, n);
+        let spec = NetworkSpec::Bmin;
+        let label = format!("{}_k4n{n}", spec.name());
+        bench_pair(c, "router_modes_size", &label, &spec, g);
+    }
+}
+
+criterion_group!(benches, radix_sweep, size_sweep);
+criterion_main!(benches);

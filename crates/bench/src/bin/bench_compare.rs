@@ -1,0 +1,108 @@
+//! Compare a fresh `BENCH_sweep.json` against the committed
+//! `BENCH_baseline.json` and report per-network throughput drift.
+//!
+//! ```text
+//! cargo run --release -p minnet-bench --bin bench_compare -- \
+//!     BENCH_baseline.json BENCH_sweep.json [diff_summary.txt]
+//! ```
+//!
+//! For every network present in both files the tool diffs the headline
+//! `cycles_per_sec` (single-threaded engine throughput over the whole
+//! load sweep) and flags drift beyond ±20%. The exit status is always 0:
+//! shared CI runners have noisy and heterogeneous CPUs, so the
+//! comparison is a **warning, not a gate** — the summary (also written
+//! to the optional third argument for artifact upload) is the record to
+//! look at when a regression is suspected.
+//!
+//! The parser is deliberately minimal: this offline workspace has no
+//! serde, and both files are produced by `sweep_smoke`'s known
+//! line-oriented writer. It keys on trimmed lines starting with
+//! `"name":` / `"cycles_per_sec":`; the per-load rows are single-line
+//! objects starting with `{`, so they never match.
+
+use std::fmt::Write as _;
+
+/// Extract `(name, cycles_per_sec)` pairs from `sweep_smoke` JSON.
+fn parse_networks(src: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut current: Option<String> = None;
+    for line in src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\":") {
+            let name = rest.trim().trim_end_matches(',').trim_matches('"');
+            current = Some(name.to_string());
+        } else if let Some(rest) = t.strip_prefix("\"cycles_per_sec\":") {
+            if let Some(name) = current.take() {
+                let v: f64 = rest
+                    .trim()
+                    .trim_end_matches(',')
+                    .parse()
+                    .unwrap_or(f64::NAN);
+                out.push((name, v));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().ok_or("usage: bench_compare BASELINE CURRENT [OUT]")?;
+    let current_path = args.next().ok_or("usage: bench_compare BASELINE CURRENT [OUT]")?;
+    let out_path = args.next();
+
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let baseline = parse_networks(&read(&baseline_path)?);
+    let current = parse_networks(&read(&current_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no networks parsed"));
+    }
+    if current.is_empty() {
+        return Err(format!("{current_path}: no networks parsed"));
+    }
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "cycles_per_sec: {current_path} vs baseline {baseline_path} (warn at ±20%)"
+    );
+    let mut warned = 0usize;
+    for (name, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(summary, "  {name:>16}: MISSING from current run");
+            warned += 1;
+            continue;
+        };
+        let ratio = cur / base;
+        let flag = if !(0.8..=1.2).contains(&ratio) {
+            warned += 1;
+            if ratio < 1.0 {
+                "  <-- WARNING: slower than baseline"
+            } else {
+                "  (faster than baseline; consider refreshing it)"
+            }
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            summary,
+            "  {name:>16}: {cur:12.0} vs {base:12.0}  ({:+6.1}%){flag}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(summary, "  {name:>16}: new network (no baseline)");
+        }
+    }
+    let _ = writeln!(
+        summary,
+        "{warned} warning(s); informational only — shared runners are noisy"
+    );
+
+    print!("{summary}");
+    if let Some(p) = out_path {
+        std::fs::write(&p, &summary).map_err(|e| format!("writing {p}: {e}"))?;
+    }
+    Ok(())
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p minnet-bench --bin sweep_smoke            # ./BENCH_sweep.json
 //! cargo run --release -p minnet-bench --bin sweep_smoke -- out.json
+//! cargo run --release -p minnet-bench --features hotstats --bin sweep_smoke
 //! ```
 //!
 //! For each paper-lineup network the binary measures, with wall clocks
@@ -11,17 +12,31 @@
 //!
 //! * `setup_ms` — one [`Experiment::compile`]: graph + routing table +
 //!   workload template;
-//! * `run_ms` / `cycles_per_sec` — a fixed 6-point replicated micro-sweep
-//!   (3 replications) through [`replicated_curve`], which reuses the
-//!   compiled artifacts and per-worker engine states;
-//! * `one_shot_ms` — the same 18 runs issued as independent
+//! * `loads[]` — one row per offered load, each a single-threaded
+//!   replicated point (3 replications) through [`replicated_curve`]:
+//!   wall time, simulated cycles, and cycles/sec. Per-load rows make
+//!   load-dependent engine changes (the event-horizon fast-forward, the
+//!   struct-of-arrays hot state) visible instead of averaged away;
+//! * `run_ms` / `cycles_per_sec` — the single-threaded totals over all
+//!   load rows, the engine-throughput headline CI compares against
+//!   `BENCH_baseline.json`;
+//! * `run_ms_mt` — the same full sweep issued once through
+//!   `replicated_curve`'s worker pool with `threads_used` workers
+//!   (`available_parallelism`, capped at 8), the scaling row;
+//! * `one_shot_ms` — the same runs issued as independent
 //!   [`Experiment::run_seeded`] calls, the pre-compilation cost model.
+//!
+//! With the `hotstats` feature on, every load row also carries the
+//! engine's per-phase breakdown (arrivals/allocate/transmit wall time,
+//! executed vs fast-forward-skipped cycles) drained from
+//! `minnet_sim::hotstats` between rows.
 //!
 //! The JSON is written by hand (no serde in this offline workspace); the
 //! schema is one object per network in `"networks"`, plus a `"meta"`
-//! object recording the sweep shape. CI uploads the file as an artifact,
-//! so regressions in either the compiled path or the setup split leave a
-//! history.
+//! object recording the sweep shape. CI uploads the file as an artifact
+//! and diffs `cycles_per_sec` against the committed `BENCH_baseline.json`
+//! (warn-only; see `bench_compare`), so regressions in the compiled path,
+//! the setup split, or any single load row leave a history.
 
 use minnet::sweep::replicated_curve;
 use minnet::{Experiment, NetworkSpec};
@@ -29,7 +44,7 @@ use minnet_traffic::MessageSizeDist;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+const LOADS: [f64; 7] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
 const REPLICATIONS: usize = 3;
 const WARMUP: u64 = 500;
 const MEASURE: u64 = 4_000;
@@ -42,15 +57,27 @@ fn smoke_experiment(spec: NetworkSpec) -> Experiment {
     exp
 }
 
+/// One single-threaded replicated point at a fixed load.
+struct LoadRow {
+    load: f64,
+    run_ms: f64,
+    cycles: u64,
+    cycles_per_sec: f64,
+    #[cfg(feature = "hotstats")]
+    hot: minnet_sim::hotstats::HotStats,
+}
+
 struct NetResult {
     name: String,
     setup_ms: f64,
     run_ms: f64,
+    run_ms_mt: f64,
     one_shot_ms: f64,
     cycles_per_sec: f64,
     total_cycles: u64,
     mean_latency_cycles: f64,
     latency_ci95_cycles: f64,
+    loads: Vec<LoadRow>,
 }
 
 fn ms(from: Instant) -> f64 {
@@ -65,9 +92,37 @@ fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String>
     let setup_ms = ms(t);
     drop(compiled); // replicated_curve compiles internally; timed apart
 
+    // Per-load single-threaded rows: comparable engine throughput,
+    // unpolluted by worker scheduling.
+    #[cfg(feature = "hotstats")]
+    let _ = minnet_sim::hotstats::take(); // drain other sections' counters
+    let mut loads = Vec::with_capacity(LOADS.len());
+    let mut knee_latency = (0.0, 0.0);
+    for &load in &LOADS {
+        let t = Instant::now();
+        let pts = replicated_curve(&exp, &[load], REPLICATIONS, 1)?;
+        let run_ms = ms(t);
+        let point = &pts[0];
+        let cycles: u64 = point.replications.iter().map(|r| r.cycles).sum();
+        knee_latency = (point.mean_latency_cycles, point.latency_ci95_cycles);
+        loads.push(LoadRow {
+            load,
+            run_ms,
+            cycles,
+            cycles_per_sec: cycles as f64 / (run_ms / 1e3),
+            #[cfg(feature = "hotstats")]
+            hot: minnet_sim::hotstats::take(),
+        });
+    }
+    let run_ms: f64 = loads.iter().map(|r| r.run_ms).sum();
+    let total_cycles: u64 = loads.iter().map(|r| r.cycles).sum();
+
+    // The same full sweep through the worker pool — the scaling row.
     let t = Instant::now();
-    let points = replicated_curve(&exp, &LOADS, REPLICATIONS, threads)?;
-    let run_ms = ms(t);
+    replicated_curve(&exp, &LOADS, REPLICATIONS, threads)?;
+    let run_ms_mt = ms(t);
+    #[cfg(feature = "hotstats")]
+    let _ = minnet_sim::hotstats::take(); // keep MT noise out of load rows
 
     // The same number of runs issued one-shot — every run re-validates
     // the spec, rebuilds the graph, recompiles the workload, and
@@ -81,38 +136,62 @@ fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String>
     }
     let one_shot_ms = ms(t);
 
-    let total_cycles: u64 = points
-        .iter()
-        .flat_map(|p| p.replications.iter().map(|r| r.cycles))
-        .sum();
-    let knee = points.last().expect("sweep is nonempty");
     Ok(NetResult {
         name: spec.name(),
         setup_ms,
         run_ms,
+        run_ms_mt,
         one_shot_ms,
         cycles_per_sec: total_cycles as f64 / (run_ms / 1e3),
         total_cycles,
-        mean_latency_cycles: knee.mean_latency_cycles,
-        latency_ci95_cycles: knee.latency_ci95_cycles,
+        mean_latency_cycles: knee_latency.0,
+        latency_ci95_cycles: knee_latency.1,
+        loads,
     })
+}
+
+fn write_load_row(json: &mut String, r: &LoadRow, last: bool) {
+    json.push_str("        {");
+    let _ = write!(
+        json,
+        "\"load\": {}, \"run_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}",
+        r.load, r.run_ms, r.cycles, r.cycles_per_sec
+    );
+    #[cfg(feature = "hotstats")]
+    {
+        let h = &r.hot;
+        let _ = write!(
+            json,
+            ", \"arrivals_ms\": {:.3}, \"allocate_ms\": {:.3}, \"transmit_ms\": {:.3}, \
+             \"cycles_executed\": {}, \"cycles_skipped\": {}, \"ff_jumps\": {}, \
+             \"skipped_fraction\": {:.6}",
+            h.arrivals_ns as f64 / 1e6,
+            h.allocate_ns as f64 / 1e6,
+            h.transmit_ns as f64 / 1e6,
+            h.cycles_executed,
+            h.cycles_skipped,
+            h.ff_jumps,
+            h.skipped_fraction()
+        );
+    }
+    json.push_str(if last { "}\n" } else { "},\n" });
 }
 
 fn main() -> Result<(), String> {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_sweep.json".into());
-    let threads = std::thread::available_parallelism()
+    let threads_detected = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
+        .unwrap_or(1);
+    let threads = threads_detected.min(8);
 
     let mut results = Vec::new();
     for spec in NetworkSpec::paper_lineup() {
         let r = bench_network(spec, threads)?;
         println!(
-            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s) | one-shot {:8.2} ms",
-            r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.one_shot_ms
+            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s, 1 thread; {:8.2} ms on {threads}) | one-shot {:8.2} ms",
+            r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.run_ms_mt, r.one_shot_ms
         );
         results.push(r);
     }
@@ -122,13 +201,16 @@ fn main() -> Result<(), String> {
     let _ = writeln!(json, "    \"replications\": {REPLICATIONS},");
     let _ = writeln!(json, "    \"warmup\": {WARMUP},");
     let _ = writeln!(json, "    \"measure\": {MEASURE},");
-    let _ = writeln!(json, "    \"threads\": {threads}");
+    let _ = writeln!(json, "    \"threads_detected\": {threads_detected},");
+    let _ = writeln!(json, "    \"threads_used\": {threads},");
+    let _ = writeln!(json, "    \"hotstats\": {}", cfg!(feature = "hotstats"));
     json.push_str("  },\n  \"networks\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
         let _ = writeln!(json, "      \"setup_ms\": {:.3},", r.setup_ms);
         let _ = writeln!(json, "      \"run_ms\": {:.3},", r.run_ms);
+        let _ = writeln!(json, "      \"run_ms_mt\": {:.3},", r.run_ms_mt);
         let _ = writeln!(json, "      \"one_shot_ms\": {:.3},", r.one_shot_ms);
         let _ = writeln!(json, "      \"cycles_per_sec\": {:.1},", r.cycles_per_sec);
         let _ = writeln!(json, "      \"total_cycles\": {},", r.total_cycles);
@@ -139,9 +221,14 @@ fn main() -> Result<(), String> {
         );
         let _ = writeln!(
             json,
-            "      \"latency_ci95_cycles\": {:.6}",
+            "      \"latency_ci95_cycles\": {:.6},",
             r.latency_ci95_cycles
         );
+        json.push_str("      \"loads\": [\n");
+        for (j, row) in r.loads.iter().enumerate() {
+            write_load_row(&mut json, row, j + 1 == r.loads.len());
+        }
+        json.push_str("      ]\n");
         json.push_str(if i + 1 < results.len() {
             "    },\n"
         } else {

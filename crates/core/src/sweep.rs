@@ -121,7 +121,10 @@ pub fn compiled_curve(
 /// each) aggregated into across-replication means and 95% confidence
 /// half-widths. Unlike the within-run batch-means interval — which must
 /// fight autocorrelation — replication means are independent samples, so
-/// the plain normal-approximation interval (`1.96·s/√R`) applies.
+/// the classical i.i.d. interval `t₀.₀₂₅,R₋₁·s/√R` applies.
+/// [`Welford::ci95_half_width`] uses the Student-t critical value for
+/// the small `R` typical here (4.30 at `R = 3`, not 1.96 — the normal
+/// approximation would understate a 3-replication interval by half).
 #[derive(Clone, Debug)]
 pub struct ReplicatedPoint {
     /// Nominal offered load (flits/cycle/node).
@@ -377,6 +380,30 @@ mod tests {
         }
         // More load, more latency — also through the aggregate.
         assert!(pts[1].mean_latency_cycles > pts[0].mean_latency_cycles);
+    }
+
+    #[test]
+    fn replicated_ci_uses_student_t_across_replications() {
+        // R = 3 → 2 degrees of freedom → t₀.₀₂₅ = 4.303, rebuilt here
+        // from the published replication reports. The old normal-based
+        // 1.96·s/√3 would be ~2.2× too narrow.
+        let exp = quick();
+        let p = &replicated_curve(&exp, &[0.3], 3, 1).unwrap()[0];
+        let lats: Vec<f64> = p
+            .replications
+            .iter()
+            .map(|r| r.mean_latency_cycles)
+            .collect();
+        let mean = lats.iter().sum::<f64>() / 3.0;
+        let var = lats.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / 2.0;
+        let want = 4.303 * (var / 3.0).sqrt();
+        assert!(
+            (p.latency_ci95_cycles - want).abs() <= 1e-9 * want,
+            "ci {} vs t-based {want}",
+            p.latency_ci95_cycles
+        );
+        let normal = 1.96 * (var / 3.0).sqrt();
+        assert!(p.latency_ci95_cycles > 2.0 * normal);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Dense index sets for the engine's occupancy-scaled hot loop.
+//! Dense index sets and flat lane-buffer storage for the engine's
+//! occupancy-scaled hot loop.
 //!
 //! The engine keeps three active sets so its per-cycle cost tracks
 //! *occupancy* (in-flight worms, nonempty sources, claimed channels)
@@ -18,6 +19,103 @@
 //! Iteration order is always ascending index, which is what keeps the
 //! optimized engine's request ordering (and thus its RNG stream)
 //! bit-identical to the reference engine's full scans.
+
+use minnet_switch::FlitRef;
+
+/// Flat struct-of-arrays storage for every lane's flit FIFO.
+///
+/// The engine used to keep one heap-allocated `VecDeque`-backed
+/// [`minnet_switch::FlitFifo`] per lane inside an array-of-structs
+/// `Lane`; every buffer probe in the allocate/transmit sweeps then chased
+/// a pointer to a separately-allocated ring. This repack stores all
+/// buffers in **three dense arrays** — `store` (the rings themselves,
+/// `depth` slots per lane), `head`, and `len` — so occupancy checks touch
+/// contiguous `u32` lanes and the common `depth == 1` case reads the flit
+/// straight out of a flat array. Semantics are exactly a per-lane bounded
+/// FIFO; only the memory layout changed.
+#[derive(Clone, Debug, Default)]
+pub struct LaneBufs {
+    store: Vec<FlitRef>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    depth: u32,
+}
+
+impl LaneBufs {
+    /// Empty all buffers and re-dimension for `lanes` lanes of `depth`
+    /// flits each, keeping allocations when dimensions allow.
+    pub fn reset(&mut self, lanes: usize, depth: u32) {
+        assert!(depth >= 1, "a channel buffer holds at least one flit");
+        self.depth = depth;
+        let filler = FlitRef { packet: 0, index: 0 };
+        self.store.clear();
+        self.store.resize(lanes * depth as usize, filler);
+        self.head.clear();
+        self.head.resize(lanes, 0);
+        self.len.clear();
+        self.len.resize(lanes, 0);
+    }
+
+    /// Buffer capacity per lane.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether lane `li` buffers no flit.
+    #[inline]
+    pub fn is_empty(&self, li: usize) -> bool {
+        self.len[li] == 0
+    }
+
+    /// Whether lane `li`'s buffer is full.
+    #[inline]
+    pub fn is_full(&self, li: usize) -> bool {
+        self.len[li] == self.depth
+    }
+
+    /// The oldest flit buffered in lane `li`, if any.
+    #[inline]
+    pub fn front(&self, li: usize) -> Option<FlitRef> {
+        if self.len[li] == 0 {
+            None
+        } else {
+            Some(self.store[li * self.depth as usize + self.head[li] as usize])
+        }
+    }
+
+    /// Remove and return lane `li`'s oldest flit.
+    #[inline]
+    pub fn pop(&mut self, li: usize) -> Option<FlitRef> {
+        if self.len[li] == 0 {
+            return None;
+        }
+        let f = self.store[li * self.depth as usize + self.head[li] as usize];
+        // `head < depth` always, so one conditional wrap replaces the
+        // (runtime-divisor) modulo on the hot flit-move path.
+        let h = self.head[li] + 1;
+        self.head[li] = if h == self.depth { 0 } else { h };
+        self.len[li] -= 1;
+        Some(f)
+    }
+
+    /// Append a flit to lane `li`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's buffer is full — the engine must check
+    /// [`LaneBufs::is_full`] first, exactly as with the per-lane FIFO.
+    #[inline]
+    pub fn push(&mut self, li: usize, f: FlitRef) {
+        assert!(self.len[li] < self.depth, "overfilling a lane buffer");
+        // `head < depth` and `len < depth` here, so the ring offset needs
+        // at most one wrap — no runtime-divisor modulo.
+        let s = self.head[li] + self.len[li];
+        let slot = if s >= self.depth { s - self.depth } else { s };
+        self.store[li * self.depth as usize + slot as usize] = f;
+        self.len[li] += 1;
+    }
+}
 
 /// A fixed-capacity bitset over dense `u32` indices with ascending
 /// iteration.
@@ -93,6 +191,45 @@ impl DenseBitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_bufs_fifo_semantics() {
+        let mut b = LaneBufs::default();
+        b.reset(3, 2);
+        assert!(b.is_empty(0) && !b.is_full(0));
+        b.push(1, FlitRef { packet: 7, index: 0 });
+        b.push(1, FlitRef { packet: 7, index: 1 });
+        assert!(b.is_full(1));
+        assert!(b.is_empty(0) && b.is_empty(2), "lanes are independent");
+        assert_eq!(b.front(1), Some(FlitRef { packet: 7, index: 0 }));
+        assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 0 }));
+        // Wraparound: push after a pop reuses the freed ring slot.
+        b.push(1, FlitRef { packet: 7, index: 2 });
+        assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 1 }));
+        assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 2 }));
+        assert_eq!(b.pop(1), None);
+    }
+
+    #[test]
+    fn lane_bufs_reset_empties_and_redimensions() {
+        let mut b = LaneBufs::default();
+        b.reset(2, 1);
+        b.push(0, FlitRef { packet: 1, index: 0 });
+        b.reset(4, 3);
+        assert_eq!(b.depth(), 3);
+        for li in 0..4 {
+            assert!(b.is_empty(li));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overfilling")]
+    fn lane_bufs_reject_overfill() {
+        let mut b = LaneBufs::default();
+        b.reset(1, 1);
+        b.push(0, FlitRef { packet: 0, index: 0 });
+        b.push(0, FlitRef { packet: 0, index: 1 });
+    }
 
     #[test]
     fn set_clear_contains() {

@@ -50,6 +50,15 @@ pub struct EngineConfig {
     pub vc_mux: VcMuxPolicy,
     /// Channel processing order (see [`TransmitOrder`]).
     pub transmit_order: TransmitOrder,
+    /// Event-horizon fast-forward: when the network is fully quiescent
+    /// (no worm in flight, no message queued) the engine jumps straight
+    /// to the next scheduled event — the earliest arrival-heap key,
+    /// release-heap key, or script entry — instead of spinning empty
+    /// cycles. Statistics are integrated over the skipped interval, so
+    /// reports are **bitwise identical** with the flag on or off (the
+    /// differential tests enforce it); the flag exists only so those
+    /// tests can exercise both paths. Default: on.
+    pub fast_forward: bool,
     /// Collect per-channel utilization (busy fraction over the window).
     pub collect_channel_util: bool,
     /// Record a [`crate::trace::Trace`] of message events (queue, inject,
@@ -75,6 +84,7 @@ impl Default for EngineConfig {
             alloc: ArbiterKind::Random,
             vc_mux: VcMuxPolicy::RoundRobin,
             transmit_order: TransmitOrder::ReverseTopo,
+            fast_forward: true,
             collect_channel_util: false,
             collect_trace: false,
             validate_crossbars: false,

@@ -82,6 +82,36 @@
 //! * a **running queued-message counter** for the per-cycle mean-queue
 //!   sample, the drain check of finite runs, and the end-of-run backlog.
 //!
+//! # Event-horizon fast-forward
+//!
+//! When the network is **fully quiescent** — no active worms *and* no
+//! queued messages (which implies empty injectable and occupied sets) —
+//! no phase can do any work until the next traffic event matures. With
+//! `EngineConfig::fast_forward` on (the default) the loop jumps `now`
+//! straight to the earliest pending event key (arrival heap, script
+//! cursor, or release heap; clamped to the horizon) instead of spinning
+//! empty cycles. Quiescent cycles make zero RNG draws and their only
+//! observable effect is the zero mean-queue sample, which the jump
+//! replays in bulk ([`crate::stats::Welford::push_zeros`]) — so reports
+//! stay **bit-identical** to the cycle-by-cycle path; the flag exists
+//! only so the differential tests can pin that. The win scales with
+//! idle time: gaps in scripted/chained workloads, drain tails, and very
+//! low Poisson loads.
+//!
+//! # Struct-of-arrays hot state
+//!
+//! The allocate/transmit sweeps touch lane and packet state every
+//! cycle. Both are stored as parallel dense arrays rather than arrays
+//! of structs: lanes as `lane_owner` / `lane_upstream` /
+//! [`crate::active::LaneBufs`] (all flit buffers in one flat ring
+//! store — no per-lane heap allocation to chase), packets as the hot
+//! `pkt_head_lane` / `pkt_sent` / `pkt_len` / `pkt_delivered` arrays
+//! plus a cold `PktMeta` array for fields only touched at injection
+//! and completion. A packet's slot index is stable for its lifetime;
+//! freed slots are recycled through a free list exactly as before, so
+//! slot assignment — and thus every RNG-visible ordering — is
+//! unchanged from the array-of-structs layout.
+//!
 //! # Determinism contract
 //!
 //! Same seed + same build ⇒ bit-identical [`SimReport`], regardless of
@@ -114,12 +144,12 @@
 //! warmup-generated packets that land inside the window are excluded,
 //! just as their latencies are.
 
-use crate::active::DenseBitSet;
+use crate::active::{DenseBitSet, LaneBufs};
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
 use minnet_routing::{RouteLogic, RouteTable};
-use minnet_switch::{Arbiter, ArbiterKind, Crossbar, FlitFifo, FlitRef, VcMux};
+use minnet_switch::{Arbiter, ArbiterKind, Crossbar, FlitRef, VcMux};
 use minnet_topology::{ChannelId, Endpoint, Geometry, NetworkGraph, Side};
 use minnet_traffic::Workload;
 use rand::rngs::SmallRng;
@@ -143,25 +173,16 @@ enum Upstream {
     Lane(u32),
 }
 
-#[derive(Clone, Debug)]
-struct Lane {
-    owner: u32,
-    buf: FlitFifo,
-    upstream: Upstream,
-}
-
-#[derive(Clone, Debug)]
-struct Packet {
+/// The cold per-packet fields — touched at injection and completion, not
+/// by the per-cycle allocate/transmit sweeps. The hot fields (`head_lane`,
+/// `sent`, `len`, `delivered`) live in parallel dense arrays on
+/// [`EngineState`], indexed by packet slot, so the sweeps touch
+/// contiguous memory (see the module header's struct-of-arrays notes).
+#[derive(Clone, Copy, Debug)]
+struct PktMeta {
     src: u32,
     dst: u32,
-    len: u32,
     gen_time: u64,
-    /// Flits that have left the source queue.
-    sent: u32,
-    /// Flits consumed at the destination.
-    delivered: u32,
-    /// Most recently allocated lane (where the header goes next).
-    head_lane: u32,
     /// Whether this message counts toward latency statistics.
     measured: bool,
     /// Script/chain index (NONE for Poisson traffic).
@@ -569,9 +590,21 @@ impl CompiledNet {
 /// reports.
 #[derive(Debug)]
 pub struct EngineState {
-    lanes: Vec<Lane>,
+    // Lane state, struct-of-arrays: owner / upstream / buffers are each
+    // a dense array indexed by lane, so the allocate and transmit sweeps
+    // read contiguous words instead of striding over an array of structs
+    // with per-lane heap-allocated FIFOs.
+    lane_owner: Vec<u32>,
+    lane_upstream: Vec<Upstream>,
+    lane_bufs: LaneBufs,
     mux: Vec<VcMux>,
-    packets: Vec<Packet>,
+    // Packet state, struct-of-arrays by slot: the hot fields the sweeps
+    // touch every cycle, plus a cold `PktMeta` array for the rest.
+    pkt_head_lane: Vec<u32>,
+    pkt_sent: Vec<u32>,
+    pkt_len: Vec<u32>,
+    pkt_delivered: Vec<u32>,
+    pkt_meta: Vec<PktMeta>,
     free_slots: Vec<u32>,
     active: Vec<u32>,
     sources: Vec<Source>,
@@ -620,9 +653,15 @@ impl EngineState {
     /// An empty state; the first run dimensions it.
     pub fn new() -> EngineState {
         EngineState {
-            lanes: Vec::new(),
+            lane_owner: Vec::new(),
+            lane_upstream: Vec::new(),
+            lane_bufs: LaneBufs::default(),
             mux: Vec::new(),
-            packets: Vec::new(),
+            pkt_head_lane: Vec::new(),
+            pkt_sent: Vec::new(),
+            pkt_len: Vec::new(),
+            pkt_delivered: Vec::new(),
+            pkt_meta: Vec::new(),
             free_slots: Vec::new(),
             active: Vec::new(),
             sources: Vec::new(),
@@ -670,29 +709,19 @@ impl EngineState {
         self.rng = SmallRng::seed_from_u64(seed);
 
         let want_lanes = nch * vcs;
-        if self.lanes.len() == want_lanes
-            && self.lanes.first().is_none_or(|l| l.buf.capacity() == depth)
-        {
-            for l in &mut self.lanes {
-                l.owner = NONE;
-                l.buf.clear();
-                l.upstream = Upstream::Exhausted;
-            }
-        } else {
-            self.lanes.clear();
-            self.lanes.resize(
-                want_lanes,
-                Lane {
-                    owner: NONE,
-                    buf: FlitFifo::new(depth),
-                    upstream: Upstream::Exhausted,
-                },
-            );
-        }
+        self.lane_owner.clear();
+        self.lane_owner.resize(want_lanes, NONE);
+        self.lane_upstream.clear();
+        self.lane_upstream.resize(want_lanes, Upstream::Exhausted);
+        self.lane_bufs.reset(want_lanes, depth as u32);
 
         self.mux.clear();
         self.mux.resize(nch, VcMux::new(cfg.vc_mux));
-        self.packets.clear();
+        self.pkt_head_lane.clear();
+        self.pkt_sent.clear();
+        self.pkt_len.clear();
+        self.pkt_delivered.clear();
+        self.pkt_meta.clear();
         self.free_slots.clear();
         self.active.clear();
 
@@ -789,6 +818,98 @@ pub fn with_pooled_state<R>(f: impl FnOnce(&mut EngineState) -> R) -> R {
     STATE_POOL.with(|cell| *cell.borrow_mut() = Some(st));
     r
 }
+
+/// Per-run hot-loop probe. With the `hotstats` feature on it accumulates
+/// per-phase wall time plus executed/skipped cycle counts and flushes
+/// them into the process-wide [`crate::hotstats`] counters when the run
+/// finishes; with the feature off it is a zero-sized no-op the optimizer
+/// erases, so the production loop pays nothing.
+#[cfg(feature = "hotstats")]
+mod probe {
+    use std::time::Instant;
+
+    pub(super) struct HotProbe {
+        stats: crate::hotstats::HotStats,
+        mark: Instant,
+    }
+
+    impl HotProbe {
+        pub(super) fn new() -> HotProbe {
+            HotProbe {
+                stats: crate::hotstats::HotStats::default(),
+                mark: Instant::now(),
+            }
+        }
+
+        #[inline]
+        fn lap(&mut self) -> u64 {
+            let now = Instant::now();
+            let ns = (now - self.mark).as_nanos() as u64;
+            self.mark = now;
+            ns
+        }
+
+        #[inline]
+        pub(super) fn mark(&mut self) {
+            self.mark = Instant::now();
+        }
+
+        #[inline]
+        pub(super) fn arrivals_done(&mut self) {
+            self.stats.arrivals_ns += self.lap();
+        }
+
+        #[inline]
+        pub(super) fn allocate_done(&mut self) {
+            self.stats.allocate_ns += self.lap();
+        }
+
+        #[inline]
+        pub(super) fn transmit_done(&mut self) {
+            self.stats.transmit_ns += self.lap();
+            self.stats.cycles_executed += 1;
+        }
+
+        #[inline]
+        pub(super) fn skipped(&mut self, cycles: u64) {
+            if cycles > 0 {
+                self.stats.cycles_skipped += cycles;
+                self.stats.ff_jumps += 1;
+            }
+        }
+
+        pub(super) fn flush(mut self) {
+            self.stats.runs = 1;
+            crate::hotstats::record(&self.stats);
+        }
+    }
+}
+
+#[cfg(not(feature = "hotstats"))]
+mod probe {
+    pub(super) struct HotProbe;
+
+    impl HotProbe {
+        #[inline]
+        pub(super) fn new() -> HotProbe {
+            HotProbe
+        }
+        #[inline]
+        pub(super) fn mark(&mut self) {}
+        #[inline]
+        pub(super) fn arrivals_done(&mut self) {}
+        #[inline]
+        pub(super) fn allocate_done(&mut self) {}
+        #[inline]
+        pub(super) fn transmit_done(&mut self) {}
+        #[inline]
+        pub(super) fn skipped(&mut self, _cycles: u64) {}
+        #[inline]
+        pub(super) fn flush(self) {}
+    }
+}
+
+use probe::HotProbe;
 
 struct Engine<'a> {
     net: &'a NetworkGraph,
@@ -1040,14 +1161,13 @@ impl<'a> Engine<'a> {
             .injectable
             .for_each(|node| reqs.push(Req::Inject(node)));
         for &p in &self.st.active {
-            let pkt = &self.st.packets[p as usize];
-            let hl = pkt.head_lane;
+            let hl = self.st.pkt_head_lane[p as usize];
             debug_assert_ne!(hl, NONE);
             let ch = (hl as usize / self.vcs) as u32;
             if self.dst_is_node[ch as usize] {
                 continue; // header already on the ejection channel
             }
-            if let Some(flit) = self.st.lanes[hl as usize].buf.front() {
+            if let Some(flit) = self.st.lane_bufs.front(hl as usize) {
                 if flit.packet == p && flit.is_header() {
                     reqs.push(Req::Advance(p));
                 }
@@ -1076,7 +1196,7 @@ impl<'a> Engine<'a> {
         for &ch in cands {
             for vc in 0..self.vcs {
                 let li = ch as usize * self.vcs + vc;
-                if self.st.lanes[li].owner == NONE {
+                if self.st.lane_owner[li] == NONE {
                     self.st.elig.push(li as u32);
                 }
             }
@@ -1093,7 +1213,7 @@ impl<'a> Engine<'a> {
             .arbiter
             .pick_uncontested(self.st.elig.len(), &mut self.st.rng);
         let lane = self.st.elig[idx];
-        self.st.lanes[lane as usize].owner = owner;
+        self.st.lane_owner[lane as usize] = owner;
         let ch = lane as usize / self.vcs;
         self.st.owned_lanes[ch] += 1;
         if self.st.owned_lanes[ch] == 1 {
@@ -1115,34 +1235,38 @@ impl<'a> Engine<'a> {
             .expect("inject request without a queued message");
         self.st.queued_msgs -= 1;
         self.st.injectable.clear(node);
-        let pkt = Packet {
+        let meta = PktMeta {
             src: node,
             dst: msg.dst,
-            len: msg.len,
             gen_time: msg.gen_time,
-            sent: 0,
-            delivered: 0,
-            head_lane: lane,
             measured: msg.gen_time >= self.cfg.warmup,
             tag: msg.tag,
         };
         let slot = match self.st.free_slots.pop() {
             Some(s) => {
-                self.st.packets[s as usize] = pkt;
+                let si = s as usize;
+                self.st.pkt_head_lane[si] = lane;
+                self.st.pkt_sent[si] = 0;
+                self.st.pkt_len[si] = msg.len;
+                self.st.pkt_delivered[si] = 0;
+                self.st.pkt_meta[si] = meta;
                 s
             }
             None => {
-                self.st.packets.push(pkt);
-                (self.st.packets.len() - 1) as u32
+                self.st.pkt_head_lane.push(lane);
+                self.st.pkt_sent.push(0);
+                self.st.pkt_len.push(msg.len);
+                self.st.pkt_delivered.push(0);
+                self.st.pkt_meta.push(meta);
+                (self.st.pkt_meta.len() - 1) as u32
             }
         };
-        let l = &mut self.st.lanes[lane as usize];
-        l.owner = slot;
-        l.upstream = Upstream::Source(node);
+        self.st.lane_owner[lane as usize] = slot;
+        self.st.lane_upstream[lane as usize] = Upstream::Source(node);
         self.st.sources[node as usize].injecting = slot;
         self.st.active.push(slot);
         if let Some(tr) = &mut self.st.trace {
-            let tag = self.st.packets[slot as usize].tag;
+            let tag = self.st.pkt_meta[slot as usize].tag;
             tr.events.push(TraceEvent::Injected {
                 tag,
                 time: self.st.now,
@@ -1156,10 +1280,9 @@ impl<'a> Engine<'a> {
     }
 
     fn try_advance(&mut self, p: u32) {
-        let (src, dst, at_lane) = {
-            let pkt = &self.st.packets[p as usize];
-            (pkt.src, pkt.dst, pkt.head_lane)
-        };
+        let meta = self.st.pkt_meta[p as usize];
+        let (src, dst) = (meta.src, meta.dst);
+        let at_lane = self.st.pkt_head_lane[p as usize];
         let at_ch = (at_lane as usize / self.vcs) as u32;
         match self.router {
             Router::Table(table) => {
@@ -1179,11 +1302,11 @@ impl<'a> Engine<'a> {
             return; // blocked; the worm holds its lanes and waits
         };
         let new_ch = (lane as usize / self.vcs) as u32;
-        self.st.lanes[lane as usize].upstream = Upstream::Lane(at_lane);
-        self.st.packets[p as usize].head_lane = lane;
+        self.st.lane_upstream[lane as usize] = Upstream::Lane(at_lane);
+        self.st.pkt_head_lane[p as usize] = lane;
         if let Some(tr) = &mut self.st.trace {
             tr.events.push(TraceEvent::Hop {
-                tag: self.st.packets[p as usize].tag,
+                tag: meta.tag,
                 time: self.st.now,
                 channel: new_ch,
             });
@@ -1211,70 +1334,84 @@ impl<'a> Engine<'a> {
         // *claimed* during transmission, so the snapshot is complete.
         let mut sweep = std::mem::take(&mut self.st.sweep);
         self.st.occupied.collect_into(&mut sweep);
-        for &pos in &sweep {
-            let ch = self.order[pos as usize];
-            let base = ch as usize * self.vcs;
-            let mut any = false;
-            for vc in 0..self.vcs {
-                let r = self.lane_ready(base + vc, ch);
-                self.st.ready[vc] = r;
-                any |= r;
+        if self.vcs == 1 {
+            // Single-VC fast path: the round-robin mux over one lane
+            // deterministically picks VC 0 and leaves its priority state
+            // at its initial value, so skipping it is state-identical —
+            // and the per-channel ready vector disappears.
+            for &pos in &sweep {
+                let ch = self.order[pos as usize];
+                let li = ch as usize;
+                if self.lane_ready(li, ch) {
+                    self.move_flit(ch, li);
+                }
             }
-            if !any {
-                continue;
+        } else {
+            for &pos in &sweep {
+                let ch = self.order[pos as usize];
+                let base = ch as usize * self.vcs;
+                let mut any = false;
+                for vc in 0..self.vcs {
+                    let r = self.lane_ready(base + vc, ch);
+                    self.st.ready[vc] = r;
+                    any |= r;
+                }
+                if !any {
+                    continue;
+                }
+                let vc = self.st.mux[ch as usize]
+                    .select(&self.st.ready[..self.vcs])
+                    .expect("a ready lane must be selectable");
+                self.move_flit(ch, base + vc);
             }
-            let vc = self.st.mux[ch as usize]
-                .select(&self.st.ready[..self.vcs])
-                .expect("a ready lane must be selectable");
-            self.move_flit(ch, base + vc);
         }
         self.st.sweep = sweep;
     }
 
     #[inline]
     fn lane_ready(&self, li: usize, ch: ChannelId) -> bool {
-        let lane = &self.st.lanes[li];
-        if lane.owner == NONE {
+        let owner = self.st.lane_owner[li];
+        if owner == NONE {
             return false;
         }
-        let has_input = match lane.upstream {
+        let has_input = match self.st.lane_upstream[li] {
             Upstream::Exhausted => false,
             Upstream::Source(_) => {
-                let pkt = &self.st.packets[lane.owner as usize];
-                pkt.sent < pkt.len
+                self.st.pkt_sent[owner as usize] < self.st.pkt_len[owner as usize]
             }
-            Upstream::Lane(u) => !self.st.lanes[u as usize].buf.is_empty(),
+            Upstream::Lane(u) => !self.st.lane_bufs.is_empty(u as usize),
         };
-        has_input && (self.dst_is_node[ch as usize] || !lane.buf.is_full())
+        has_input && (self.dst_is_node[ch as usize] || !self.st.lane_bufs.is_full(li))
     }
 
     fn move_flit(&mut self, ch: ChannelId, li: usize) {
-        let p = self.st.lanes[li].owner;
-        let upstream = self.st.lanes[li].upstream;
-        let (len, gen_time, measured) = {
-            let pkt = &self.st.packets[p as usize];
-            (pkt.len, pkt.gen_time, pkt.measured)
-        };
+        let p = self.st.lane_owner[li];
+        let upstream = self.st.lane_upstream[li];
+        let pi = p as usize;
+        let len = self.st.pkt_len[pi];
+        let PktMeta {
+            gen_time, measured, ..
+        } = self.st.pkt_meta[pi];
         let flit = match upstream {
             Upstream::Source(node) => {
-                let pkt = &mut self.st.packets[p as usize];
                 let f = FlitRef {
                     packet: p,
-                    index: pkt.sent,
+                    index: self.st.pkt_sent[pi],
                 };
-                pkt.sent += 1;
-                if pkt.sent == len {
+                self.st.pkt_sent[pi] += 1;
+                if self.st.pkt_sent[pi] == len {
                     self.st.sources[node as usize].injecting = NONE;
-                    self.st.lanes[li].upstream = Upstream::Exhausted;
+                    self.st.lane_upstream[li] = Upstream::Exhausted;
                     if !self.st.sources[node as usize].queue.is_empty() {
                         self.st.injectable.set(node);
                     }
                 }
                 f
             }
-            Upstream::Lane(u) => self.st.lanes[u as usize]
-                .buf
-                .pop()
+            Upstream::Lane(u) => self
+                .st
+                .lane_bufs
+                .pop(u as usize)
                 .expect("ready lane lost its upstream flit"),
             Upstream::Exhausted => unreachable!("exhausted lanes are never ready"),
         };
@@ -1287,12 +1424,11 @@ impl<'a> Engine<'a> {
             if let Upstream::Lane(u) = upstream {
                 self.release_lane(u);
             }
-            self.st.lanes[li].upstream = Upstream::Exhausted;
+            self.st.lane_upstream[li] = Upstream::Exhausted;
         }
         if self.dst_is_node[ch as usize] {
             // Consumption: the destination absorbs the flit immediately.
-            let pkt = &mut self.st.packets[p as usize];
-            pkt.delivered += 1;
+            self.st.pkt_delivered[pi] += 1;
             // Count flits of *measured* packets, matching delivered_pkts
             // (see the module header's measurement-accounting notes).
             if measured {
@@ -1303,16 +1439,18 @@ impl<'a> Engine<'a> {
                 self.complete_packet(p, gen_time, measured, len);
             }
         } else {
-            self.st.lanes[li].buf.push(flit);
+            self.st.lane_bufs.push(li, flit);
         }
     }
 
     fn release_lane(&mut self, li: u32) {
-        let lane = &mut self.st.lanes[li as usize];
-        debug_assert!(lane.buf.is_empty(), "releasing a lane with a buffered flit");
-        debug_assert_ne!(lane.owner, NONE, "double lane release");
-        lane.owner = NONE;
-        lane.upstream = Upstream::Exhausted;
+        debug_assert!(
+            self.st.lane_bufs.is_empty(li as usize),
+            "releasing a lane with a buffered flit"
+        );
+        debug_assert_ne!(self.st.lane_owner[li as usize], NONE, "double lane release");
+        self.st.lane_owner[li as usize] = NONE;
+        self.st.lane_upstream[li as usize] = Upstream::Exhausted;
         let ch = li as usize / self.vcs;
         self.st.owned_lanes[ch] -= 1;
         if self.st.owned_lanes[ch] == 0 {
@@ -1346,7 +1484,7 @@ impl<'a> Engine<'a> {
             self.st.latency_batches.push(lat);
             self.st.delivered_pkts += 1;
         }
-        let tag = self.st.packets[p as usize].tag;
+        let tag = self.st.pkt_meta[p as usize].tag;
         if let Traffic::Chained {
             msgs,
             dependents,
@@ -1367,10 +1505,10 @@ impl<'a> Engine<'a> {
             tr.events.push(TraceEvent::Delivered { tag, time: done });
         }
         if let Some(log) = &mut self.st.deliveries {
-            let pkt = &self.st.packets[p as usize];
+            let meta = &self.st.pkt_meta[p as usize];
             log.push(Delivery {
-                src: pkt.src,
-                dst: pkt.dst,
+                src: meta.src,
+                dst: meta.dst,
                 len,
                 gen_time,
                 done_time: done,
@@ -1387,14 +1525,77 @@ impl<'a> Engine<'a> {
         self.st.free_slots.push(p);
     }
 
+    // ---- event-horizon fast-forward ----------------------------------
+
+    /// Jump over fully quiescent stretches: with no active worms and no
+    /// queued messages, no phase can do any work until the next traffic
+    /// event matures, so advance `now` straight to the earliest pending
+    /// event key (clamped to `end`). Returns the number of cycles
+    /// skipped (0 = no jump; run the cycle normally).
+    ///
+    /// **Bitwise-identity argument.** In a quiescent cycle the three
+    /// phases make *zero* RNG draws (the request shuffle iterates
+    /// `(1..len).rev()` over an empty list, heap peeks draw nothing) and
+    /// the only observable effect is the mean-queue sample `push(0.0)`
+    /// while measuring. The jump therefore replays exactly those pushes
+    /// — [`Welford::push_zeros`] for the cycles in
+    /// `[max(now, warmup), target)` — and touches nothing else, so the
+    /// report is bit-identical to the cycle-by-cycle path (enforced by
+    /// the fast-forward-on/off differential tests). The jump never
+    /// passes an event: the target *is* the earliest heap/script key,
+    /// and `generate_arrivals` debug-asserts every matured entry fires
+    /// on its exact cycle.
+    fn fast_forward(&mut self) -> u64 {
+        debug_assert!(self.st.active.is_empty() && self.st.queued_msgs == 0);
+        let next = match &self.traffic {
+            Traffic::Poisson(_) => self.st.arrivals.peek().map(|&Reverse((t, _))| t),
+            Traffic::Scripted { msgs, next } => msgs.get(*next).map(|m| m.time),
+            Traffic::Chained { .. } => self.st.releases.peek().map(|&Reverse((t, _))| t),
+        };
+        let target = match next {
+            Some(t) => t.min(self.st.end),
+            // No pending event at all. A silent Poisson workload stays
+            // quiescent forever — jump to the horizon. A drained finite
+            // source must instead run one last cycle so the drain break
+            // ends the run at the same count as the slow path.
+            None => match self.traffic {
+                Traffic::Poisson(_) => self.st.end,
+                _ => return 0,
+            },
+        };
+        if target <= self.st.now {
+            return 0;
+        }
+        let skipped = target - self.st.now;
+        let measured_from = self.st.now.max(self.cfg.warmup);
+        if target > measured_from {
+            self.st.queue_time_avg.push_zeros(target - measured_from);
+        }
+        self.st.now = target;
+        skipped
+    }
+
     // ---- main loop ----------------------------------------------------
 
     fn run(mut self) -> SimReport {
         let finite = !matches!(self.traffic, Traffic::Poisson(_));
+        let ff = self.cfg.fast_forward;
+        let mut probe = HotProbe::new();
         while self.st.now < self.st.end {
+            if ff && self.st.active.is_empty() && self.st.queued_msgs == 0 {
+                let skipped = self.fast_forward();
+                probe.skipped(skipped);
+                if self.st.now >= self.st.end {
+                    break;
+                }
+            }
+            probe.mark();
             self.generate_arrivals();
+            probe.arrivals_done();
             self.allocate();
+            probe.allocate_done();
             self.transmit();
+            probe.transmit_done();
             if self.measuring() {
                 let queued = self.st.queued_msgs as f64;
                 self.st.queue_time_avg.push(queued);
@@ -1404,6 +1605,7 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        probe.flush();
         self.finish()
     }
 

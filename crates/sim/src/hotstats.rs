@@ -1,0 +1,126 @@
+//! Feature-gated hot-path instrumentation (`hotstats`).
+//!
+//! When the `hotstats` feature is on, every engine run accumulates a
+//! per-phase breakdown — wall time in the arrivals / allocate / transmit
+//! phases, cycles actually executed, and cycles skipped by the
+//! event-horizon fast-forward — into a process-wide set of atomic
+//! counters. Harnesses (`sweep_smoke` in `minnet-bench`) drain them
+//! with [`take`] after a timed section to report where the cycle budget
+//! went. The counters are global and lock-free so sweeps that fan runs
+//! out over worker threads still aggregate correctly.
+//!
+//! With the feature off this module does not exist and the engine's
+//! probe type compiles to a zero-sized no-op, so the production hot loop
+//! pays nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RUNS: AtomicU64 = AtomicU64::new(0);
+static CYCLES_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static CYCLES_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static FF_JUMPS: AtomicU64 = AtomicU64::new(0);
+static ARRIVALS_NS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATE_NS: AtomicU64 = AtomicU64::new(0);
+static TRANSMIT_NS: AtomicU64 = AtomicU64::new(0);
+
+/// One snapshot of the hot-path counters (or one run's contribution).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Engine runs that flushed into the counters.
+    pub runs: u64,
+    /// Cycles the three-phase loop actually executed.
+    pub cycles_executed: u64,
+    /// Cycles skipped by event-horizon fast-forward jumps.
+    pub cycles_skipped: u64,
+    /// Number of fast-forward jumps taken.
+    pub ff_jumps: u64,
+    /// Wall nanoseconds in the arrivals phase.
+    pub arrivals_ns: u64,
+    /// Wall nanoseconds in the routing/allocation phase.
+    pub allocate_ns: u64,
+    /// Wall nanoseconds in the transmission phase.
+    pub transmit_ns: u64,
+}
+
+impl HotStats {
+    /// Fraction of simulated cycles the fast-forward skipped
+    /// (`skipped / (executed + skipped)`; 0 when nothing ran).
+    pub fn skipped_fraction(&self) -> f64 {
+        let total = self.cycles_executed + self.cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Add one run's counters to the process-wide totals.
+pub(crate) fn record(h: &HotStats) {
+    RUNS.fetch_add(h.runs, Ordering::Relaxed);
+    CYCLES_EXECUTED.fetch_add(h.cycles_executed, Ordering::Relaxed);
+    CYCLES_SKIPPED.fetch_add(h.cycles_skipped, Ordering::Relaxed);
+    FF_JUMPS.fetch_add(h.ff_jumps, Ordering::Relaxed);
+    ARRIVALS_NS.fetch_add(h.arrivals_ns, Ordering::Relaxed);
+    ALLOCATE_NS.fetch_add(h.allocate_ns, Ordering::Relaxed);
+    TRANSMIT_NS.fetch_add(h.transmit_ns, Ordering::Relaxed);
+}
+
+/// Read the totals without clearing them.
+pub fn snapshot() -> HotStats {
+    HotStats {
+        runs: RUNS.load(Ordering::Relaxed),
+        cycles_executed: CYCLES_EXECUTED.load(Ordering::Relaxed),
+        cycles_skipped: CYCLES_SKIPPED.load(Ordering::Relaxed),
+        ff_jumps: FF_JUMPS.load(Ordering::Relaxed),
+        arrivals_ns: ARRIVALS_NS.load(Ordering::Relaxed),
+        allocate_ns: ALLOCATE_NS.load(Ordering::Relaxed),
+        transmit_ns: TRANSMIT_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Read and zero the totals — the per-section drain harnesses use
+/// between timed segments.
+pub fn take() -> HotStats {
+    HotStats {
+        runs: RUNS.swap(0, Ordering::Relaxed),
+        cycles_executed: CYCLES_EXECUTED.swap(0, Ordering::Relaxed),
+        cycles_skipped: CYCLES_SKIPPED.swap(0, Ordering::Relaxed),
+        ff_jumps: FF_JUMPS.swap(0, Ordering::Relaxed),
+        arrivals_ns: ARRIVALS_NS.swap(0, Ordering::Relaxed),
+        allocate_ns: ALLOCATE_NS.swap(0, Ordering::Relaxed),
+        transmit_ns: TRANSMIT_NS.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_take_snapshot_round_trip() {
+        // Drain whatever other tests left behind first.
+        let _ = take();
+        let one = HotStats {
+            runs: 1,
+            cycles_executed: 100,
+            cycles_skipped: 50,
+            ff_jumps: 5,
+            arrivals_ns: 10,
+            allocate_ns: 20,
+            transmit_ns: 30,
+        };
+        record(&one);
+        record(&one);
+        let snap = snapshot();
+        assert!(snap.cycles_executed >= 200);
+        let taken = take();
+        assert!(taken.runs >= 2 && taken.ff_jumps >= 10);
+        assert!((taken.skipped_fraction() - 1.0 / 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn skipped_fraction_handles_empty() {
+        assert_eq!(HotStats::default().skipped_fraction(), 0.0);
+    }
+}

@@ -30,6 +30,8 @@
 pub mod active;
 pub mod config;
 pub mod engine;
+#[cfg(feature = "hotstats")]
+pub mod hotstats;
 #[cfg(feature = "reference-engine")]
 pub mod reference;
 pub mod stats;

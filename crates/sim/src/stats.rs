@@ -1,6 +1,26 @@
 //! Measurement machinery: running moments, log-bucketed latency histogram,
 //! and batch-means confidence intervals.
 
+/// Two-sided 95% Student-t critical values t₀.₀₂₅,df for df = 1..=29.
+/// Index `df - 1`. Replication aggregates are tiny (the sweeps run 3–5
+/// replications per point), where the normal approximation's 1.96
+/// understates the interval by more than a factor of two.
+const T95: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// The 95% critical value for `n` samples: Student-t with `n - 1`
+/// degrees of freedom for n ≤ 30, the normal 1.96 above.
+fn crit95(n: u64) -> f64 {
+    if (2..=30).contains(&n) {
+        T95[(n - 2) as usize]
+    } else {
+        1.96
+    }
+}
+
 /// Welford running mean/variance accumulator.
 #[derive(Clone, Debug, Default)]
 pub struct Welford {
@@ -23,21 +43,41 @@ impl Welford {
         self.m2 += d * (x - self.mean);
     }
 
+    /// Push `k` zero samples, bit-identically to calling [`Welford::push`]
+    /// with `0.0` exactly `k` times. The engine's fast-forward integrates
+    /// the mean-queue statistic over skipped quiescent intervals through
+    /// this: when the accumulator is still all-zero (every prior sample
+    /// was zero) a push of `0.0` changes nothing but the count, so the
+    /// loop collapses to `n += k`; otherwise the pushes are replayed one
+    /// by one so the float sequence matches cycle-by-cycle execution.
+    pub fn push_zeros(&mut self, k: u64) {
+        if self.mean.to_bits() == 0 && self.m2.to_bits() == 0 {
+            self.n += k;
+            return;
+        }
+        for _ in 0..k {
+            self.push(0.0);
+        }
+    }
+
     /// Forget every sample — equivalent to a fresh accumulator, without
     /// an allocation (the engine-state pool resets in place).
     pub fn reset(&mut self) {
         *self = Welford::default();
     }
 
-    /// Half-width of an approximate 95% CI of the mean under a normal
-    /// approximation: `1.96 · s / √n`. Used to aggregate *independent*
-    /// replication means (each replication runs its own seed, so unlike
-    /// within-run latencies there is no autocorrelation to batch away).
+    /// Half-width of a 95% CI of the mean: `t₀.₀₂₅,n₋₁ · s / √n`, with
+    /// the Student-t critical value for n ≤ 30 samples and the normal
+    /// 1.96 above. Used to aggregate *independent* replication means
+    /// (each replication runs its own seed, so unlike within-run
+    /// latencies there is no autocorrelation to batch away) — and those
+    /// aggregates are small-n (3–5 replications), exactly where the
+    /// normal approximation understates the interval most.
     pub fn ci95_half_width(&self) -> f64 {
         if self.n < 2 {
             return 0.0;
         }
-        1.96 * (self.variance() / self.n as f64).sqrt()
+        crit95(self.n) * (self.variance() / self.n as f64).sqrt()
     }
 
     /// Sample count.
@@ -251,6 +291,69 @@ mod tests {
         w.push(5.0);
         assert_eq!(w.mean(), 5.0);
         assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn ci95_uses_student_t_for_small_n() {
+        // Three samples (the sweeps' default replication count): the
+        // half-width must use t₀.₀₂₅,₂ = 4.303, not 1.96.
+        let mut w = Welford::new();
+        for &x in &[1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        let s = w.std_dev();
+        let want = 4.303 * s / 3.0f64.sqrt();
+        assert!((w.ci95_half_width() - want).abs() < 1e-12);
+
+        // Large n falls back to the normal approximation.
+        let mut big = Welford::new();
+        for i in 0..100 {
+            big.push((i % 7) as f64);
+        }
+        let want = 1.96 * big.std_dev() / 100.0f64.sqrt();
+        assert!((big.ci95_half_width() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_critical_value_is_monotone_to_normal() {
+        // t decreases toward 1.96 as df grows; the table must be sorted
+        // and the n = 30 → 31 handoff must not jump upward.
+        for n in 3..=31u64 {
+            assert!(crit95(n) <= crit95(n - 1), "crit95 not monotone at n={n}");
+            assert!(crit95(n) >= 1.96);
+        }
+        assert_eq!(crit95(31), 1.96);
+    }
+
+    #[test]
+    fn push_zeros_is_bitwise_identical_to_pushing() {
+        // All-zero fast path.
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        a.push(0.0);
+        b.push(0.0);
+        a.push_zeros(1000);
+        for _ in 0..1000 {
+            b.push(0.0);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+
+        // Nonzero history forces the replay path; still bit-identical.
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &[3.5, 0.25, 7.0] {
+            a.push(x);
+            b.push(x);
+        }
+        a.push_zeros(137);
+        for _ in 0..137 {
+            b.push(0.0);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
     }
 
     #[test]

@@ -10,9 +10,12 @@
 
 use minnet::{CompiledExperiment, Experiment, NetworkSpec};
 use minnet_routing::{RouteLogic, RouteTable};
-use minnet_sim::{run_scripted, with_pooled_state, CompiledNet, EngineConfig, Script, ScriptedMsg};
+use minnet_sim::{
+    run_scripted, run_simulation, with_pooled_state, CompiledNet, EngineConfig, Script,
+    ScriptedMsg,
+};
 use minnet_topology::Geometry;
-use minnet_traffic::MessageSizeDist;
+use minnet_traffic::{MessageSizeDist, Workload, WorkloadSpec};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 
@@ -102,6 +105,87 @@ proptest! {
             spec.name()
         );
         prop_assert_eq!(wrapper.delivered_packets as usize, msgs.len());
+    }
+
+    // Random near-idle Poisson runs: the event-horizon fast-forward must
+    // be invisible in the report — bit for bit — at loads where almost
+    // every cycle is quiescent. The test profile keeps debug assertions
+    // on, so the engine's "arrival missed its cycle" tripwire doubles as
+    // the property that no jump ever passes an arrival-heap key: a jump
+    // landing past a matured entry would pop it with `fire < now` and
+    // abort the run instead of merely diverging.
+    #[test]
+    fn fast_forward_is_invisible_at_random_low_loads(
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+        load_bp in 1u32..50, // 0.0002..0.01 flits/node/cycle
+        warmup in 0u64..600,
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = Arc::new(spec.build(g));
+        let load = f64::from(load_bp) / 5_000.0;
+        let mut wspec = WorkloadSpec::global_uniform(load);
+        wspec.sizes = MessageSizeDist::Fixed(16);
+        let wl = Workload::compile(g, &wspec).unwrap();
+        let on = EngineConfig {
+            vcs: spec.vcs(),
+            warmup,
+            measure: 2_000,
+            seed,
+            ..EngineConfig::default()
+        };
+        let off = EngineConfig { fast_forward: false, ..on.clone() };
+        let fast = run_simulation(&net, &wl, &on).unwrap();
+        let slow = run_simulation(&net, &wl, &off).unwrap();
+        prop_assert!(
+            fast.bitwise_eq(&slow),
+            "{} load {load} warmup {warmup} seed {seed:#x}: fast-forward changed the report",
+            spec.name()
+        );
+        prop_assert_eq!(fast.cycles, warmup + 2_000, "infinite traffic runs the full horizon");
+    }
+
+    // Random sparse scripts: big random gaps between injections are the
+    // scripted fast-forward's jump targets (the script cursor, not a
+    // heap). On vs off must agree bit for bit, and every message must
+    // still drain — a jump past an injection time would strand it (and
+    // trip the cycle-count equality, since draining later moves the
+    // drain break).
+    #[test]
+    fn fast_forward_on_random_sparse_scripts(
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+        raw in proptest::collection::vec((0u64..5_000, 0u32..64, 0u32..64, 1u32..40), 1..8),
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = Arc::new(spec.build(g));
+        let msgs: Vec<ScriptedMsg> = raw
+            .into_iter()
+            .map(|(time, src, dst, len)| ScriptedMsg {
+                time,
+                src,
+                dst: if dst == src { (dst + 1) % 64 } else { dst },
+                len,
+            })
+            .collect();
+        let on = EngineConfig {
+            vcs: spec.vcs(),
+            warmup: 0,
+            measure: 1_000_000,
+            seed,
+            ..EngineConfig::default()
+        };
+        let off = EngineConfig { fast_forward: false, ..on.clone() };
+        let fast = run_scripted(&net, &msgs, &on).unwrap();
+        let slow = run_scripted(&net, &msgs, &off).unwrap();
+        prop_assert!(
+            fast.bitwise_eq(&slow),
+            "{} seed {seed:#x}: fast-forward changed a sparse scripted report",
+            spec.name()
+        );
+        prop_assert_eq!(fast.delivered_packets as usize, msgs.len());
     }
 
     // Random routes: walking a (src, dst) route with `RouteLogic`, the

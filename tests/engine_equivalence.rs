@@ -316,6 +316,107 @@ fn state_reuse_across_traffic_modes_is_bit_identical() {
     }
 }
 
+/// A sparse script: one 32-flit worm every 700 cycles, so the network
+/// drains to full quiescence between injections — maximal fast-forward
+/// territory.
+fn sparse_script(g: Geometry) -> Vec<ScriptedMsg> {
+    let n = g.nodes();
+    (0..10u32)
+        .map(|i| ScriptedMsg {
+            time: u64::from(i) * 700,
+            src: (i * 11) % n,
+            dst: (i * 11 + n / 2 + 1) % n,
+            len: 32,
+        })
+        .collect()
+}
+
+/// Event-horizon fast-forward on vs off must be **bit-identical** across
+/// all four networks, all three traffic modes, and both a
+/// quiescence-heavy and a drain-heavy shape. The frozen reference engine
+/// (which has no fast-forward at all) anchors every comparison, so the
+/// jump can't hide a divergence both paths share.
+///
+/// Quiescence-heavy shapes: a near-idle Poisson load whose first arrival
+/// typically lands beyond the warmup boundary (exercising the bulk
+/// zero-sample replay across it), a sparse script with ~700-cycle gaps,
+/// and a chain whose ~300-cycle relay overhead leaves the network empty
+/// between generations. Drain-heavy shapes: the dense script/chain that
+/// finish far before the configured horizon — the jump must not disturb
+/// the drain break's cycle count — and a moderate Poisson load where
+/// quiescence (almost) never occurs and the gate must be a no-op.
+#[test]
+fn fast_forward_reports_are_bit_identical() {
+    let g = Geometry::new(4, 3);
+    let mut st = EngineState::new();
+    for spec in NetworkSpec::paper_lineup() {
+        let net = Arc::new(spec.build(g));
+
+        // Poisson: near-idle and moderate.
+        for load in [0.002, 0.3] {
+            let wl = Workload::compile(g, &WorkloadSpec::global_uniform(load)).unwrap();
+            for seed in SEEDS {
+                let mut on = cfg_for(&spec, seed);
+                on.warmup = 300;
+                on.measure = 2_500;
+                let off = EngineConfig {
+                    fast_forward: false,
+                    ..on.clone()
+                };
+                assert!(on.fast_forward, "fast-forward must default on");
+                let fast = run_simulation(&net, &wl, &on).unwrap();
+                let slow = run_simulation(&net, &wl, &off).unwrap();
+                let refr = reference::run_simulation(&net, &wl, &off).unwrap();
+                let what = format!("{} poisson load {load} seed {seed:#x}", spec.name());
+                assert_identical(&format!("{what} (on vs off)"), &fast, &slow);
+                assert_identical(&format!("{what} (on vs reference)"), &fast, &refr);
+                // The compiled path takes the same jumps through a reused state.
+                let compiled = CompiledNet::new(Arc::clone(&net), on.clone()).unwrap();
+                let comp = compiled.run_poisson(&wl, seed, &mut st).unwrap();
+                assert_identical(&format!("{what} (compiled)"), &comp, &refr);
+            }
+        }
+
+        // Scripted: sparse (gap-heavy) and dense (drain-heavy).
+        for msgs in [sparse_script(g), script(g)] {
+            let mut on = cfg_for(&spec, SEEDS[0]);
+            on.warmup = 0;
+            on.measure = 1_000_000;
+            on.collect_trace = true;
+            let off = EngineConfig {
+                fast_forward: false,
+                ..on.clone()
+            };
+            let fast = run_scripted(&net, &msgs, &on).unwrap();
+            let slow = run_scripted(&net, &msgs, &off).unwrap();
+            let refr = reference::run_scripted(&net, &msgs, &off).unwrap();
+            let what = format!("{} scripted x{}", spec.name(), msgs.len());
+            assert_identical(&format!("{what} (on vs off)"), &fast, &slow);
+            assert_identical(&format!("{what} (on vs reference)"), &fast, &refr);
+            assert_eq!(fast.delivered_packets as usize, msgs.len(), "{what}: must drain");
+        }
+
+        // Chained: relay overhead 300 empties the network between
+        // generations; overhead 0 keeps it busy until the early drain.
+        for overhead in [300u64, 0] {
+            let mut on = cfg_for(&spec, SEEDS[1]);
+            on.warmup = 0;
+            on.measure = 1_000_000;
+            on.collect_trace = true;
+            let off = EngineConfig {
+                fast_forward: false,
+                ..on.clone()
+            };
+            let fast = run_chained(&net, &chain(g), overhead, &on).unwrap();
+            let slow = run_chained(&net, &chain(g), overhead, &off).unwrap();
+            let refr = reference::run_chained(&net, &chain(g), overhead, &off).unwrap();
+            let what = format!("{} chained overhead {overhead}", spec.name());
+            assert_identical(&format!("{what} (on vs off)"), &fast, &slow);
+            assert_identical(&format!("{what} (on vs reference)"), &fast, &refr);
+        }
+    }
+}
+
 /// Regression test for the measurement-accounting fixes: a short scripted
 /// run that drains long before the configured window must normalize its
 /// rates by the cycles actually measured, and count only measured

@@ -3,53 +3,115 @@
 //!
 //! ```text
 //! cargo run --release -p minnet-bench --bin bench_compare -- \
-//!     BENCH_baseline.json BENCH_sweep.json [diff_summary.txt]
+//!     BENCH_baseline.json BENCH_sweep.json [diff_summary.txt] \
+//!     [--fail-on-regress <pct>]
 //! ```
 //!
 //! For every network present in both files the tool diffs the headline
 //! `cycles_per_sec` (single-threaded engine throughput over the whole
-//! load sweep) and flags drift beyond ±20%. The exit status is always 0:
-//! shared CI runners have noisy and heterogeneous CPUs, so the
-//! comparison is a **warning, not a gate** — the summary (also written
-//! to the optional third argument for artifact upload) is the record to
-//! look at when a regression is suspected.
+//! load sweep) and flags drift beyond ±20%. By default the exit status
+//! is always 0: shared CI runners have noisy and heterogeneous CPUs, so
+//! the comparison is a **warning, not a gate** — the summary (also
+//! written to the optional third argument for artifact upload) is the
+//! record to look at when a regression is suspected.
+//!
+//! `--fail-on-regress <pct>` turns the warning into a gate: any network
+//! whose headline throughput drops more than `pct` percent below the
+//! baseline fails the run (exit 1) after printing the offending
+//! per-load rows, so the report shows *which* loads regressed — a
+//! low-load-only regression points at setup/fast-forward changes, a
+//! high-load one at the allocation/transmission hot loops. CI keeps the
+//! warn-only default; the gate is for dedicated (quiet) benchmark hosts.
 //!
 //! The parser is deliberately minimal: this offline workspace has no
 //! serde, and both files are produced by `sweep_smoke`'s known
 //! line-oriented writer. It keys on trimmed lines starting with
 //! `"name":` / `"cycles_per_sec":`; the per-load rows are single-line
-//! objects starting with `{`, so they never match.
+//! `{...}` objects, recognised (and mined for `"load"` /
+//! `"cycles_per_sec"`) by their leading brace.
 
 use std::fmt::Write as _;
 
-/// Extract `(name, cycles_per_sec)` pairs from `sweep_smoke` JSON.
-fn parse_networks(src: &str) -> Vec<(String, f64)> {
-    let mut out: Vec<(String, f64)> = Vec::new();
-    let mut current: Option<String> = None;
+/// One network's numbers from a `sweep_smoke` JSON file.
+struct Net {
+    name: String,
+    /// Headline single-threaded throughput; NaN until parsed.
+    cycles_per_sec: f64,
+    /// Per-load `(offered_load, cycles_per_sec)` rows.
+    loads: Vec<(f64, f64)>,
+}
+
+/// Extract the number following `"key": ` inside a single-line JSON row.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse every network (headline + per-load rows) from `sweep_smoke` JSON.
+fn parse_networks(src: &str) -> Vec<Net> {
+    let mut out: Vec<Net> = Vec::new();
     for line in src.lines() {
         let t = line.trim();
         if let Some(rest) = t.strip_prefix("\"name\":") {
             let name = rest.trim().trim_end_matches(',').trim_matches('"');
-            current = Some(name.to_string());
+            out.push(Net {
+                name: name.to_string(),
+                cycles_per_sec: f64::NAN,
+                loads: Vec::new(),
+            });
         } else if let Some(rest) = t.strip_prefix("\"cycles_per_sec\":") {
-            if let Some(name) = current.take() {
-                let v: f64 = rest
-                    .trim()
-                    .trim_end_matches(',')
-                    .parse()
-                    .unwrap_or(f64::NAN);
-                out.push((name, v));
+            if let Some(net) = out.last_mut() {
+                if net.cycles_per_sec.is_nan() {
+                    net.cycles_per_sec = rest
+                        .trim()
+                        .trim_end_matches(',')
+                        .parse()
+                        .unwrap_or(f64::NAN);
+                }
+            }
+        } else if t.starts_with('{') {
+            if let (Some(net), Some(load), Some(cps)) = (
+                out.last_mut(),
+                field(t, "load"),
+                field(t, "cycles_per_sec"),
+            ) {
+                net.loads.push((load, cps));
             }
         }
     }
+    out.retain(|n| !n.cycles_per_sec.is_nan());
     out
 }
 
 fn main() -> Result<(), String> {
+    const USAGE: &str =
+        "usage: bench_compare BASELINE CURRENT [OUT] [--fail-on-regress <pct>]";
+    let mut positional: Vec<String> = Vec::new();
+    let mut fail_pct: Option<f64> = None;
     let mut args = std::env::args().skip(1);
-    let baseline_path = args.next().ok_or("usage: bench_compare BASELINE CURRENT [OUT]")?;
-    let current_path = args.next().ok_or("usage: bench_compare BASELINE CURRENT [OUT]")?;
-    let out_path = args.next();
+    while let Some(a) = args.next() {
+        if a == "--fail-on-regress" {
+            let pct = args.next().ok_or(USAGE)?;
+            let pct: f64 = pct
+                .parse()
+                .map_err(|_| format!("--fail-on-regress: bad percentage {pct:?}"))?;
+            if !(0.0..100.0).contains(&pct) {
+                return Err(format!("--fail-on-regress: need 0 <= pct < 100, got {pct}"));
+            }
+            fail_pct = Some(pct);
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let baseline_path = positional.next().ok_or(USAGE)?;
+    let current_path = positional.next().ok_or(USAGE)?;
+    let out_path = positional.next();
 
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
     let baseline = parse_networks(&read(&baseline_path)?);
@@ -67,13 +129,14 @@ fn main() -> Result<(), String> {
         "cycles_per_sec: {current_path} vs baseline {baseline_path} (warn at ±20%)"
     );
     let mut warned = 0usize;
-    for (name, base) in &baseline {
-        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
-            let _ = writeln!(summary, "  {name:>16}: MISSING from current run");
+    let mut regressed: Vec<String> = Vec::new();
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|n| n.name == base.name) else {
+            let _ = writeln!(summary, "  {:>16}: MISSING from current run", base.name);
             warned += 1;
             continue;
         };
-        let ratio = cur / base;
+        let ratio = cur.cycles_per_sec / base.cycles_per_sec;
         let flag = if !(0.8..=1.2).contains(&ratio) {
             warned += 1;
             if ratio < 1.0 {
@@ -86,23 +149,64 @@ fn main() -> Result<(), String> {
         };
         let _ = writeln!(
             summary,
-            "  {name:>16}: {cur:12.0} vs {base:12.0}  ({:+6.1}%){flag}",
+            "  {:>16}: {:12.0} vs {:12.0}  ({:+6.1}%){flag}",
+            base.name,
+            cur.cycles_per_sec,
+            base.cycles_per_sec,
             (ratio - 1.0) * 100.0
         );
-    }
-    for (name, _) in &current {
-        if !baseline.iter().any(|(n, _)| n == name) {
-            let _ = writeln!(summary, "  {name:>16}: new network (no baseline)");
+        if let Some(pct) = fail_pct {
+            if ratio < 1.0 - pct / 100.0 {
+                regressed.push(base.name.clone());
+                let _ = writeln!(
+                    summary,
+                    "    per-load rows beyond the -{pct}% gate:"
+                );
+                for &(load, bcps) in &base.loads {
+                    let Some(&(_, ccps)) =
+                        cur.loads.iter().find(|(l, _)| *l == load)
+                    else {
+                        continue;
+                    };
+                    let r = ccps / bcps;
+                    if r < 1.0 - pct / 100.0 {
+                        let _ = writeln!(
+                            summary,
+                            "      load {load:4}: {ccps:12.0} vs {bcps:12.0}  ({:+6.1}%)",
+                            (r - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
         }
     }
-    let _ = writeln!(
-        summary,
-        "{warned} warning(s); informational only — shared runners are noisy"
-    );
+    for cur in &current {
+        if !baseline.iter().any(|n| n.name == cur.name) {
+            let _ = writeln!(summary, "  {:>16}: new network (no baseline)", cur.name);
+        }
+    }
+    if fail_pct.is_some() {
+        let _ = writeln!(
+            summary,
+            "{warned} warning(s); gate at -{}%",
+            fail_pct.unwrap()
+        );
+    } else {
+        let _ = writeln!(
+            summary,
+            "{warned} warning(s); informational only — shared runners are noisy"
+        );
+    }
 
     print!("{summary}");
     if let Some(p) = out_path {
         std::fs::write(&p, &summary).map_err(|e| format!("writing {p}: {e}"))?;
+    }
+    if !regressed.is_empty() {
+        return Err(format!(
+            "throughput regressed beyond the gate on: {}",
+            regressed.join(", ")
+        ));
     }
     Ok(())
 }

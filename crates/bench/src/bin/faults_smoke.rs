@@ -1,0 +1,133 @@
+//! Fault smoke benchmark: run the graceful-degradation experiment on the
+//! paper lineup and write machine-readable numbers to `BENCH_faults.json`.
+//!
+//! ```text
+//! cargo run --release -p minnet-bench --bin faults_smoke           # ./BENCH_faults.json
+//! cargo run --release -p minnet-bench --bin faults_smoke -- out.json
+//! ```
+//!
+//! For each paper-lineup network the binary evaluates
+//! [`degradation_curve`] at a fixed moderate load under an increasing
+//! number of randomly-killed inter-stage links (seed-reproducible fault
+//! sets). Each point row records delivered throughput and latency with
+//! 95% confidence half-widths across replications, plus the fault
+//! accounting: packets aborted mid-flight at fault onset and packets
+//! refused at injection because no live route existed.
+//!
+//! The point of the artifact is the *shape*: networks with path diversity
+//! (BMIN, DMIN) degrade gracefully — throughput dips, nothing
+//! disconnects — while single-path networks (TMIN, VMIN) report the
+//! disconnected traffic as structured refusals instead of stalling. CI
+//! uploads the file next to `BENCH_sweep.json` so fault-path slowdowns
+//! and behavioural drift leave a history.
+//!
+//! The JSON is written by hand (no serde in this offline workspace); see
+//! EXPERIMENTS.md for the schema.
+
+use minnet::sweep::degradation_curve;
+use minnet::{DegradationPoint, Experiment, NetworkSpec};
+use minnet_traffic::MessageSizeDist;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const LOAD: f64 = 0.2;
+const FAULTS: [usize; 4] = [0, 1, 2, 4];
+const REPLICATIONS: usize = 3;
+const WARMUP: u64 = 500;
+const MEASURE: u64 = 4_000;
+
+fn smoke_experiment(spec: NetworkSpec) -> Experiment {
+    let mut exp = Experiment::paper_default(spec);
+    exp.sizes = MessageSizeDist::Fixed(64);
+    exp.sim.warmup = WARMUP;
+    exp.sim.measure = MEASURE;
+    exp
+}
+
+struct NetResult {
+    name: String,
+    run_ms: f64,
+    points: Vec<DegradationPoint>,
+}
+
+fn main() -> Result<(), String> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_faults.json".into());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let mut results = Vec::new();
+    for spec in NetworkSpec::paper_lineup() {
+        let exp = smoke_experiment(spec);
+        let t = Instant::now();
+        let points = degradation_curve(&exp, LOAD, &FAULTS, REPLICATIONS, threads)?;
+        let run_ms = t.elapsed().as_secs_f64() * 1e3;
+        for p in &points {
+            println!(
+                "{:>8} | {} faults: accepted {:.4} ±{:.4} f/n/c | latency {:7.1} ±{:5.1} cyc | aborted {:5.1} | refused {:6.1}",
+                spec.name(),
+                p.fault_count,
+                p.accepted_flits_per_node_cycle,
+                p.accepted_ci95,
+                p.mean_latency_cycles,
+                p.latency_ci95_cycles,
+                p.mean_aborted_packets,
+                p.mean_undeliverable_packets,
+            );
+        }
+        results.push(NetResult {
+            name: spec.name(),
+            run_ms,
+            points,
+        });
+    }
+
+    let mut json = String::from("{\n  \"meta\": {\n");
+    let _ = writeln!(json, "    \"load\": {LOAD},");
+    let _ = writeln!(json, "    \"fault_counts\": {FAULTS:?},");
+    let _ = writeln!(json, "    \"replications\": {REPLICATIONS},");
+    let _ = writeln!(json, "    \"warmup\": {WARMUP},");
+    let _ = writeln!(json, "    \"measure\": {MEASURE},");
+    let _ = writeln!(json, "    \"threads_used\": {threads}");
+    json.push_str("  },\n  \"networks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"run_ms\": {:.3},", r.run_ms);
+        json.push_str("      \"points\": [\n");
+        for (j, p) in r.points.iter().enumerate() {
+            json.push_str("        {");
+            let _ = write!(
+                json,
+                "\"fault_count\": {}, \"accepted_flits_per_node_cycle\": {:.6}, \
+                 \"accepted_ci95\": {:.6}, \"mean_latency_cycles\": {:.6}, \
+                 \"latency_ci95_cycles\": {:.6}, \"mean_aborted_packets\": {:.3}, \
+                 \"mean_undeliverable_packets\": {:.3}, \"sustainable\": {}, \"steady\": {}",
+                p.fault_count,
+                p.accepted_flits_per_node_cycle,
+                p.accepted_ci95,
+                p.mean_latency_cycles,
+                p.latency_ci95_cycles,
+                p.mean_aborted_packets,
+                p.mean_undeliverable_packets,
+                p.sustainable,
+                p.steady,
+            );
+            json.push_str(if j + 1 == r.points.len() { "}\n" } else { "},\n" });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -86,7 +86,7 @@ impl Experiment {
             seed,
             ..self.sim.clone()
         };
-        run_simulation(&net, &workload, &cfg)
+        Ok(run_simulation(&net, &workload, &cfg)?)
     }
 
     /// Compile this experiment for run-many use — see
@@ -189,7 +189,7 @@ impl CompiledExperiment {
         st: &mut EngineState,
     ) -> Result<SimReport, String> {
         let workload = self.template.workload_at(offered_load)?;
-        self.net.run_poisson(&workload, seed, st)
+        Ok(self.net.run_poisson(&workload, seed, st)?)
     }
 }
 

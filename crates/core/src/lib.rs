@@ -49,8 +49,8 @@ pub mod table;
 pub use experiment::{CompiledExperiment, Experiment};
 pub use spec::NetworkSpec;
 pub use sweep::{
-    compiled_curve, find_saturation, latency_throughput_curve, replicated_curve, saturation_load,
-    ReplicatedPoint, SweepPoint,
+    compiled_curve, degradation_curve, find_saturation, latency_throughput_curve,
+    replicated_curve, saturation_load, DegradationPoint, ReplicatedPoint, SweepPoint,
 };
 pub use table::{curve_csv, curve_table};
 

@@ -21,7 +21,8 @@
 
 use crate::experiment::{CompiledExperiment, Experiment};
 use minnet_sim::stats::Welford;
-use minnet_sim::{EngineState, SimReport};
+use minnet_sim::{CompiledFaults, EngineState, SimReport};
+use minnet_topology::FaultPlan;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -191,6 +192,129 @@ pub fn replicated_curve(
             latency_ci95_cycles: lat.ci95_half_width(),
             accepted_flits_per_node_cycle: acc.mean(),
             accepted_ci95: acc.ci95_half_width(),
+            sustainable: reps.iter().all(|r| r.sustainable),
+            steady: reps.iter().all(|r| r.steady),
+            replications: reps,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of a graceful-degradation curve: `R` replications at a fixed
+/// offered load, under `fault_count` randomly-placed permanent inter-stage
+/// link faults. Aggregates follow [`ReplicatedPoint`] (independent
+/// replications, Student-t 95% half-widths) and add the fault-specific
+/// accounting: packets the engine aborted at a fault onset and packets it
+/// refused because no live route to their destination existed.
+#[derive(Clone, Debug)]
+pub struct DegradationPoint {
+    /// Number of inter-stage links killed for this point.
+    pub fault_count: usize,
+    /// Per-replication reports, in replication order.
+    pub replications: Vec<SimReport>,
+    /// Mean over replications of the mean message latency (cycles).
+    pub mean_latency_cycles: f64,
+    /// 95% half-width of the latency mean across replications.
+    pub latency_ci95_cycles: f64,
+    /// Mean over replications of accepted throughput (flits/node/cycle).
+    pub accepted_flits_per_node_cycle: f64,
+    /// 95% half-width of accepted throughput across replications.
+    pub accepted_ci95: f64,
+    /// Mean over replications of measured packets aborted mid-flight.
+    pub mean_aborted_packets: f64,
+    /// Mean over replications of measured packets refused at injection
+    /// (destination unreachable under the fault set).
+    pub mean_undeliverable_packets: f64,
+    /// Whether *every* replication was sustainable (§5 queue criterion).
+    pub sustainable: bool,
+    /// Whether *every* replication kept delivery pace with generation.
+    pub steady: bool,
+}
+
+/// Evaluate the experiment at one offered load under increasing numbers of
+/// randomly-killed inter-stage links — the graceful-degradation companion
+/// to the §5 latency–throughput curves. For each entry of `fault_counts` a
+/// fault set is drawn seed-reproducibly
+/// ([`FaultPlan::random_inter_stage_links`], salted with the count), its
+/// masked routing table is compiled **once**, and `replications`
+/// independent seeded runs are fanned out over the whole
+/// `(point, replication)` grid on `threads` workers. Task `(i, r)` uses
+/// seed `mix(base, i·R + r + 1)` — for a single `fault_counts = [0]` entry
+/// exactly the seeds (hence bit-exactly the reports) of
+/// [`replicated_curve`] at one load.
+///
+/// Networks with path diversity (BMIN, DMIN) route around dead links and
+/// keep delivering; single-path networks (TMIN, VMIN) report the
+/// disconnected traffic as `mean_undeliverable_packets` instead of
+/// stalling or panicking.
+///
+/// # Errors
+///
+/// Reports a zero replication count, invalid experiments, fault sets
+/// larger than the network's inter-stage link pool, and fault sets whose
+/// masked channel-dependency graph would deadlock.
+pub fn degradation_curve(
+    exp: &Experiment,
+    offered_load: f64,
+    fault_counts: &[usize],
+    replications: usize,
+    threads: usize,
+) -> Result<Vec<DegradationPoint>, String> {
+    if replications == 0 {
+        return Err("degradation sweep needs at least one replication".into());
+    }
+    if fault_counts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
+    let workload = compiled.template().workload_at(offered_load)?;
+
+    // Fault placement is a deterministic function of (base seed, count):
+    // re-running with a refined count list reuses the same fault sets.
+    let faulted: Vec<CompiledFaults> = fault_counts
+        .iter()
+        .map(|&count| {
+            let plan = FaultPlan::random_inter_stage_links(
+                compiled.graph(),
+                count,
+                mix(base, 0xFA_0017 + count as u64),
+            )?;
+            compiled.network().compile_faults(&plan).map_err(String::from)
+        })
+        .collect::<Result<_, String>>()?;
+
+    let total = fault_counts.len() * replications;
+    let reports = run_tasks(total, threads, |t, st| {
+        let i = t / replications;
+        compiled
+            .network()
+            .run_poisson_faulted(&workload, Some(&faulted[i]), mix(base, t as u64 + 1), st)
+            .map_err(String::from)
+    })?;
+
+    let mut out = Vec::with_capacity(fault_counts.len());
+    let mut reports = reports.into_iter();
+    for &fault_count in fault_counts {
+        let reps: Vec<SimReport> = reports.by_ref().take(replications).collect();
+        let mut lat = Welford::new();
+        let mut acc = Welford::new();
+        let mut aborted = Welford::new();
+        let mut refused = Welford::new();
+        for r in &reps {
+            lat.push(r.mean_latency_cycles);
+            acc.push(r.accepted_flits_per_node_cycle);
+            aborted.push(r.aborted_packets as f64);
+            refused.push(r.undeliverable_packets as f64);
+        }
+        out.push(DegradationPoint {
+            fault_count,
+            mean_latency_cycles: lat.mean(),
+            latency_ci95_cycles: lat.ci95_half_width(),
+            accepted_flits_per_node_cycle: acc.mean(),
+            accepted_ci95: acc.ci95_half_width(),
+            mean_aborted_packets: aborted.mean(),
+            mean_undeliverable_packets: refused.mean(),
             sustainable: reps.iter().all(|r| r.sustainable),
             steady: reps.iter().all(|r| r.steady),
             replications: reps,
@@ -434,5 +558,75 @@ mod tests {
     #[test]
     fn replicated_curve_rejects_zero_replications() {
         assert!(replicated_curve(&quick(), &[0.2], 0, 1).is_err());
+    }
+
+    #[test]
+    fn degradation_zero_faults_matches_replicated_curve() {
+        // A zero-fault point compiles a trivial schedule, which the engine
+        // normalises away — the reports must be bit-identical to the
+        // plain replicated sweep at the same (load, seed) grid.
+        let exp = quick();
+        let faultless = replicated_curve(&exp, &[0.25], 3, 2).unwrap();
+        let degraded = degradation_curve(&exp, 0.25, &[0], 3, 2).unwrap();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].fault_count, 0);
+        assert_eq!(degraded[0].mean_aborted_packets, 0.0);
+        assert_eq!(degraded[0].mean_undeliverable_packets, 0.0);
+        for (a, b) in faultless[0].replications.iter().zip(&degraded[0].replications) {
+            assert!(a.bitwise_eq(b), "zero-fault point diverged from faultless run");
+        }
+    }
+
+    #[test]
+    fn bmin_routes_around_single_link_fault() {
+        // BMIN's path diversity: every stage-0 switch keeps k-1 live
+        // parents after one link dies, so no destination disconnects and
+        // traffic keeps flowing.
+        let mut exp = quick();
+        exp.network = NetworkSpec::Bmin;
+        let pts = degradation_curve(&exp, 0.2, &[1], 2, 2).unwrap();
+        let p = &pts[0];
+        assert_eq!(p.mean_undeliverable_packets, 0.0, "BMIN must not disconnect");
+        assert!(p.sustainable, "BMIN must sustain 0.2 load around one dead link");
+        for r in &p.replications {
+            assert!(r.delivered_packets > 0);
+        }
+    }
+
+    #[test]
+    fn tmin_reports_structured_disconnection() {
+        // TMIN has a unique path per (src, dst): a dead inter-stage link
+        // disconnects some pairs. The engine must refuse that traffic with
+        // accounting — not panic, not hang.
+        let pts = degradation_curve(&quick(), 0.2, &[1, 2], 1, 2).unwrap();
+        assert!(
+            pts.iter().any(|p| p.mean_undeliverable_packets > 0.0),
+            "uniform traffic over a cut TMIN must hit a disconnected pair"
+        );
+        for p in &pts {
+            for r in &p.replications {
+                assert!(r.delivered_packets > 0, "connected pairs still deliver");
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_curve_is_thread_count_invariant() {
+        let exp = quick();
+        let a = degradation_curve(&exp, 0.2, &[0, 1], 2, 1).unwrap();
+        let b = degradation_curve(&exp, 0.2, &[0, 1], 2, 4).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            for (r, s) in x.replications.iter().zip(&y.replications) {
+                assert!(r.bitwise_eq(s));
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_curve_rejects_bad_inputs() {
+        assert!(degradation_curve(&quick(), 0.2, &[0], 0, 1).is_err());
+        // More faults than inter-stage links.
+        assert!(degradation_curve(&quick(), 0.2, &[100_000], 1, 1).is_err());
+        assert!(degradation_curve(&quick(), 0.2, &[], 1, 1).unwrap().is_empty());
     }
 }

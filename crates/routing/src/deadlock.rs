@@ -110,6 +110,28 @@ pub fn is_deadlock_free(net: &NetworkGraph, rule: DependencyRule) -> bool {
     find_cycle(&dependency_graph(net, rule)).is_none()
 }
 
+/// The CDG of the network with `dead_channel` removed: dead channels keep
+/// no outgoing edges and appear in no one's successor list. A subgraph of
+/// an acyclic graph is acyclic, so masking can never *introduce* a cycle
+/// — the fault-compilation path still runs [`find_cycle`] over this graph
+/// as a belt-and-braces re-check each fault epoch, so a future routing
+/// rule whose masked network deadlocks fails loudly at compile time.
+pub fn masked_dependency_graph(
+    net: &NetworkGraph,
+    rule: DependencyRule,
+    dead_channel: &[bool],
+) -> Vec<Vec<ChannelId>> {
+    let mut adj = dependency_graph(net, rule);
+    for (c, succ) in adj.iter_mut().enumerate() {
+        if dead_channel[c] {
+            succ.clear();
+        } else {
+            succ.retain(|&s| !dead_channel[s as usize]);
+        }
+    }
+    adj
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +172,25 @@ mod tests {
     fn reascend_does_not_affect_unidirectional_graphs() {
         let net = build_unidir(Geometry::new(2, 3), UnidirKind::Cube, 1);
         assert!(is_deadlock_free(&net, DependencyRule::AllowReascend));
+    }
+
+    #[test]
+    fn masked_cdg_stays_acyclic_and_drops_dead_edges() {
+        let net = build_bmin(Geometry::new(4, 3));
+        let mut dead = vec![false; net.num_channels()];
+        dead[3] = true;
+        dead[100] = true;
+        let adj = masked_dependency_graph(&net, DependencyRule::Paper, &dead);
+        assert!(adj[3].is_empty() && adj[100].is_empty());
+        for succ in &adj {
+            assert!(!succ.contains(&3) && !succ.contains(&100));
+        }
+        assert!(find_cycle(&adj).is_none());
+        // Even a graph made cyclic by AllowReascend loses its cycles once
+        // enough channels die.
+        let all_dead = vec![true; net.num_channels()];
+        let adj = masked_dependency_graph(&net, DependencyRule::AllowReascend, &all_dead);
+        assert!(find_cycle(&adj).is_none());
     }
 
     #[test]

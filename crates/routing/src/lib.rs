@@ -20,7 +20,7 @@ pub mod paths;
 pub mod table;
 pub mod turnaround;
 
-pub use deadlock::{dependency_graph, find_cycle, DependencyRule};
+pub use deadlock::{dependency_graph, find_cycle, masked_dependency_graph, DependencyRule};
 pub use logic::RouteLogic;
 pub use table::RouteTable;
 pub use paths::{enumerate_paths, paths_share_channel, shortest_path_count, shortest_path_length};

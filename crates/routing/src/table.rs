@@ -133,6 +133,82 @@ impl RouteTable {
         &self.cands[lo..hi]
     }
 
+    /// The fault-masked variant of this table: every candidate list is
+    /// filtered down to channels over which the destination is still
+    /// **deliverable** under `dead_channel` — alive *and* with a live
+    /// continuation all the way to the ejection channel. Filtering by
+    /// deliverability (not mere liveness) is what makes the adaptive
+    /// networks degrade gracefully: a BMIN up-phase choice or DMIN lane
+    /// whose subtree dead-ends at the fault is excluded *before* the worm
+    /// commits to it, so a header that can advance can always finish —
+    /// and an empty masked candidate list at a non-ejection cell is a
+    /// definitive "disconnected from here" signal, not a maybe.
+    ///
+    /// Candidate order is preserved (the mask only deletes entries), so a
+    /// masked table under an all-live mask is candidate-for-candidate the
+    /// original — the engine's no-fault RNG stream is untouched.
+    ///
+    /// Deliverability is computed per destination in one transmit-order
+    /// pass: the engine's downstream-first channel order visits every
+    /// candidate before the channel that requests it.
+    ///
+    /// # Errors
+    ///
+    /// Reports a mask whose length does not match the channel count.
+    pub fn masked(
+        &self,
+        net: &NetworkGraph,
+        dead_channel: &[bool],
+    ) -> Result<RouteTable, String> {
+        let nch = net.num_channels();
+        if dead_channel.len() != nch {
+            return Err(format!(
+                "fault mask covers {} channels but the network has {nch}",
+                dead_channel.len()
+            ));
+        }
+        let nodes = self.nodes as usize;
+        let order = net.transmit_order();
+        // deliver[ch * nodes + dst] — `dst` can still be reached from the
+        // head of `ch`.
+        let mut deliver = vec![false; nch * nodes];
+        for dst in 0..nodes {
+            for &ch in &order {
+                let chi = ch as usize;
+                if dead_channel[chi] {
+                    continue;
+                }
+                let ok = net.eject[dst] == ch
+                    || self.candidates(ch, dst as NodeId).iter().any(|&c| {
+                        debug_assert!(
+                            net.channel(c).topo_rank < net.channel(ch).topo_rank,
+                            "candidate {c} not downstream of {ch}"
+                        );
+                        deliver[c as usize * nodes + dst]
+                    });
+                deliver[chi * nodes + dst] = ok;
+            }
+        }
+        let mut starts = Vec::with_capacity(self.starts.len());
+        let mut cands = Vec::with_capacity(self.cands.len());
+        for ch in 0..nch {
+            for dst in 0..nodes {
+                starts.push(cands.len() as u32);
+                cands.extend(
+                    self.candidates(ch as ChannelId, dst as NodeId)
+                        .iter()
+                        .filter(|&&c| deliver[c as usize * nodes + dst]),
+                );
+            }
+        }
+        starts.push(cands.len() as u32);
+        Ok(RouteTable {
+            nodes: self.nodes,
+            starts,
+            cands,
+        })
+    }
+
     /// Number of destination nodes the table was built for.
     pub fn nodes(&self) -> u32 {
         self.nodes
@@ -209,6 +285,171 @@ mod tests {
                 assert!(table.candidates(net.eject[dst as usize], dst).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn masked_with_all_live_mask_is_identical() {
+        for net in nets() {
+            let table = RouteTable::build(&net).unwrap();
+            let masked = table
+                .masked(&net, &vec![false; net.num_channels()])
+                .unwrap();
+            for ch in 0..net.num_channels() as u32 {
+                for dst in 0..net.geometry.nodes() {
+                    assert_eq!(
+                        table.candidates(ch, dst),
+                        masked.candidates(ch, dst),
+                        "channel {ch} → {dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rejects_wrong_mask_length() {
+        let net = &nets()[0];
+        let table = RouteTable::build(net).unwrap();
+        assert!(table.masked(net, &[false; 3]).is_err());
+    }
+
+    /// Walk every masked candidate chain: a nonempty cell must lead to a
+    /// nonempty (or ejection) cell — no masked route may dead-end.
+    fn assert_no_dead_ends(net: &NetworkGraph, masked: &RouteTable) {
+        for src in 0..net.geometry.nodes() {
+            for dst in 0..net.geometry.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let mut frontier = vec![net.inject[src as usize]];
+                let mut seen = vec![false; net.num_channels()];
+                while let Some(at) = frontier.pop() {
+                    for &c in masked.candidates(at, dst) {
+                        if seen[c as usize] {
+                            continue;
+                        }
+                        seen[c as usize] = true;
+                        assert!(
+                            c == net.eject[dst as usize]
+                                || !masked.candidates(c, dst).is_empty(),
+                            "masked route {src}→{dst} dead-ends at channel {c}"
+                        );
+                        frontier.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bmin_single_fault_keeps_all_pairs_deliverable() {
+        // k^t alternative paths: one dead inter-stage link must leave
+        // every (src, dst) cell deliverable, with no route dead-ending.
+        let net = build_bmin(Geometry::new(4, 3));
+        let table = RouteTable::build(&net).unwrap();
+        let victim = (0..net.num_channels() as u32)
+            .find(|&c| {
+                let ch = net.channel(c);
+                ch.src.switch().is_some() && ch.dst.switch().is_some()
+            })
+            .unwrap();
+        let mut dead = vec![false; net.num_channels()];
+        dead[victim as usize] = true;
+        let masked = table.masked(&net, &dead).unwrap();
+        for src in 0..net.geometry.nodes() {
+            for dst in 0..net.geometry.nodes() {
+                if src != dst {
+                    assert!(
+                        !masked.candidates(net.inject[src as usize], dst).is_empty(),
+                        "{src} → {dst} lost deliverability"
+                    );
+                }
+            }
+        }
+        assert_no_dead_ends(&net, &masked);
+    }
+
+    #[test]
+    fn tmin_single_fault_disconnects_crossing_pairs_only() {
+        let net = build_unidir(Geometry::new(4, 3), UnidirKind::Cube, 1);
+        let table = RouteTable::build(&net).unwrap();
+        let victim = (0..net.num_channels() as u32)
+            .find(|&c| {
+                let ch = net.channel(c);
+                ch.src.switch().is_some() && ch.dst.switch().is_some()
+            })
+            .unwrap();
+        let mut dead = vec![false; net.num_channels()];
+        dead[victim as usize] = true;
+        let masked = table.masked(&net, &dead).unwrap();
+        // Exactly the pairs whose unique path used the victim lose their
+        // route; everything else is untouched.
+        let mut disconnected = 0;
+        for src in 0..net.geometry.nodes() {
+            for dst in 0..net.geometry.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let inj = net.inject[src as usize];
+                let uses_victim = {
+                    let mut at = inj;
+                    let mut hit = false;
+                    while let Some(&next) = table.candidates(at, dst).first() {
+                        if next == victim {
+                            hit = true;
+                        }
+                        at = next;
+                    }
+                    hit
+                };
+                let masked_empty = masked.candidates(inj, dst).is_empty();
+                assert_eq!(uses_victim, masked_empty, "{src} → {dst}");
+                disconnected += usize::from(masked_empty);
+            }
+        }
+        assert!(disconnected > 0, "an inter-stage link must carry some pair");
+        assert_no_dead_ends(&net, &masked);
+    }
+
+    #[test]
+    fn dmin_masked_candidates_skip_the_dead_lane() {
+        // Dilated links: killing one parallel channel removes it from the
+        // candidate lists but keeps every pair deliverable via its twin.
+        let net = build_unidir(Geometry::new(4, 3), UnidirKind::Cube, 2);
+        let table = RouteTable::build(&net).unwrap();
+        let victim = (0..net.num_channels() as u32)
+            .find(|&c| {
+                let ch = net.channel(c);
+                ch.src.switch().is_some() && ch.dst.switch().is_some()
+            })
+            .unwrap();
+        let mut dead = vec![false; net.num_channels()];
+        dead[victim as usize] = true;
+        let masked = table.masked(&net, &dead).unwrap();
+        let mut shrunk = 0;
+        for ch in 0..net.num_channels() as u32 {
+            for dst in 0..net.geometry.nodes() {
+                let full = table.candidates(ch, dst);
+                let kept = masked.candidates(ch, dst);
+                assert!(!kept.contains(&victim), "dead channel offered");
+                if full.contains(&victim) {
+                    assert_eq!(kept.len(), full.len() - 1);
+                    shrunk += 1;
+                }
+            }
+        }
+        assert!(shrunk > 0);
+        for src in 0..net.geometry.nodes() {
+            for dst in 0..net.geometry.nodes() {
+                if src != dst {
+                    assert!(
+                        !masked.candidates(net.inject[src as usize], dst).is_empty(),
+                        "dilation must tolerate a single link fault"
+                    );
+                }
+            }
+        }
+        assert_no_dead_ends(&net, &masked);
     }
 
     #[test]

@@ -99,21 +99,24 @@ impl LaneBufs {
         Some(f)
     }
 
-    /// Append a flit to lane `li`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the lane's buffer is full — the engine must check
-    /// [`LaneBufs::is_full`] first, exactly as with the per-lane FIFO.
+    /// Append a flit to lane `li`. Returns `false` (dropping the flit)
+    /// if the lane's buffer is full — the engine checks
+    /// [`LaneBufs::is_full`] before moving a flit and treats a refused
+    /// push as a violated invariant, surfaced as a typed error rather
+    /// than a panic.
     #[inline]
-    pub fn push(&mut self, li: usize, f: FlitRef) {
-        assert!(self.len[li] < self.depth, "overfilling a lane buffer");
+    #[must_use]
+    pub fn push(&mut self, li: usize, f: FlitRef) -> bool {
+        if self.len[li] == self.depth {
+            return false;
+        }
         // `head < depth` and `len < depth` here, so the ring offset needs
         // at most one wrap — no runtime-divisor modulo.
         let s = self.head[li] + self.len[li];
         let slot = if s >= self.depth { s - self.depth } else { s };
         self.store[li * self.depth as usize + slot as usize] = f;
         self.len[li] += 1;
+        true
     }
 }
 
@@ -197,14 +200,14 @@ mod tests {
         let mut b = LaneBufs::default();
         b.reset(3, 2);
         assert!(b.is_empty(0) && !b.is_full(0));
-        b.push(1, FlitRef { packet: 7, index: 0 });
-        b.push(1, FlitRef { packet: 7, index: 1 });
+        assert!(b.push(1, FlitRef { packet: 7, index: 0 }));
+        assert!(b.push(1, FlitRef { packet: 7, index: 1 }));
         assert!(b.is_full(1));
         assert!(b.is_empty(0) && b.is_empty(2), "lanes are independent");
         assert_eq!(b.front(1), Some(FlitRef { packet: 7, index: 0 }));
         assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 0 }));
         // Wraparound: push after a pop reuses the freed ring slot.
-        b.push(1, FlitRef { packet: 7, index: 2 });
+        assert!(b.push(1, FlitRef { packet: 7, index: 2 }));
         assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 1 }));
         assert_eq!(b.pop(1), Some(FlitRef { packet: 7, index: 2 }));
         assert_eq!(b.pop(1), None);
@@ -214,7 +217,7 @@ mod tests {
     fn lane_bufs_reset_empties_and_redimensions() {
         let mut b = LaneBufs::default();
         b.reset(2, 1);
-        b.push(0, FlitRef { packet: 1, index: 0 });
+        assert!(b.push(0, FlitRef { packet: 1, index: 0 }));
         b.reset(4, 3);
         assert_eq!(b.depth(), 3);
         for li in 0..4 {
@@ -223,12 +226,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overfilling")]
     fn lane_bufs_reject_overfill() {
         let mut b = LaneBufs::default();
         b.reset(1, 1);
-        b.push(0, FlitRef { packet: 0, index: 0 });
-        b.push(0, FlitRef { packet: 0, index: 1 });
+        assert!(b.push(0, FlitRef { packet: 0, index: 0 }));
+        assert!(!b.push(0, FlitRef { packet: 0, index: 1 }), "full lane refuses the flit");
+        assert_eq!(b.front(0), Some(FlitRef { packet: 0, index: 0 }), "refused push leaves the buffer intact");
     }
 
     #[test]

@@ -70,6 +70,21 @@ pub struct EngineConfig {
     /// valid with `vcs == 1` (virtual channels have their own data paths
     /// through the switch). Debug/test aid.
     pub validate_crossbars: bool,
+    /// No-progress watchdog window: if this many consecutive cycles pass
+    /// with active packets but **zero** flit movement, the run terminates
+    /// with [`crate::SimError::NoProgress`] and a structured
+    /// [`crate::StallDiagnostic`]. In a healthy network the condition is
+    /// unreachable (the downstream-most flit of some worm can always
+    /// move), so the watchdog is on by default without affecting any
+    /// fault-free run. `0` disables it. Default: 10 000.
+    pub watchdog_window: u64,
+    /// Whether a worm that a fault epoch leaves holding a dead lane — or
+    /// routed into a corner with no live continuation — is *aborted*: its
+    /// buffered flits drained, its lanes released, and its source freed.
+    /// Turning this off leaves such worms wedged in place (blocking
+    /// everything behind them) until the watchdog fires — a test knob for
+    /// exercising the watchdog, not a production mode. Default: on.
+    pub fault_abort: bool,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +103,8 @@ impl Default for EngineConfig {
             collect_channel_util: false,
             collect_trace: false,
             validate_crossbars: false,
+            watchdog_window: 10_000,
+            fault_abort: true,
         }
     }
 }
@@ -158,6 +175,14 @@ pub struct SimReport {
     pub steady: bool,
     /// Packets still in flight (in network or queued) when the run ended.
     pub in_flight_at_end: u64,
+    /// Measured packets aborted mid-flight because a fault epoch killed a
+    /// lane they held (or their only continuations). Always 0 without an
+    /// active fault schedule.
+    pub aborted_packets: u64,
+    /// Measured messages refused at injection because no live route to
+    /// their destination existed under the current fault epoch. Always 0
+    /// without an active fault schedule.
+    pub undeliverable_packets: u64,
     /// Per-channel busy fraction over the window, when collection was
     /// enabled.
     pub channel_utilization: Option<Vec<f64>>,
@@ -243,6 +268,8 @@ impl SimReport {
             && self.sustainable == other.sustainable
             && self.steady == other.steady
             && self.in_flight_at_end == other.in_flight_at_end
+            && self.aborted_packets == other.aborted_packets
+            && self.undeliverable_packets == other.undeliverable_packets
             && fv(&self.channel_utilization, &other.channel_utilization)
             && self.deliveries == other.deliveries
             && self.trace == other.trace
@@ -294,6 +321,8 @@ mod tests {
             sustainable: true,
             steady: true,
             in_flight_at_end: 0,
+            aborted_packets: 0,
+            undeliverable_packets: 0,
             channel_utilization: None,
             deliveries: None,
             trace: None,

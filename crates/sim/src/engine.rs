@@ -146,11 +146,13 @@
 
 use crate::active::{DenseBitSet, LaneBufs};
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
+use crate::error::{SimError, StallDiagnostic, StalledPacket};
+use crate::fault::CompiledFaults;
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
-use minnet_routing::{RouteLogic, RouteTable};
+use minnet_routing::{find_cycle, RouteLogic, RouteTable};
 use minnet_switch::{Arbiter, ArbiterKind, Crossbar, FlitRef, VcMux};
-use minnet_topology::{ChannelId, Endpoint, Geometry, NetworkGraph, Side};
+use minnet_topology::{ChannelId, Endpoint, FaultPlan, Geometry, NetworkGraph, Side};
 use minnet_traffic::Workload;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -459,9 +461,9 @@ impl CompiledNet {
     /// # Errors
     ///
     /// Reports invalid configurations and routing-table inconsistencies.
-    pub fn new(net: Arc<NetworkGraph>, cfg: EngineConfig) -> Result<CompiledNet, String> {
+    pub fn new(net: Arc<NetworkGraph>, cfg: EngineConfig) -> Result<CompiledNet, SimError> {
         cfg.validate()?;
-        let routes = RouteTable::build(&net)?;
+        let routes = RouteTable::build(&net).map_err(SimError::Routing)?;
         let (order, order_pos, dst_is_node) = order_parts(&net, &cfg);
         Ok(CompiledNet {
             net,
@@ -488,22 +490,56 @@ impl CompiledNet {
         &self.routes
     }
 
+    /// Compile a [`FaultPlan`] against this network: per-epoch dead-lane
+    /// masks plus deliverability-pruned routing tables (with a masked-CDG
+    /// deadlock re-check per epoch). The result is read-only and reusable
+    /// across runs and threads, like the `CompiledNet` itself.
+    ///
+    /// # Errors
+    ///
+    /// Reports out-of-range fault targets, inverted repair windows, and
+    /// (defensively) a masked CDG cycle.
+    pub fn compile_faults(&self, plan: &FaultPlan) -> Result<CompiledFaults, SimError> {
+        CompiledFaults::compile(&self.net, &self.routes, plan, self.cfg.vcs)
+    }
+
     /// Run a stochastic (Poisson-workload) simulation with the given seed,
     /// reusing `st`'s allocations.
     ///
     /// # Errors
     ///
-    /// Reports a workload compiled for a different geometry.
+    /// Reports a workload compiled for a different geometry, or a
+    /// watchdog trip ([`SimError::NoProgress`]).
     pub fn run_poisson(
         &self,
         workload: &Workload,
         seed: u64,
         st: &mut EngineState,
-    ) -> Result<SimReport, String> {
+    ) -> Result<SimReport, SimError> {
+        self.run_poisson_faulted(workload, None, seed, st)
+    }
+
+    /// [`CompiledNet::run_poisson`] under a fault schedule. `None` (or a
+    /// trivial schedule) runs bit-identically to the faultless path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledNet::run_poisson`].
+    pub fn run_poisson_faulted(
+        &self,
+        workload: &Workload,
+        faults: Option<&CompiledFaults>,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, SimError> {
         if workload.geometry() != self.net.geometry {
-            return Err("workload geometry does not match the network".into());
+            return Err(SimError::GeometryMismatch {
+                what: "workload",
+                expected: self.net.geometry,
+                got: workload.geometry(),
+            });
         }
-        Ok(self.run_traffic(Traffic::Poisson(workload), seed, st))
+        self.run_traffic(Traffic::Poisson(workload), faults, seed, st)
     }
 
     /// Run a deterministic scripted simulation (see [`run_scripted`]) with
@@ -512,24 +548,46 @@ impl CompiledNet {
     ///
     /// # Errors
     ///
-    /// Reports a script compiled for a different geometry.
+    /// Reports a script compiled for a different geometry, or a watchdog
+    /// trip ([`SimError::NoProgress`]).
     pub fn run_script(
         &self,
         script: &Script,
         seed: u64,
         st: &mut EngineState,
-    ) -> Result<SimReport, String> {
+    ) -> Result<SimReport, SimError> {
+        self.run_script_faulted(script, None, seed, st)
+    }
+
+    /// [`CompiledNet::run_script`] under a fault schedule. `None` (or a
+    /// trivial schedule) runs bit-identically to the faultless path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledNet::run_script`].
+    pub fn run_script_faulted(
+        &self,
+        script: &Script,
+        faults: Option<&CompiledFaults>,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, SimError> {
         if script.geometry != self.net.geometry {
-            return Err("script geometry does not match the network".into());
+            return Err(SimError::GeometryMismatch {
+                what: "script",
+                expected: self.net.geometry,
+                got: script.geometry,
+            });
         }
-        Ok(self.run_traffic(
+        self.run_traffic(
             Traffic::Scripted {
                 msgs: &script.msgs,
                 next: 0,
             },
+            faults,
             seed,
             st,
-        ))
+        )
     }
 
     /// Run a deterministic chained simulation (see [`run_chained`]) with
@@ -539,17 +597,38 @@ impl CompiledNet {
     ///
     /// # Errors
     ///
-    /// Reports a chain compiled for a different geometry.
+    /// Reports a chain compiled for a different geometry, or a watchdog
+    /// trip ([`SimError::NoProgress`]).
     pub fn run_chain(
         &self,
         chain: &Chain,
         seed: u64,
         st: &mut EngineState,
-    ) -> Result<SimReport, String> {
+    ) -> Result<SimReport, SimError> {
+        self.run_chain_faulted(chain, None, seed, st)
+    }
+
+    /// [`CompiledNet::run_chain`] under a fault schedule. `None` (or a
+    /// trivial schedule) runs bit-identically to the faultless path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledNet::run_chain`].
+    pub fn run_chain_faulted(
+        &self,
+        chain: &Chain,
+        faults: Option<&CompiledFaults>,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, SimError> {
         if chain.geometry != self.net.geometry {
-            return Err("chain geometry does not match the network".into());
+            return Err(SimError::GeometryMismatch {
+                what: "chain",
+                expected: self.net.geometry,
+                got: chain.geometry,
+            });
         }
-        Ok(self.run_traffic(
+        self.run_traffic(
             Traffic::Chained {
                 msgs: &chain.msgs,
                 dependents: &chain.dependents,
@@ -557,12 +636,19 @@ impl CompiledNet {
                 remaining: chain.msgs.len(),
                 overhead: chain.overhead,
             },
+            faults,
             seed,
             st,
-        ))
+        )
     }
 
-    fn run_traffic(&self, traffic: Traffic<'_>, seed: u64, st: &mut EngineState) -> SimReport {
+    fn run_traffic(
+        &self,
+        traffic: Traffic<'_>,
+        faults: Option<&CompiledFaults>,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, SimError> {
         run_prepared(
             &self.net,
             &self.cfg,
@@ -571,6 +657,7 @@ impl CompiledNet {
             &self.order_pos,
             &self.dst_is_node,
             traffic,
+            faults,
             seed,
             st,
         )
@@ -628,6 +715,15 @@ pub struct EngineState {
     owned_lanes: Vec<u32>,
     /// Messages sitting in source queues, across all sources.
     queued_msgs: u64,
+    // fault / watchdog state
+    /// Flits moved in the current cycle (watchdog progress signal).
+    moved: u32,
+    /// Last cycle that saw flit movement (or had no active packets).
+    last_progress: u64,
+    /// Measured packets aborted by fault epochs.
+    aborted_pkts: u64,
+    /// Measured messages refused at injection as undeliverable.
+    undeliverable_pkts: u64,
     // measurement state
     generated_pkts: u64,
     generated_flits: u64,
@@ -676,6 +772,10 @@ impl EngineState {
             occupied: DenseBitSet::with_capacity(0),
             owned_lanes: Vec::new(),
             queued_msgs: 0,
+            moved: 0,
+            last_progress: 0,
+            aborted_pkts: 0,
+            undeliverable_pkts: 0,
             generated_pkts: 0,
             generated_flits: 0,
             delivered_pkts: 0,
@@ -765,6 +865,10 @@ impl EngineState {
         self.owned_lanes.clear();
         self.owned_lanes.resize(nch, 0);
         self.queued_msgs = 0;
+        self.moved = 0;
+        self.last_progress = 0;
+        self.aborted_pkts = 0;
+        self.undeliverable_pkts = 0;
 
         self.generated_pkts = 0;
         self.generated_flits = 0;
@@ -920,6 +1024,11 @@ struct Engine<'a> {
     dst_is_node: &'a [bool],
     vcs: usize,
     traffic: Traffic<'a>,
+    /// Active fault schedule; `None` is the fault-free fast path (trivial
+    /// schedules are normalized to `None` in `run_prepared`).
+    faults: Option<&'a CompiledFaults>,
+    /// Index of the current fault epoch in `faults`.
+    epoch: usize,
     st: &'a mut EngineState,
 }
 
@@ -935,9 +1044,14 @@ fn run_prepared(
     order_pos: &[u32],
     dst_is_node: &[bool],
     traffic: Traffic<'_>,
+    faults: Option<&CompiledFaults>,
     seed: u64,
     st: &mut EngineState,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
+    // A trivial schedule (no epoch kills any lane) is indistinguishable
+    // from no schedule; normalizing it to `None` here *guarantees* the
+    // empty-plan path is the untouched fast path, bit for bit.
+    let faults = faults.filter(|f| !f.is_trivial());
     let deterministic = !matches!(traffic, Traffic::Poisson(_));
     st.reset(net, cfg, seed, deterministic);
 
@@ -975,6 +1089,8 @@ fn run_prepared(
         dst_is_node,
         vcs: cfg.vcs as usize,
         traffic,
+        faults,
+        epoch: 0,
         st,
     }
     .run()
@@ -988,25 +1104,29 @@ impl<'a> Engine<'a> {
 
     /// In-code of an input channel at its destination switch, for crossbar
     /// validation.
-    fn in_code(&self, ch: ChannelId) -> (u32, u8) {
+    fn in_code(&self, ch: ChannelId) -> Result<(u32, u8), SimError> {
         let c = self.net.channel(ch);
         match c.dst {
             Endpoint::Switch { sw, side, port } => {
                 let code = self.port_code(side, port, c.lane);
-                (sw, code)
+                Ok((sw, code))
             }
-            Endpoint::Node(_) => unreachable!("in_code of an ejection channel"),
+            Endpoint::Node(_) => Err(SimError::Internal {
+                what: "in_code of an ejection channel",
+            }),
         }
     }
 
-    fn out_code(&self, ch: ChannelId) -> (u32, u8) {
+    fn out_code(&self, ch: ChannelId) -> Result<(u32, u8), SimError> {
         let c = self.net.channel(ch);
         match c.src {
             Endpoint::Switch { sw, side, port } => {
                 let code = self.port_code(side, port, c.lane);
-                (sw, code)
+                Ok((sw, code))
             }
-            Endpoint::Node(_) => unreachable!("out_code of an injection channel"),
+            Endpoint::Node(_) => Err(SimError::Internal {
+                what: "out_code of an injection channel",
+            }),
         }
     }
 
@@ -1154,7 +1274,7 @@ impl<'a> Engine<'a> {
 
     // ---- phase 2: routing and lane allocation ------------------------
 
-    fn allocate(&mut self) {
+    fn allocate(&mut self) -> Result<(), SimError> {
         let mut reqs = std::mem::take(&mut self.st.reqs);
         reqs.clear();
         self.st
@@ -1179,25 +1299,46 @@ impl<'a> Engine<'a> {
             let j = self.st.rng.random_range(0..=i);
             reqs.swap(i, j);
         }
+        let mut result = Ok(());
         for &req in &reqs {
-            match req {
+            result = match req {
                 Req::Inject(node) => self.try_inject(node),
                 Req::Advance(p) => self.try_advance(p),
+            };
+            if result.is_err() {
+                break;
             }
         }
         self.st.reqs = reqs;
+        result
     }
 
     /// Collect the free lanes of `cands` into the eligibility scratch.
     /// `cands` must not alias engine state (it is a routing-table slice,
-    /// a local array, or the detached `cand` scratch).
+    /// a local array, or the detached `cand` scratch). Under an active
+    /// fault schedule, dead lanes are never eligible.
     fn gather_free(&mut self, cands: &[ChannelId]) {
         self.st.elig.clear();
-        for &ch in cands {
-            for vc in 0..self.vcs {
-                let li = ch as usize * self.vcs + vc;
-                if self.st.lane_owner[li] == NONE {
-                    self.st.elig.push(li as u32);
+        match self.faults {
+            None => {
+                for &ch in cands {
+                    for vc in 0..self.vcs {
+                        let li = ch as usize * self.vcs + vc;
+                        if self.st.lane_owner[li] == NONE {
+                            self.st.elig.push(li as u32);
+                        }
+                    }
+                }
+            }
+            Some(f) => {
+                let dead = &f.epochs[self.epoch].dead_lane;
+                for &ch in cands {
+                    for vc in 0..self.vcs {
+                        let li = ch as usize * self.vcs + vc;
+                        if self.st.lane_owner[li] == NONE && !dead[li] {
+                            self.st.elig.push(li as u32);
+                        }
+                    }
                 }
             }
         }
@@ -1222,17 +1363,58 @@ impl<'a> Engine<'a> {
         Some(lane)
     }
 
-    fn try_inject(&mut self, node: u32) {
+    /// Pop undeliverable messages off `node`'s queue head: under the
+    /// current fault epoch no live route from the injection channel
+    /// reaches their destination, so injecting them could only wedge the
+    /// network. Counted (when measured) in `undeliverable_pkts`; the
+    /// queue is self-cleaning because the next allocation phase sees the
+    /// next message. Returns whether a deliverable message remains.
+    fn refuse_undeliverable(&mut self, node: u32, inj: ChannelId) -> bool {
+        let Some(f) = self.faults else { return true };
+        let ep = &f.epochs[self.epoch];
+        if !ep.any_dead {
+            return true;
+        }
+        let warmup = self.cfg.warmup;
+        loop {
+            let Some(msg) = self.st.sources[node as usize].queue.front() else {
+                self.st.injectable.clear(node);
+                return false;
+            };
+            // The masked table's injection cell is nonempty iff a live
+            // path to the destination exists (deliverability pruning).
+            if !ep.routes.candidates(inj, msg.dst).is_empty() {
+                return true;
+            }
+            let msg = self.st.sources[node as usize].queue.pop_front().unwrap();
+            self.st.queued_msgs -= 1;
+            if msg.gen_time >= warmup {
+                self.st.undeliverable_pkts += 1;
+            }
+            if let Some(tr) = &mut self.st.trace {
+                tr.events.push(TraceEvent::Refused {
+                    tag: msg.tag,
+                    time: self.st.now,
+                });
+            }
+        }
+    }
+
+    fn try_inject(&mut self, node: u32) -> Result<(), SimError> {
         let inj = self.net.inject[node as usize];
+        if !self.refuse_undeliverable(node, inj) {
+            return Ok(());
+        }
         self.gather_free(&[inj]);
         // Claim with a placeholder owner; fixed up after slot allocation.
         let Some(lane) = self.claim_gathered(NONE - 1) else {
-            return;
+            return Ok(());
         };
-        let msg = self.st.sources[node as usize]
-            .queue
-            .pop_front()
-            .expect("inject request without a queued message");
+        let Some(msg) = self.st.sources[node as usize].queue.pop_front() else {
+            return Err(SimError::Internal {
+                what: "inject request without a queued message",
+            });
+        };
         self.st.queued_msgs -= 1;
         self.st.injectable.clear(node);
         let meta = PktMeta {
@@ -1277,20 +1459,40 @@ impl<'a> Engine<'a> {
                 channel: (lane as usize / self.vcs) as u32,
             });
         }
+        Ok(())
     }
 
-    fn try_advance(&mut self, p: u32) {
+    fn try_advance(&mut self, p: u32) -> Result<(), SimError> {
         let meta = self.st.pkt_meta[p as usize];
         let (src, dst) = (meta.src, meta.dst);
         let at_lane = self.st.pkt_head_lane[p as usize];
         let at_ch = (at_lane as usize / self.vcs) as u32;
-        match self.router {
-            Router::Table(table) => {
+        match (self.faults, self.router) {
+            // Fault epochs route through the masked table regardless of
+            // router mode: candidates are live *and* deliverable.
+            (Some(f), _) => {
+                let cands = f.epochs[self.epoch].routes.candidates(at_ch, dst);
+                if cands.is_empty() {
+                    // Disconnected mid-route: the current epoch left this
+                    // worm no live continuation toward its destination.
+                    // `advance_epoch` aborts such worms at the boundary
+                    // when `fault_abort` is on, so reaching this with the
+                    // knob on means the worm arrived here within the
+                    // epoch — abort it now; with the knob off it wedges
+                    // in place for the watchdog to diagnose.
+                    if self.cfg.fault_abort {
+                        self.abort_packet(p)?;
+                    }
+                    return Ok(());
+                }
+                self.gather_free(cands);
+            }
+            (None, Router::Table(table)) => {
                 let cands = table.candidates(at_ch, dst);
                 debug_assert!(!cands.is_empty(), "advance request at the destination");
                 self.gather_free(cands);
             }
-            Router::Logic(logic) => {
+            (None, Router::Logic(logic)) => {
                 let mut cand = std::mem::take(&mut self.st.cand);
                 logic.candidates(self.net, src, dst, at_ch, &mut cand);
                 debug_assert!(!cand.is_empty(), "advance request at the destination");
@@ -1299,7 +1501,7 @@ impl<'a> Engine<'a> {
             }
         }
         let Some(lane) = self.claim_gathered(p) else {
-            return; // blocked; the worm holds its lanes and waits
+            return Ok(()); // blocked; the worm holds its lanes and waits
         };
         let new_ch = (lane as usize / self.vcs) as u32;
         self.st.lane_upstream[lane as usize] = Upstream::Lane(at_lane);
@@ -1312,21 +1514,24 @@ impl<'a> Engine<'a> {
             });
         }
         if self.st.crossbars.is_none() {
-            return;
+            return Ok(());
         }
-        let (sw_in, code_in) = self.in_code(at_ch);
-        let (sw_out, code_out) = self.out_code(new_ch);
+        let (sw_in, code_in) = self.in_code(at_ch)?;
+        let (sw_out, code_out) = self.out_code(new_ch)?;
         debug_assert_eq!(sw_in, sw_out, "allocation must stay inside one switch");
         if let Some(xbars) = &mut self.st.crossbars {
-            xbars[sw_in as usize]
-                .connect(code_in, code_out)
-                .expect("engine requested an illegal crossbar connection");
+            if xbars[sw_in as usize].connect(code_in, code_out).is_err() {
+                return Err(SimError::Internal {
+                    what: "engine requested an illegal crossbar connection",
+                });
+            }
         }
+        Ok(())
     }
 
     // ---- phase 3: transmission ---------------------------------------
 
-    fn transmit(&mut self) {
+    fn transmit(&mut self) -> Result<(), SimError> {
         // Sweep a snapshot of the occupied channels: `release_lane` clears
         // bits mid-sweep, and mutating the set under iteration would skip
         // or repeat members. A snapshotted channel that empties before its
@@ -1334,6 +1539,7 @@ impl<'a> Engine<'a> {
         // *claimed* during transmission, so the snapshot is complete.
         let mut sweep = std::mem::take(&mut self.st.sweep);
         self.st.occupied.collect_into(&mut sweep);
+        let mut result = Ok(());
         if self.vcs == 1 {
             // Single-VC fast path: the round-robin mux over one lane
             // deterministically picks VC 0 and leaves its priority state
@@ -1343,7 +1549,10 @@ impl<'a> Engine<'a> {
                 let ch = self.order[pos as usize];
                 let li = ch as usize;
                 if self.lane_ready(li, ch) {
-                    self.move_flit(ch, li);
+                    result = self.move_flit(ch, li);
+                    if result.is_err() {
+                        break;
+                    }
                 }
             }
         } else {
@@ -1359,13 +1568,21 @@ impl<'a> Engine<'a> {
                 if !any {
                     continue;
                 }
-                let vc = self.st.mux[ch as usize]
-                    .select(&self.st.ready[..self.vcs])
-                    .expect("a ready lane must be selectable");
-                self.move_flit(ch, base + vc);
+                let Some(vc) = self.st.mux[ch as usize].select(&self.st.ready[..self.vcs])
+                else {
+                    result = Err(SimError::Internal {
+                        what: "a ready lane must be selectable",
+                    });
+                    break;
+                };
+                result = self.move_flit(ch, base + vc);
+                if result.is_err() {
+                    break;
+                }
             }
         }
         self.st.sweep = sweep;
+        result
     }
 
     #[inline]
@@ -1373,6 +1590,15 @@ impl<'a> Engine<'a> {
         let owner = self.st.lane_owner[li];
         if owner == NONE {
             return false;
+        }
+        // A dead lane transmits nothing. With `fault_abort` on, owned
+        // lanes are never dead (casualties are aborted at the epoch
+        // boundary); this check matters for the wedge-the-network test
+        // knob and costs one predictable branch on the fault-free path.
+        if let Some(f) = self.faults {
+            if f.epochs[self.epoch].dead_lane[li] {
+                return false;
+            }
         }
         let has_input = match self.st.lane_upstream[li] {
             Upstream::Exhausted => false,
@@ -1384,7 +1610,7 @@ impl<'a> Engine<'a> {
         has_input && (self.dst_is_node[ch as usize] || !self.st.lane_bufs.is_full(li))
     }
 
-    fn move_flit(&mut self, ch: ChannelId, li: usize) {
+    fn move_flit(&mut self, ch: ChannelId, li: usize) -> Result<(), SimError> {
         let p = self.st.lane_owner[li];
         let upstream = self.st.lane_upstream[li];
         let pi = p as usize;
@@ -1408,14 +1634,22 @@ impl<'a> Engine<'a> {
                 }
                 f
             }
-            Upstream::Lane(u) => self
-                .st
-                .lane_bufs
-                .pop(u as usize)
-                .expect("ready lane lost its upstream flit"),
-            Upstream::Exhausted => unreachable!("exhausted lanes are never ready"),
+            Upstream::Lane(u) => match self.st.lane_bufs.pop(u as usize) {
+                Some(f) => f,
+                None => {
+                    return Err(SimError::Internal {
+                        what: "ready lane lost its upstream flit",
+                    })
+                }
+            },
+            Upstream::Exhausted => {
+                return Err(SimError::Internal {
+                    what: "exhausted lanes are never ready",
+                })
+            }
         };
         debug_assert_eq!(flit.packet, p, "foreign flit in the worm's upstream buffer");
+        self.st.moved += 1;
         if !self.st.util.is_empty() && self.measuring() {
             self.st.util[ch as usize] += 1;
         }
@@ -1436,11 +1670,14 @@ impl<'a> Engine<'a> {
             }
             if is_tail {
                 self.release_lane(li as u32);
-                self.complete_packet(p, gen_time, measured, len);
+                self.complete_packet(p, gen_time, measured, len)?;
             }
-        } else {
-            self.st.lane_bufs.push(li, flit);
+        } else if !self.st.lane_bufs.push(li, flit) {
+            return Err(SimError::Internal {
+                what: "flit moved into a full lane buffer",
+            });
         }
+        Ok(())
     }
 
     fn release_lane(&mut self, li: u32) {
@@ -1475,7 +1712,13 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn complete_packet(&mut self, p: u32, gen_time: u64, measured: bool, len: u32) {
+    fn complete_packet(
+        &mut self,
+        p: u32,
+        gen_time: u64,
+        measured: bool,
+        len: u32,
+    ) -> Result<(), SimError> {
         let done = self.st.now + 1; // flit arrives at the end of this cycle
         if measured {
             let lat = (done - gen_time) as f64;
@@ -1515,14 +1758,212 @@ impl<'a> Engine<'a> {
                 tag,
             });
         }
-        let idx = self
+        let Some(idx) = self.st.active.iter().position(|&a| a == p) else {
+            return Err(SimError::Internal {
+                what: "completing an inactive packet",
+            });
+        };
+        self.st.active.swap_remove(idx);
+        self.st.free_slots.push(p);
+        Ok(())
+    }
+
+    // ---- fault handling ----------------------------------------------
+
+    /// Advance the fault epoch to match `now` (several boundaries may
+    /// pass at once after a fast-forward jump). On a change, with
+    /// `fault_abort` on, sweep the active packets and abort every
+    /// casualty: worms holding a now-dead lane, and worms whose head has
+    /// no live continuation under the new masked table.
+    fn advance_epoch(&mut self) -> Result<(), SimError> {
+        let Some(f) = self.faults else { return Ok(()) };
+        let mut changed = false;
+        while self.epoch + 1 < f.epochs.len() && f.epochs[self.epoch + 1].start <= self.st.now {
+            self.epoch += 1;
+            changed = true;
+        }
+        if !changed || !self.cfg.fault_abort {
+            return Ok(());
+        }
+        let ep = &f.epochs[self.epoch];
+        // Identify casualties first (ascending slot order for
+        // determinism), then abort — aborting mutates `active`.
+        let mut victims: Vec<u32> = Vec::new();
+        for &p in &self.st.active {
+            let pi = p as usize;
+            let head = self.st.pkt_head_lane[pi];
+            let head_ch = (head as usize / self.vcs) as u32;
+            let chain_dead = self.chain_holds_dead_lane(p, &ep.dead_lane);
+            let disconnected = !self.dst_is_node[head_ch as usize]
+                && ep
+                    .routes
+                    .candidates(head_ch, self.st.pkt_meta[pi].dst)
+                    .is_empty();
+            if chain_dead || disconnected {
+                victims.push(p);
+            }
+        }
+        victims.sort_unstable();
+        for p in victims {
+            self.abort_packet(p)?;
+        }
+        // Epoch changes (and any aborts they caused) are progress as far
+        // as the watchdog is concerned: the network's constraints just
+        // changed, so give the new epoch a full window.
+        self.st.last_progress = self.st.now;
+        Ok(())
+    }
+
+    /// Whether any lane in `p`'s held chain (head back to tail) is dead.
+    fn chain_holds_dead_lane(&self, p: u32, dead_lane: &[bool]) -> bool {
+        let mut li = self.st.pkt_head_lane[p as usize];
+        loop {
+            if dead_lane[li as usize] {
+                return true;
+            }
+            match self.st.lane_upstream[li as usize] {
+                Upstream::Lane(u) => li = u,
+                Upstream::Source(_) | Upstream::Exhausted => return false,
+            }
+        }
+    }
+
+    /// Abort-and-drain: walk `p`'s lane chain from head to tail, drain
+    /// every buffered flit, release every lane, restore the source
+    /// injector, and retire the slot. Debug builds check conservation of
+    /// flits: every flit the source emitted was either delivered or
+    /// drained here.
+    fn abort_packet(&mut self, p: u32) -> Result<(), SimError> {
+        let pi = p as usize;
+        let mut li = self.st.pkt_head_lane[pi];
+        let mut drained: u32 = 0;
+        loop {
+            if self.st.lane_owner[li as usize] != p {
+                return Err(SimError::Internal {
+                    what: "aborting a worm over a lane it does not own",
+                });
+            }
+            while let Some(flit) = self.st.lane_bufs.pop(li as usize) {
+                debug_assert_eq!(flit.packet, p, "foreign flit drained during abort");
+                drained += 1;
+            }
+            let up = self.st.lane_upstream[li as usize];
+            self.release_lane(li);
+            match up {
+                Upstream::Lane(u) => li = u,
+                Upstream::Source(node) => {
+                    self.st.sources[node as usize].injecting = NONE;
+                    if !self.st.sources[node as usize].queue.is_empty() {
+                        self.st.injectable.set(node);
+                    }
+                    break;
+                }
+                Upstream::Exhausted => break,
+            }
+        }
+        debug_assert_eq!(
+            self.st.pkt_sent[pi],
+            self.st.pkt_delivered[pi] + drained,
+            "flits leaked during abort-and-drain"
+        );
+        if self.st.pkt_meta[pi].measured {
+            self.st.aborted_pkts += 1;
+        }
+        if let Some(tr) = &mut self.st.trace {
+            tr.events.push(TraceEvent::Aborted {
+                tag: self.st.pkt_meta[pi].tag,
+                time: self.st.now,
+            });
+        }
+        let Some(idx) = self.st.active.iter().position(|&a| a == p) else {
+            return Err(SimError::Internal {
+                what: "aborting an inactive packet",
+            });
+        };
+        self.st.active.swap_remove(idx);
+        self.st.free_slots.push(p);
+        Ok(())
+    }
+
+    // ---- no-progress watchdog ----------------------------------------
+
+    /// Build the structured diagnostic the watchdog terminates with:
+    /// every active packet and its position, the held channels, and — via
+    /// a cycle search on the packet wait-for graph (packet → owners of
+    /// the lanes it wants next) — the circular wait, if one exists.
+    fn diagnose_stall(&mut self) -> StallDiagnostic {
+        let stalled: Vec<StalledPacket> = self
             .st
             .active
             .iter()
-            .position(|&a| a == p)
-            .expect("completing an inactive packet");
-        self.st.active.swap_remove(idx);
-        self.st.free_slots.push(p);
+            .map(|&p| {
+                let pi = p as usize;
+                let meta = self.st.pkt_meta[pi];
+                StalledPacket {
+                    src: meta.src,
+                    dst: meta.dst,
+                    head_channel: (self.st.pkt_head_lane[pi] as usize / self.vcs) as u32,
+                    sent: self.st.pkt_sent[pi],
+                    len: self.st.pkt_len[pi],
+                    delivered: self.st.pkt_delivered[pi],
+                }
+            })
+            .collect();
+        let mut held_channels = Vec::new();
+        self.st
+            .occupied
+            .for_each(|pos| held_channels.push(self.order[pos as usize]));
+        held_channels.sort_unstable();
+        // Wait-for graph over indices into `stalled`. An edge i → j means
+        // packet i's header wants a lane of a candidate channel currently
+        // owned by packet j. `find_cycle` works on any dense u32 digraph.
+        let mut slot_to_idx = vec![u32::MAX; self.st.pkt_meta.len()];
+        for (i, &p) in self.st.active.iter().enumerate() {
+            slot_to_idx[p as usize] = i as u32;
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.st.active.len()];
+        let mut cand_buf = Vec::new();
+        for (i, &p) in self.st.active.iter().enumerate() {
+            let pi = p as usize;
+            let head_ch = (self.st.pkt_head_lane[pi] as usize / self.vcs) as u32;
+            if self.dst_is_node[head_ch as usize] {
+                continue;
+            }
+            let dst = self.st.pkt_meta[pi].dst;
+            let cands: &[ChannelId] = match (self.faults, self.router) {
+                (Some(f), _) => f.epochs[self.epoch].routes.candidates(head_ch, dst),
+                (None, Router::Table(table)) => table.candidates(head_ch, dst),
+                (None, Router::Logic(logic)) => {
+                    cand_buf.clear();
+                    logic.candidates(
+                        self.net,
+                        self.st.pkt_meta[pi].src,
+                        dst,
+                        head_ch,
+                        &mut cand_buf,
+                    );
+                    &cand_buf
+                }
+            };
+            for &c in cands {
+                for vc in 0..self.vcs {
+                    let owner = self.st.lane_owner[c as usize * self.vcs + vc];
+                    if owner != NONE && owner != p {
+                        let j = slot_to_idx[owner as usize];
+                        if j != u32::MAX && !adj[i].contains(&j) {
+                            adj[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+        StallDiagnostic {
+            cycle: self.st.now,
+            window: self.cfg.watchdog_window,
+            stalled,
+            held_channels,
+            suspected_cycle: find_cycle(&adj),
+        }
     }
 
     // ---- event-horizon fast-forward ----------------------------------
@@ -1577,9 +2018,10 @@ impl<'a> Engine<'a> {
 
     // ---- main loop ----------------------------------------------------
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> Result<SimReport, SimError> {
         let finite = !matches!(self.traffic, Traffic::Poisson(_));
         let ff = self.cfg.fast_forward;
+        let watchdog = self.cfg.watchdog_window;
         let mut probe = HotProbe::new();
         while self.st.now < self.st.end {
             if ff && self.st.active.is_empty() && self.st.queued_msgs == 0 {
@@ -1589,13 +2031,34 @@ impl<'a> Engine<'a> {
                     break;
                 }
             }
+            // Bring the fault epoch up to date *before* the phases so the
+            // whole cycle — injection refusal, routing, transmission —
+            // sees one consistent mask (a fast-forward jump may cross
+            // several boundaries at once; casualties are aborted here).
+            if self.faults.is_some() {
+                self.advance_epoch()?;
+            }
             probe.mark();
             self.generate_arrivals();
             probe.arrivals_done();
-            self.allocate();
+            self.allocate()?;
             probe.allocate_done();
-            self.transmit();
+            self.transmit()?;
             probe.transmit_done();
+            // No-progress watchdog: a full window of cycles with active
+            // packets but zero flit movement can only mean a wedged
+            // network (in a healthy run the downstream-most flit of some
+            // worm always moves — see `EngineConfig::watchdog_window`).
+            if watchdog > 0 {
+                if self.st.moved == 0 && !self.st.active.is_empty() {
+                    if self.st.now - self.st.last_progress >= watchdog {
+                        return Err(SimError::NoProgress(Box::new(self.diagnose_stall())));
+                    }
+                } else {
+                    self.st.last_progress = self.st.now;
+                }
+                self.st.moved = 0;
+            }
             if self.measuring() {
                 let queued = self.st.queued_msgs as f64;
                 self.st.queue_time_avg.push(queued);
@@ -1606,7 +2069,7 @@ impl<'a> Engine<'a> {
             }
         }
         probe.flush();
-        self.finish()
+        Ok(self.finish())
     }
 
     /// Whether a finite (scripted/chained) traffic source has nothing left
@@ -1655,6 +2118,8 @@ impl<'a> Engine<'a> {
             sustainable: st.max_queue <= self.cfg.queue_limit,
             steady: st.delivered_flits as f64 >= 0.95 * st.generated_flits as f64,
             in_flight_at_end: st.active.len() as u64 + st.queued_msgs,
+            aborted_packets: st.aborted_pkts,
+            undeliverable_packets: st.undeliverable_pkts,
             channel_utilization: if st.util.is_empty() {
                 None
             } else {
@@ -1678,16 +2143,20 @@ fn run_oneshot(
     net: &NetworkGraph,
     cfg: &EngineConfig,
     traffic: Traffic<'_>,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     cfg.validate()?;
     if let Traffic::Poisson(wl) = &traffic {
         if wl.geometry() != net.geometry {
-            return Err("workload geometry does not match the network".into());
+            return Err(SimError::GeometryMismatch {
+                what: "workload",
+                expected: net.geometry,
+                got: wl.geometry(),
+            });
         }
     }
     let (order, order_pos, dst_is_node) = order_parts(net, cfg);
     let mut st = EngineState::new();
-    Ok(run_prepared(
+    run_prepared(
         net,
         cfg,
         Router::Logic(RouteLogic::for_kind(net.kind)),
@@ -1695,9 +2164,10 @@ fn run_oneshot(
         &order_pos,
         &dst_is_node,
         traffic,
+        None,
         cfg.seed,
         &mut st,
-    ))
+    )
 }
 
 /// Run a stochastic (Poisson-workload) simulation.
@@ -1705,7 +2175,7 @@ pub fn run_simulation(
     net: &NetworkGraph,
     workload: &Workload,
     cfg: &EngineConfig,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     run_oneshot(net, cfg, Traffic::Poisson(workload))
 }
 
@@ -1720,7 +2190,7 @@ pub fn run_scripted(
     net: &NetworkGraph,
     msgs: &[ScriptedMsg],
     cfg: &EngineConfig,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     let script = Script::compile(net.geometry, msgs)?;
     run_oneshot(
         net,
@@ -1749,7 +2219,7 @@ pub fn run_chained(
     msgs: &[ChainedMsg],
     overhead: u64,
     cfg: &EngineConfig,
-) -> Result<SimReport, String> {
+) -> Result<SimReport, SimError> {
     let chain = Chain::compile(net.geometry, msgs, overhead)?;
     run_oneshot(
         net,

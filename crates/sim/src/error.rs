@@ -1,0 +1,199 @@
+//! Typed engine errors and the no-progress stall diagnostic.
+//!
+//! The engine's error surface used to be `Result<_, String>` for
+//! validation plus `panic!`/`expect` for everything that went wrong
+//! mid-run. [`SimError`] replaces both: malformed configurations,
+//! geometry mismatches, fault-plan problems, watchdog trips, and violated
+//! internal invariants all surface as typed `Err` values through
+//! `run_prepared` and the sweep layers, so a production caller can match
+//! on the failure class instead of parsing prose — and a wedged network
+//! terminates with a [`StallDiagnostic`] instead of spinning forever.
+//!
+//! `From<String>` / `Into<String>` conversions keep the older
+//! `Result<_, String>` call sites (examples, the multicast layer)
+//! compiling unchanged: a `SimError` crossing such a boundary degrades to
+//! its display form.
+
+use minnet_topology::{ChannelId, Geometry};
+
+/// Everything a simulation run (or its preparation) can fail with.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Invalid engine/workload/network configuration (the catch-all for
+    /// validation messages, including ones converted from `String`).
+    Config(String),
+    /// A workload/script/chain compiled for one geometry was run on a
+    /// network of another.
+    GeometryMismatch {
+        /// What carried the wrong geometry ("workload", "script", …).
+        what: &'static str,
+        /// The network's geometry.
+        expected: Geometry,
+        /// The geometry the artifact was compiled for.
+        got: Geometry,
+    },
+    /// Routing-table construction or fault-masking failure.
+    Routing(String),
+    /// Fault-plan validation or compilation failure.
+    Fault(String),
+    /// The no-progress watchdog fired: a full window of cycles passed
+    /// with active packets but zero flit movement.
+    NoProgress(Box<StallDiagnostic>),
+    /// An engine invariant was violated — a bug surfaced as an error
+    /// instead of a panic.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "{msg}"),
+            SimError::GeometryMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} geometry does not match the network \
+                 (network {expected:?}, {what} {got:?})"
+            ),
+            SimError::Routing(msg) => write!(f, "routing: {msg}"),
+            SimError::Fault(msg) => write!(f, "fault plan: {msg}"),
+            SimError::NoProgress(d) => write!(f, "{d}"),
+            SimError::Internal { what } => {
+                write!(f, "engine invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<String> for SimError {
+    fn from(msg: String) -> SimError {
+        SimError::Config(msg)
+    }
+}
+
+impl From<&str> for SimError {
+    fn from(msg: &str) -> SimError {
+        SimError::Config(msg.to_string())
+    }
+}
+
+impl From<SimError> for String {
+    fn from(e: SimError) -> String {
+        e.to_string()
+    }
+}
+
+/// One stalled packet in a [`StallDiagnostic`].
+#[derive(Clone, Copy, Debug)]
+pub struct StalledPacket {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Channel the header currently sits on.
+    pub head_channel: ChannelId,
+    /// Flits the source has emitted so far.
+    pub sent: u32,
+    /// Total length in flits.
+    pub len: u32,
+    /// Flits already consumed at the destination.
+    pub delivered: u32,
+}
+
+/// The structured report the no-progress watchdog terminates with: which
+/// packets were stuck where, which channels they held, and — when the
+/// stall is a genuine circular wait rather than a dead-channel block — a
+/// cycle in the packet wait-for graph.
+#[derive(Clone, Debug)]
+pub struct StallDiagnostic {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// The configured zero-movement window that elapsed.
+    pub window: u64,
+    /// Every active packet at the moment the watchdog fired.
+    pub stalled: Vec<StalledPacket>,
+    /// Channels with at least one owned lane, ascending.
+    pub held_channels: Vec<ChannelId>,
+    /// A cycle in the wait-for graph (packet → owners of the lanes it
+    /// wants), as indices into `stalled`; `None` when the blockage is
+    /// acyclic (e.g. a worm parked on or behind a dead channel).
+    pub suspected_cycle: Option<Vec<u32>>,
+}
+
+impl std::fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no progress for {} cycles at cycle {}: {} stalled packet(s) holding \
+             {} channel(s)",
+            self.window,
+            self.cycle,
+            self.stalled.len(),
+            self.held_channels.len()
+        )?;
+        for (i, p) in self.stalled.iter().enumerate() {
+            write!(
+                f,
+                "; packet {i}: {}→{} at channel {} ({} of {} flits sent, {} delivered)",
+                p.src, p.dst, p.head_channel, p.sent, p.len, p.delivered
+            )?;
+        }
+        if let Some(cycle) = &self.suspected_cycle {
+            write!(f, "; suspected wait cycle among packets {cycle:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_conversions_round_trip() {
+        let e: SimError = "bad config".into();
+        assert!(matches!(&e, SimError::Config(m) if m == "bad config"));
+        let s: String = e.into();
+        assert_eq!(s, "bad config");
+        let e: SimError = String::from("also bad").into();
+        assert_eq!(String::from(e), "also bad");
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let d = StallDiagnostic {
+            cycle: 500,
+            window: 100,
+            stalled: vec![StalledPacket {
+                src: 1,
+                dst: 9,
+                head_channel: 42,
+                sent: 3,
+                len: 8,
+                delivered: 0,
+            }],
+            held_channels: vec![40, 42],
+            suspected_cycle: None,
+        };
+        let msg = SimError::NoProgress(Box::new(d)).to_string();
+        assert!(msg.contains("no progress for 100 cycles"));
+        assert!(msg.contains("1→9 at channel 42"));
+        let msg = SimError::Internal { what: "bad slot" }.to_string();
+        assert!(msg.contains("invariant"));
+        assert!(msg.contains("bad slot"));
+        let msg = SimError::GeometryMismatch {
+            what: "script",
+            expected: Geometry::new(4, 3),
+            got: Geometry::new(2, 3),
+        }
+        .to_string();
+        assert!(msg.contains("script"));
+    }
+}

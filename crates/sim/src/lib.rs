@@ -30,6 +30,8 @@
 pub mod active;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fault;
 #[cfg(feature = "hotstats")]
 pub mod hotstats;
 #[cfg(feature = "reference-engine")]
@@ -42,4 +44,6 @@ pub use engine::{
     run_chained, run_scripted, run_simulation, with_pooled_state, Chain, ChainedMsg, CompiledNet,
     EngineState, Script, ScriptedMsg,
 };
+pub use error::{SimError, StallDiagnostic, StalledPacket};
+pub use fault::CompiledFaults;
 pub use trace::{Trace, TraceEvent};

@@ -769,6 +769,10 @@ impl<'a> Engine<'a> {
             sustainable: self.max_queue <= self.cfg.queue_limit,
             steady: self.delivered_flits as f64 >= 0.95 * self.generated_flits as f64,
             in_flight_at_end: self.active.len() as u64 + queued,
+            // The reference engine predates the fault layer; faultless
+            // runs never abort or refuse anything.
+            aborted_packets: 0,
+            undeliverable_packets: 0,
             channel_utilization: if self.util.is_empty() {
                 None
             } else {

@@ -53,6 +53,22 @@ pub enum TraceEvent {
         /// Cycle of the event.
         time: u64,
     },
+    /// The worm was aborted mid-flight by a fault epoch (lanes released,
+    /// buffered flits drained).
+    Aborted {
+        /// Message tag.
+        tag: u32,
+        /// Cycle of the event.
+        time: u64,
+    },
+    /// The queued message was refused at injection: no live route to its
+    /// destination existed under the current fault epoch.
+    Refused {
+        /// Message tag.
+        tag: u32,
+        /// Cycle of the event.
+        time: u64,
+    },
 }
 
 impl TraceEvent {
@@ -62,7 +78,9 @@ impl TraceEvent {
             TraceEvent::Queued { tag, .. }
             | TraceEvent::Injected { tag, .. }
             | TraceEvent::Hop { tag, .. }
-            | TraceEvent::Delivered { tag, .. } => tag,
+            | TraceEvent::Delivered { tag, .. }
+            | TraceEvent::Aborted { tag, .. }
+            | TraceEvent::Refused { tag, .. } => tag,
         }
     }
 
@@ -72,7 +90,9 @@ impl TraceEvent {
             TraceEvent::Queued { time, .. }
             | TraceEvent::Injected { time, .. }
             | TraceEvent::Hop { time, .. }
-            | TraceEvent::Delivered { time, .. } => time,
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::Aborted { time, .. }
+            | TraceEvent::Refused { time, .. } => time,
         }
     }
 }

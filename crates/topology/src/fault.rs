@@ -1,0 +1,445 @@
+//! Deterministic fault plans: scheduled link / lane / switch failures.
+//!
+//! The paper's §3 comparison is a path-diversity story — TMIN has exactly
+//! one path per (source, destination) pair, DMIN offers `d` parallel lanes
+//! per hop, BMIN's turnaround routing `k^t` alternative paths. A fault
+//! model turns that diversity into a measurable *resilience* axis: kill a
+//! channel and ask which networks still deliver.
+//!
+//! A [`FaultPlan`] is a plain list of [`Fault`]s — each a
+//! [`FaultTarget`] (physical channel, single virtual lane, or whole
+//! switch) with an onset cycle and an optional repair cycle. Plans are
+//! data: deterministic, seed-reproducible (see
+//! [`FaultPlan::random_inter_stage_links`]), and comparable. Nothing here
+//! knows about worms or time beyond cycle numbers; the simulation engine
+//! consumes the *compiled* form.
+//!
+//! [`FaultPlan::compile`] lowers a plan into a [`FaultSchedule`]: the
+//! sorted sequence of **fault epochs** — maximal intervals over which the
+//! set of dead lanes is constant — each carrying dense dead-lane and
+//! dead-channel masks (lane `li = channel * vcs + vc`, the engine's lane
+//! indexing). An engine run walks the epochs monotonically; everything
+//! expensive (per-epoch masked routing tables, deadlock re-checks) is
+//! computed once per epoch at compile time, never per cycle.
+
+use crate::graph::{ChannelId, Endpoint, NetworkGraph, SwitchId};
+
+/// What a single fault takes down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultTarget {
+    /// A whole physical channel — every virtual lane of it.
+    Channel(ChannelId),
+    /// One virtual lane of a physical channel.
+    Lane {
+        /// The physical channel.
+        channel: ChannelId,
+        /// The virtual-channel index within it.
+        vc: u8,
+    },
+    /// A whole switch — every channel entering or leaving it.
+    Switch(SwitchId),
+}
+
+/// One scheduled failure: a target, its onset, and an optional repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// What fails.
+    pub target: FaultTarget,
+    /// First cycle the target is dead.
+    pub onset: u64,
+    /// First cycle the target is live again; `None` = permanent.
+    pub repair: Option<u64>,
+}
+
+impl Fault {
+    /// A permanent fault present from cycle 0.
+    pub fn permanent(target: FaultTarget) -> Fault {
+        Fault {
+            target,
+            onset: 0,
+            repair: None,
+        }
+    }
+
+    /// A transient fault dead over `[onset, repair)`.
+    pub fn transient(target: FaultTarget, onset: u64, repair: u64) -> Fault {
+        Fault {
+            target,
+            onset,
+            repair: Some(repair),
+        }
+    }
+
+    /// Whether the fault is active at cycle `t`.
+    fn active_at(&self, t: u64) -> bool {
+        self.onset <= t && self.repair.is_none_or(|r| t < r)
+    }
+}
+
+/// A deterministic schedule of failures, validated against a network and
+/// compiled into per-epoch dead masks by [`FaultPlan::compile`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+/// SplitMix64 step — the plan generator's only source of randomness, so
+/// plans are reproducible from a bare `u64` without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append a fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.push(fault);
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// `count` distinct permanent single-channel faults drawn uniformly
+    /// (seed-reproducibly) from the network's **inter-stage** links —
+    /// channels connecting two switches, the interesting targets for the
+    /// path-diversity comparison (injection/ejection channels are
+    /// single-attached by construction and disconnect a node trivially).
+    ///
+    /// # Errors
+    ///
+    /// Reports a `count` exceeding the number of inter-stage links.
+    pub fn random_inter_stage_links(
+        net: &NetworkGraph,
+        count: usize,
+        seed: u64,
+    ) -> Result<FaultPlan, String> {
+        let mut pool: Vec<ChannelId> = (0..net.num_channels() as u32)
+            .filter(|&c| {
+                let ch = net.channel(c);
+                ch.src.switch().is_some() && ch.dst.switch().is_some()
+            })
+            .collect();
+        if count > pool.len() {
+            return Err(format!(
+                "requested {count} faulted links but the network has only {} \
+                 inter-stage channels",
+                pool.len()
+            ));
+        }
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        // Partial Fisher–Yates: the first `count` entries after i swaps
+        // are a uniform sample without replacement.
+        for i in 0..count {
+            let j = i + (splitmix64(&mut state) % (pool.len() - i) as u64) as usize;
+            pool.swap(i, j);
+            plan.push(Fault::permanent(FaultTarget::Channel(pool[i])));
+        }
+        Ok(plan)
+    }
+
+    /// Check every fault against `net` and the lane count `vcs`.
+    ///
+    /// # Errors
+    ///
+    /// Reports out-of-range channels/switches/lanes and repairs not after
+    /// their onsets, naming the offending fault.
+    pub fn validate(&self, net: &NetworkGraph, vcs: u8) -> Result<(), String> {
+        let nch = net.num_channels() as u32;
+        let nsw = net.num_switches() as u32;
+        for (i, f) in self.faults.iter().enumerate() {
+            match f.target {
+                FaultTarget::Channel(c) if c >= nch => {
+                    return Err(format!(
+                        "fault {i}: channel {c} out of range (network has {nch} channels)"
+                    ));
+                }
+                FaultTarget::Lane { channel, vc } => {
+                    if channel >= nch {
+                        return Err(format!(
+                            "fault {i}: channel {channel} out of range \
+                             (network has {nch} channels)"
+                        ));
+                    }
+                    if vc >= vcs {
+                        return Err(format!(
+                            "fault {i}: lane {vc} out of range (channels have {vcs} lanes)"
+                        ));
+                    }
+                }
+                FaultTarget::Switch(s) if s >= nsw => {
+                    return Err(format!(
+                        "fault {i}: switch {s} out of range (network has {nsw} switches)"
+                    ));
+                }
+                _ => {}
+            }
+            if let Some(r) = f.repair {
+                if r <= f.onset {
+                    return Err(format!(
+                        "fault {i}: repair cycle {r} is not after onset {}",
+                        f.onset
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower the plan into its [`FaultSchedule`] for a network with `vcs`
+    /// virtual lanes per channel: one epoch per maximal interval with a
+    /// constant dead set, each with dense lane/channel masks.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`FaultPlan::validate`] reports.
+    pub fn compile(&self, net: &NetworkGraph, vcs: u8) -> Result<FaultSchedule, String> {
+        self.validate(net, vcs)?;
+        let nch = net.num_channels();
+        let lanes = nch * vcs as usize;
+
+        // Epoch boundaries: cycle 0 plus every onset/repair, deduplicated.
+        let mut starts: Vec<u64> = vec![0];
+        for f in &self.faults {
+            starts.push(f.onset);
+            if let Some(r) = f.repair {
+                starts.push(r);
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+
+        let mut epochs = Vec::with_capacity(starts.len());
+        for &start in &starts {
+            let mut dead_lane = vec![false; lanes];
+            for f in &self.faults {
+                if !f.active_at(start) {
+                    continue;
+                }
+                let kill_channel = |c: ChannelId, dead_lane: &mut Vec<bool>| {
+                    let base = c as usize * vcs as usize;
+                    dead_lane[base..base + vcs as usize].fill(true);
+                };
+                match f.target {
+                    FaultTarget::Channel(c) => kill_channel(c, &mut dead_lane),
+                    FaultTarget::Lane { channel, vc } => {
+                        dead_lane[channel as usize * vcs as usize + vc as usize] = true;
+                    }
+                    FaultTarget::Switch(s) => {
+                        for c in 0..nch as u32 {
+                            let ch = net.channel(c);
+                            let touches = |e: Endpoint| e.switch() == Some(s);
+                            if touches(ch.src) || touches(ch.dst) {
+                                kill_channel(c, &mut dead_lane);
+                            }
+                        }
+                    }
+                }
+            }
+            let dead_channel: Vec<bool> = (0..nch)
+                .map(|c| {
+                    dead_lane[c * vcs as usize..(c + 1) * vcs as usize]
+                        .iter()
+                        .all(|&d| d)
+                })
+                .collect();
+            let any_dead = dead_lane.iter().any(|&d| d);
+            epochs.push(FaultEpoch {
+                start,
+                dead_lane,
+                dead_channel,
+                any_dead,
+            });
+        }
+        Ok(FaultSchedule { epochs })
+    }
+}
+
+/// One fault epoch: a start cycle and the dead set that holds from there
+/// until the next epoch begins.
+#[derive(Clone, Debug)]
+pub struct FaultEpoch {
+    /// First cycle of the epoch.
+    pub start: u64,
+    /// `dead_lane[channel * vcs + vc]` — lane is unusable this epoch.
+    pub dead_lane: Vec<bool>,
+    /// `dead_channel[channel]` — *every* lane of the channel is dead.
+    pub dead_channel: Vec<bool>,
+    /// Whether any lane at all is dead this epoch (fast-path gate).
+    pub any_dead: bool,
+}
+
+/// A [`FaultPlan`] compiled against one network: the time-sorted epochs
+/// with their dead masks. Epoch 0 always starts at cycle 0.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    epochs: Vec<FaultEpoch>,
+}
+
+impl FaultSchedule {
+    /// The epochs, sorted by start cycle; the first starts at 0.
+    pub fn epochs(&self) -> &[FaultEpoch] {
+        &self.epochs
+    }
+
+    /// Whether no epoch kills anything — the schedule of an empty plan
+    /// (or one whose faults cancel out), behaviourally a no-fault run.
+    pub fn is_trivial(&self) -> bool {
+        self.epochs.iter().all(|e| !e.any_dead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Geometry;
+    use crate::bmin::build_bmin;
+    use crate::unidir::{build_unidir, UnidirKind};
+
+    fn tmin() -> NetworkGraph {
+        build_unidir(Geometry::new(4, 3), UnidirKind::Cube, 1)
+    }
+
+    #[test]
+    fn empty_plan_compiles_trivial() {
+        let net = tmin();
+        let s = FaultPlan::new().compile(&net, 1).unwrap();
+        assert_eq!(s.epochs().len(), 1);
+        assert_eq!(s.epochs()[0].start, 0);
+        assert!(s.is_trivial());
+        assert!(!s.epochs()[0].any_dead);
+    }
+
+    #[test]
+    fn permanent_channel_fault_masks_all_lanes() {
+        let net = tmin();
+        let s = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Channel(5)))
+            .compile(&net, 2)
+            .unwrap();
+        assert_eq!(s.epochs().len(), 1);
+        let e = &s.epochs()[0];
+        assert!(e.dead_lane[10] && e.dead_lane[11]);
+        assert!(e.dead_channel[5]);
+        assert!(!e.dead_channel[4]);
+        assert!(e.any_dead && !s.is_trivial());
+    }
+
+    #[test]
+    fn lane_fault_keeps_channel_partially_alive() {
+        let net = tmin();
+        let s = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Lane { channel: 3, vc: 1 }))
+            .compile(&net, 2)
+            .unwrap();
+        let e = &s.epochs()[0];
+        assert!(!e.dead_lane[6] && e.dead_lane[7]);
+        assert!(!e.dead_channel[3], "one live lane keeps the channel up");
+    }
+
+    #[test]
+    fn transient_fault_builds_three_epochs() {
+        let net = tmin();
+        let s = FaultPlan::new()
+            .with(Fault::transient(FaultTarget::Channel(7), 100, 250))
+            .compile(&net, 1)
+            .unwrap();
+        let starts: Vec<u64> = s.epochs().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![0, 100, 250]);
+        assert!(!s.epochs()[0].dead_channel[7]);
+        assert!(s.epochs()[1].dead_channel[7]);
+        assert!(!s.epochs()[2].dead_channel[7]);
+        assert!(!s.is_trivial());
+    }
+
+    #[test]
+    fn switch_fault_kills_every_incident_channel() {
+        let net = tmin();
+        let s = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Switch(0)))
+            .compile(&net, 1)
+            .unwrap();
+        let e = &s.epochs()[0];
+        for c in 0..net.num_channels() as u32 {
+            let ch = net.channel(c);
+            let incident =
+                ch.src.switch() == Some(0) || ch.dst.switch() == Some(0);
+            assert_eq!(e.dead_channel[c as usize], incident, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_faults() {
+        let net = tmin();
+        let nch = net.num_channels() as u32;
+        let bad = FaultPlan::new().with(Fault::permanent(FaultTarget::Channel(nch)));
+        assert!(bad.validate(&net, 1).unwrap_err().contains("out of range"));
+        let bad = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Lane { channel: 0, vc: 2 }));
+        assert!(bad.validate(&net, 2).unwrap_err().contains("lane 2"));
+        let bad = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Switch(10_000)));
+        assert!(bad.validate(&net, 1).is_err());
+        let bad = FaultPlan::new().with(Fault {
+            target: FaultTarget::Channel(0),
+            onset: 10,
+            repair: Some(10),
+        });
+        assert!(bad.validate(&net, 1).unwrap_err().contains("repair"));
+    }
+
+    #[test]
+    fn random_links_are_seed_reproducible_and_inter_stage() {
+        for net in [tmin(), build_bmin(Geometry::new(4, 3))] {
+            let a = FaultPlan::random_inter_stage_links(&net, 5, 42).unwrap();
+            let b = FaultPlan::random_inter_stage_links(&net, 5, 42).unwrap();
+            assert_eq!(a, b, "same seed, same plan");
+            let c = FaultPlan::random_inter_stage_links(&net, 5, 43).unwrap();
+            assert_ne!(a, c, "different seed, different plan");
+            let mut seen = Vec::new();
+            for f in a.faults() {
+                let FaultTarget::Channel(ch) = f.target else {
+                    panic!("link faults must target channels");
+                };
+                assert!(f.onset == 0 && f.repair.is_none());
+                let desc = net.channel(ch);
+                assert!(desc.src.switch().is_some() && desc.dst.switch().is_some());
+                assert!(!seen.contains(&ch), "duplicate faulted link");
+                seen.push(ch);
+            }
+        }
+    }
+
+    #[test]
+    fn random_links_reject_oversized_requests() {
+        let net = tmin();
+        assert!(FaultPlan::random_inter_stage_links(&net, 100_000, 1).is_err());
+    }
+}

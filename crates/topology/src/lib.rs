@@ -19,7 +19,9 @@
 //!   VMIN share one graph — virtual channels are a simulation-time concept),
 //!   and the bidirectional butterfly MIN ([`unidir`], [`bmin`]);
 //! * the fat-tree view of the BMIN ([`fattree`], §3.3 of the paper) and
-//!   topological-equivalence utilities ([`equivalence`], Fig. 12).
+//!   topological-equivalence utilities ([`equivalence`], Fig. 12);
+//! * deterministic fault plans — scheduled link / lane / switch failures
+//!   compiled into per-epoch dead-lane masks ([`fault`]).
 //!
 //! Nothing in this crate knows about flits, packets or time; the dynamic
 //! wormhole model lives in `minnet-sim`.
@@ -32,12 +34,14 @@ pub mod bmin;
 pub mod cube;
 pub mod equivalence;
 pub mod fattree;
+pub mod fault;
 pub mod graph;
 pub mod permutation;
 pub mod unidir;
 
 pub use address::{Geometry, NodeAddr};
 pub use bmin::build_bmin;
+pub use fault::{Fault, FaultEpoch, FaultPlan, FaultSchedule, FaultTarget};
 pub use cube::{BitCube, CubeSpec, DigitSpec};
 pub use graph::{
     ChannelDesc, ChannelId, Direction, Endpoint, NetworkGraph, NetworkKind, NodeId, Side,

@@ -23,12 +23,22 @@
 //! high-load one at the allocation/transmission hot loops. CI keeps the
 //! warn-only default; the gate is for dedicated (quiet) benchmark hosts.
 //!
+//! `--faults FAULTS_BASELINE FAULTS_CURRENT` additionally diffs a pair
+//! of `faults_smoke` files: per-(network, fault_count) delivered
+//! throughput (warn at ±2% — unlike wall-clock throughput this is a
+//! deterministic simulation output, so any drift is a behavioural
+//! change) plus the per-point `ok` / `partial` / `failed` outcome
+//! counts. Any `partial` or `failed` point in the current run is
+//! flagged; the faults comparison is always warn-only (outcome holes on
+//! a noisy runner shouldn't gate merges — the counts in the artifact
+//! are the record).
+//!
 //! The parser is deliberately minimal: this offline workspace has no
-//! serde, and both files are produced by `sweep_smoke`'s known
-//! line-oriented writer. It keys on trimmed lines starting with
-//! `"name":` / `"cycles_per_sec":`; the per-load rows are single-line
-//! `{...}` objects, recognised (and mined for `"load"` /
-//! `"cycles_per_sec"`) by their leading brace.
+//! serde, and both files are produced by `sweep_smoke`'s /
+//! `faults_smoke`'s known line-oriented writers. It keys on trimmed
+//! lines starting with `"name":` / `"cycles_per_sec":` / `"ok":`; the
+//! per-load and per-fault rows are single-line `{...}` objects,
+//! recognised (and mined for their fields) by their leading brace.
 
 use std::fmt::Write as _;
 
@@ -39,6 +49,9 @@ struct Net {
     cycles_per_sec: f64,
     /// Per-load `(offered_load, cycles_per_sec)` rows.
     loads: Vec<(f64, f64)>,
+    /// Campaign outcome counts `(ok, partial, failed)`; `None` on
+    /// baselines predating the campaign runner.
+    counts: Option<(u64, u64, u64)>,
 }
 
 /// Extract the number following `"key": ` inside a single-line JSON row.
@@ -46,9 +59,7 @@ fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
-    let end = rest
-        .find(|c: char| c == ',' || c == '}')
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }
 
@@ -63,7 +74,17 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 name: name.to_string(),
                 cycles_per_sec: f64::NAN,
                 loads: Vec::new(),
+                counts: None,
             });
+        } else if t.starts_with("\"ok\":") {
+            if let (Some(net), Some(ok), Some(partial), Some(failed)) = (
+                out.last_mut(),
+                field(t, "ok"),
+                field(t, "partial"),
+                field(t, "failed"),
+            ) {
+                net.counts = Some((ok as u64, partial as u64, failed as u64));
+            }
         } else if let Some(rest) = t.strip_prefix("\"cycles_per_sec\":") {
             if let Some(net) = out.last_mut() {
                 if net.cycles_per_sec.is_nan() {
@@ -88,14 +109,134 @@ fn parse_networks(src: &str) -> Vec<Net> {
     out
 }
 
+/// One degradation point from a `faults_smoke` JSON file.
+struct FaultPoint {
+    fault_count: u64,
+    accepted: f64,
+    /// `(ok, partial, failed)`; `None` on baselines predating the
+    /// campaign runner.
+    counts: Option<(u64, u64, u64)>,
+}
+
+/// Parse every network's degradation points from `faults_smoke` JSON.
+fn parse_fault_networks(src: &str) -> Vec<(String, Vec<FaultPoint>)> {
+    let mut out: Vec<(String, Vec<FaultPoint>)> = Vec::new();
+    for line in src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\":") {
+            let name = rest.trim().trim_end_matches(',').trim_matches('"');
+            out.push((name.to_string(), Vec::new()));
+        } else if t.starts_with('{') {
+            if let (Some((_, points)), Some(fc), Some(accepted)) = (
+                out.last_mut(),
+                field(t, "fault_count"),
+                field(t, "accepted_flits_per_node_cycle"),
+            ) {
+                let counts = match (field(t, "ok"), field(t, "partial"), field(t, "failed")) {
+                    (Some(o), Some(p), Some(f)) => Some((o as u64, p as u64, f as u64)),
+                    _ => None,
+                };
+                points.push(FaultPoint {
+                    fault_count: fc as u64,
+                    accepted,
+                    counts,
+                });
+            }
+        }
+    }
+    out.retain(|(_, points)| !points.is_empty());
+    out
+}
+
+/// Diff two `faults_smoke` files; returns the warning count. Always
+/// warn-only: delivered throughput is deterministic, so the ±2% band is
+/// generous, but outcome holes on a shared runner shouldn't gate merges.
+fn compare_faults(
+    baseline_path: &str,
+    current_path: &str,
+    summary: &mut String,
+) -> Result<usize, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let baseline = parse_fault_networks(&read(baseline_path)?);
+    let current = parse_fault_networks(&read(current_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no fault networks parsed"));
+    }
+    if current.is_empty() {
+        return Err(format!("{current_path}: no fault networks parsed"));
+    }
+
+    let mut warned = 0usize;
+    let _ = writeln!(
+        summary,
+        "fault degradation: {current_path} vs baseline {baseline_path} (warn at ±2%)"
+    );
+    for (name, base_points) in &baseline {
+        let Some((_, cur_points)) = current.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(summary, "  {name:>16}: MISSING from current run");
+            warned += 1;
+            continue;
+        };
+        for bp in base_points {
+            let Some(cp) = cur_points.iter().find(|p| p.fault_count == bp.fault_count) else {
+                let _ = writeln!(
+                    summary,
+                    "  {name:>16} @ {} faults: MISSING from current run",
+                    bp.fault_count
+                );
+                warned += 1;
+                continue;
+            };
+            // Both ~zero (a disconnected point) compares equal.
+            let drift = if bp.accepted.abs() < 1e-12 && cp.accepted.abs() < 1e-12 {
+                0.0
+            } else if bp.accepted.abs() < 1e-12 {
+                f64::INFINITY
+            } else {
+                (cp.accepted / bp.accepted - 1.0) * 100.0
+            };
+            let mut flags = String::new();
+            if drift.abs() > 2.0 {
+                warned += 1;
+                flags.push_str("  <-- WARNING: throughput drifted (behavioural change?)");
+            }
+            if let Some((_, partial, failed)) = cp.counts {
+                if partial + failed > 0 {
+                    warned += 1;
+                    let _ = write!(
+                        flags,
+                        "  <-- WARNING: {partial} partial / {failed} failed replication(s)"
+                    );
+                }
+            }
+            let _ = writeln!(
+                summary,
+                "  {name:>16} @ {} faults: accepted {:.6} vs {:.6}  ({drift:+6.2}%){flags}",
+                bp.fault_count, cp.accepted, bp.accepted
+            );
+        }
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(summary, "  {name:>16}: new network (no baseline)");
+        }
+    }
+    Ok(warned)
+}
+
 fn main() -> Result<(), String> {
-    const USAGE: &str =
-        "usage: bench_compare BASELINE CURRENT [OUT] [--fail-on-regress <pct>]";
+    const USAGE: &str = "usage: bench_compare BASELINE CURRENT [OUT] \
+         [--fail-on-regress <pct>] [--faults FAULTS_BASELINE FAULTS_CURRENT]";
     let mut positional: Vec<String> = Vec::new();
     let mut fail_pct: Option<f64> = None;
+    let mut faults: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--fail-on-regress" {
+        if a == "--faults" {
+            let base = args.next().ok_or(USAGE)?;
+            let cur = args.next().ok_or(USAGE)?;
+            faults = Some((base, cur));
+        } else if a == "--fail-on-regress" {
             let pct = args.next().ok_or(USAGE)?;
             let pct: f64 = pct
                 .parse()
@@ -155,6 +296,16 @@ fn main() -> Result<(), String> {
             base.cycles_per_sec,
             (ratio - 1.0) * 100.0
         );
+        if let Some((ok, partial, failed)) = cur.counts {
+            if partial + failed > 0 {
+                warned += 1;
+                let _ = writeln!(
+                    summary,
+                    "    <-- WARNING: outcomes {ok} ok, {partial} partial, {failed} failed \
+                     (throughput covers completed work only)"
+                );
+            }
+        }
         if let Some(pct) = fail_pct {
             if ratio < 1.0 - pct / 100.0 {
                 regressed.push(base.name.clone());
@@ -185,12 +336,11 @@ fn main() -> Result<(), String> {
             let _ = writeln!(summary, "  {:>16}: new network (no baseline)", cur.name);
         }
     }
-    if fail_pct.is_some() {
-        let _ = writeln!(
-            summary,
-            "{warned} warning(s); gate at -{}%",
-            fail_pct.unwrap()
-        );
+    if let Some((faults_base, faults_cur)) = &faults {
+        warned += compare_faults(faults_base, faults_cur, &mut summary)?;
+    }
+    if let Some(pct) = fail_pct {
+        let _ = writeln!(summary, "{warned} warning(s); gate at -{pct}%");
     } else {
         let _ = writeln!(
             summary,

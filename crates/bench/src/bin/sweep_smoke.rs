@@ -5,6 +5,8 @@
 //! cargo run --release -p minnet-bench --bin sweep_smoke            # ./BENCH_sweep.json
 //! cargo run --release -p minnet-bench --bin sweep_smoke -- out.json
 //! cargo run --release -p minnet-bench --features hotstats --bin sweep_smoke
+//! cargo run --release -p minnet-bench --bin sweep_smoke -- out.json \
+//!     --budget-ms 5000 --retries 1 --checkpoint-dir ckpts/
 //! ```
 //!
 //! For each paper-lineup network the binary measures, with wall clocks
@@ -13,18 +15,32 @@
 //! * `setup_ms` — one [`Experiment::compile`]: graph + routing table +
 //!   workload template;
 //! * `loads[]` — one row per offered load, each a single-threaded
-//!   replicated point (3 replications) through [`replicated_curve`]:
+//!   replicated point (3 replications) through the campaign runner:
 //!   wall time, simulated cycles, and cycles/sec. Per-load rows make
 //!   load-dependent engine changes (the event-horizon fast-forward, the
 //!   struct-of-arrays hot state) visible instead of averaged away;
 //! * `run_ms` / `cycles_per_sec` — the single-threaded totals over all
 //!   load rows, the engine-throughput headline CI compares against
 //!   `BENCH_baseline.json`;
-//! * `run_ms_mt` — the same full sweep issued once through
-//!   `replicated_curve`'s worker pool with `threads_used` workers
-//!   (`available_parallelism`, capped at 8), the scaling row;
+//! * `run_ms_mt` — the same full sweep issued once through the worker
+//!   pool with `threads_used` workers (`available_parallelism`, capped
+//!   at 8), the scaling row;
 //! * `one_shot_ms` — the same runs issued as independent
-//!   [`Experiment::run_seeded`] calls, the pre-compilation cost model.
+//!   [`Experiment::run_seeded`] calls, the pre-compilation cost model
+//!   (skipped when a budget is set — a cut one-shot run is an error on
+//!   that legacy surface, and its timing would be meaningless anyway);
+//! * `ok` / `partial` / `failed` — per-network outcome counts over every
+//!   campaign task, so budget cuts and isolated failures are visible in
+//!   the artifact instead of masquerading as fast runs (`bench_compare`
+//!   prints them next to the throughput diff).
+//!
+//! Resilience flags mirror the `minnet` CLI: `--budget-cycles` /
+//! `--budget-ms` bound each run, `--retries` reruns failed points on
+//! derived seeds, and `--checkpoint-dir DIR` (or `--resume-dir`, which
+//! requires the files to exist) keeps one JSONL checkpoint per network
+//! and row under `DIR` — kill the process mid-sweep and rerun to finish
+//! only the missing points. Timing rows resumed from a checkpoint
+//! measure only the tasks actually run.
 //!
 //! With the `hotstats` feature on, every load row also carries the
 //! engine's per-phase breakdown (arrivals/allocate/transmit wall time,
@@ -38,10 +54,13 @@
 //! (warn-only; see `bench_compare`), so regressions in the compiled path,
 //! the setup split, or any single load row leave a history.
 
-use minnet::sweep::replicated_curve;
-use minnet::{Experiment, NetworkSpec};
+use minnet::{
+    campaign_replicated_curve, outcome_counts, CampaignPolicy, Experiment, NetworkSpec,
+    ReplicatedCampaignPoint,
+};
 use minnet_traffic::MessageSizeDist;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 const LOADS: [f64; 7] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
@@ -49,12 +68,81 @@ const REPLICATIONS: usize = 3;
 const WARMUP: u64 = 500;
 const MEASURE: u64 = 4_000;
 
-fn smoke_experiment(spec: NetworkSpec) -> Experiment {
-    let mut exp = Experiment::paper_default(spec);
-    exp.sizes = MessageSizeDist::Fixed(64);
-    exp.sim.warmup = WARMUP;
-    exp.sim.measure = MEASURE;
-    exp
+struct Cli {
+    out_path: String,
+    budget_cycles: u64,
+    budget_ms: u64,
+    retries: u32,
+    ckpt_dir: Option<PathBuf>,
+    require_existing: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    const USAGE: &str = "usage: sweep_smoke [OUT.json] [--budget-cycles N] [--budget-ms N] \
+                         [--retries N] [--checkpoint-dir DIR | --resume-dir DIR]";
+    let mut cli = Cli {
+        out_path: "BENCH_sweep.json".into(),
+        budget_cycles: 0,
+        budget_ms: 0,
+        retries: 0,
+        ckpt_dir: None,
+        require_existing: false,
+    };
+    let mut positional = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value; {USAGE}"));
+        match a.as_str() {
+            "--budget-cycles" => {
+                cli.budget_cycles = value(&a)?.parse().map_err(|e| format!("{a}: {e}"))?;
+            }
+            "--budget-ms" => {
+                cli.budget_ms = value(&a)?.parse().map_err(|e| format!("{a}: {e}"))?;
+            }
+            "--retries" => {
+                cli.retries = value(&a)?.parse().map_err(|e| format!("{a}: {e}"))?;
+            }
+            "--checkpoint-dir" => cli.ckpt_dir = Some(value(&a)?.into()),
+            "--resume-dir" => {
+                cli.ckpt_dir = Some(value(&a)?.into());
+                cli.require_existing = true;
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown flag {a}; {USAGE}")),
+            _ => {
+                if positional > 0 {
+                    return Err(format!("unexpected argument {a}; {USAGE}"));
+                }
+                cli.out_path = a;
+                positional += 1;
+            }
+        }
+    }
+    Ok(cli)
+}
+
+impl Cli {
+    fn smoke_experiment(&self, spec: NetworkSpec) -> Experiment {
+        let mut exp = Experiment::paper_default(spec);
+        exp.sizes = MessageSizeDist::Fixed(64);
+        exp.sim.warmup = WARMUP;
+        exp.sim.measure = MEASURE;
+        exp.sim.budget.max_cycles = self.budget_cycles;
+        exp.sim.budget.max_wall_ms = self.budget_ms;
+        exp
+    }
+
+    /// The campaign policy for one checkpointable unit (`tag` names the
+    /// per-network, per-row JSONL file under the checkpoint dir).
+    fn policy(&self, tag: &str) -> CampaignPolicy {
+        CampaignPolicy {
+            retries: self.retries,
+            checkpoint: self
+                .ckpt_dir
+                .as_ref()
+                .map(|d| d.join(format!("{tag}.jsonl"))),
+            require_existing: self.require_existing,
+        }
+    }
 }
 
 /// One single-threaded replicated point at a fixed load.
@@ -77,6 +165,9 @@ struct NetResult {
     total_cycles: u64,
     mean_latency_cycles: f64,
     latency_ci95_cycles: f64,
+    ok: usize,
+    partial: usize,
+    failed: usize,
     loads: Vec<LoadRow>,
 }
 
@@ -84,13 +175,23 @@ fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1e3
 }
 
-fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String> {
-    let exp = smoke_experiment(spec);
+/// Simulated cycles a campaign point actually executed — `Ok` and
+/// `Partial` reports both count (a budget-cut run did real work).
+fn point_cycles(p: &ReplicatedCampaignPoint) -> u64 {
+    p.outcomes
+        .iter()
+        .filter_map(|o| o.report().map(|r| r.cycles))
+        .sum()
+}
+
+fn bench_network(spec: NetworkSpec, threads: usize, cli: &Cli) -> Result<NetResult, String> {
+    let exp = cli.smoke_experiment(spec);
+    let name = spec.name();
 
     let t = Instant::now();
     let compiled = exp.compile()?;
     let setup_ms = ms(t);
-    drop(compiled); // replicated_curve compiles internally; timed apart
+    drop(compiled); // the campaign compiles internally; timed apart
 
     // Per-load single-threaded rows: comparable engine throughput,
     // unpolluted by worker scheduling.
@@ -98,13 +199,21 @@ fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String>
     let _ = minnet_sim::hotstats::take(); // drain other sections' counters
     let mut loads = Vec::with_capacity(LOADS.len());
     let mut knee_latency = (0.0, 0.0);
-    for &load in &LOADS {
+    let (mut ok, mut partial, mut failed) = (0, 0, 0);
+    for (i, &load) in LOADS.iter().enumerate() {
+        let policy = cli.policy(&format!("{name}_row{i}"));
         let t = Instant::now();
-        let pts = replicated_curve(&exp, &[load], REPLICATIONS, 1)?;
+        let pts = campaign_replicated_curve(&exp, &[load], REPLICATIONS, 1, &policy)?;
         let run_ms = ms(t);
         let point = &pts[0];
-        let cycles: u64 = point.replications.iter().map(|r| r.cycles).sum();
-        knee_latency = (point.mean_latency_cycles, point.latency_ci95_cycles);
+        let (o, p, f) = outcome_counts(&point.outcomes);
+        ok += o;
+        partial += p;
+        failed += f;
+        let cycles = point_cycles(point);
+        if let Some(stats) = &point.ok_stats {
+            knee_latency = (stats.mean_latency_cycles, stats.latency_ci95_cycles);
+        }
         loads.push(LoadRow {
             load,
             run_ms,
@@ -118,26 +227,38 @@ fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String>
     let total_cycles: u64 = loads.iter().map(|r| r.cycles).sum();
 
     // The same full sweep through the worker pool — the scaling row.
+    let policy = cli.policy(&format!("{name}_mt"));
     let t = Instant::now();
-    replicated_curve(&exp, &LOADS, REPLICATIONS, threads)?;
+    let mt = campaign_replicated_curve(&exp, &LOADS, REPLICATIONS, threads, &policy)?;
     let run_ms_mt = ms(t);
+    for point in &mt {
+        let (o, p, f) = outcome_counts(&point.outcomes);
+        ok += o;
+        partial += p;
+        failed += f;
+    }
     #[cfg(feature = "hotstats")]
     let _ = minnet_sim::hotstats::take(); // keep MT noise out of load rows
 
     // The same number of runs issued one-shot — every run re-validates
     // the spec, rebuilds the graph, recompiles the workload, and
     // allocates fresh engine state, which is exactly what each sweep
-    // point cost before the compiled pipeline.
-    let t = Instant::now();
-    for (i, &load) in LOADS.iter().enumerate() {
-        for r in 0..REPLICATIONS {
-            exp.run_seeded(load, (i * REPLICATIONS + r) as u64 + 1)?;
+    // point cost before the compiled pipeline. Skipped under a budget:
+    // the legacy surface turns a cut into an error.
+    let one_shot_ms = if exp.sim.budget.is_unlimited() {
+        let t = Instant::now();
+        for (i, &load) in LOADS.iter().enumerate() {
+            for r in 0..REPLICATIONS {
+                exp.run_seeded(load, (i * REPLICATIONS + r) as u64 + 1)?;
+            }
         }
-    }
-    let one_shot_ms = ms(t);
+        ms(t)
+    } else {
+        0.0
+    };
 
     Ok(NetResult {
-        name: spec.name(),
+        name,
         setup_ms,
         run_ms,
         run_ms_mt,
@@ -146,6 +267,9 @@ fn bench_network(spec: NetworkSpec, threads: usize) -> Result<NetResult, String>
         total_cycles,
         mean_latency_cycles: knee_latency.0,
         latency_ci95_cycles: knee_latency.1,
+        ok,
+        partial,
+        failed,
         loads,
     })
 }
@@ -178,9 +302,13 @@ fn write_load_row(json: &mut String, r: &LoadRow, last: bool) {
 }
 
 fn main() -> Result<(), String> {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let cli = parse_cli()?;
+    if let Some(dir) = &cli.ckpt_dir {
+        if !cli.require_existing {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating checkpoint dir {}: {e}", dir.display()))?;
+        }
+    }
     let threads_detected = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -188,10 +316,11 @@ fn main() -> Result<(), String> {
 
     let mut results = Vec::new();
     for spec in NetworkSpec::paper_lineup() {
-        let r = bench_network(spec, threads)?;
+        let r = bench_network(spec, threads, &cli)?;
         println!(
-            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s, 1 thread; {:8.2} ms on {threads}) | one-shot {:8.2} ms",
-            r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.run_ms_mt, r.one_shot_ms
+            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s, 1 thread; {:8.2} ms on {threads}) | one-shot {:8.2} ms | {} ok / {} partial / {} failed",
+            r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.run_ms_mt, r.one_shot_ms,
+            r.ok, r.partial, r.failed
         );
         results.push(r);
     }
@@ -201,6 +330,9 @@ fn main() -> Result<(), String> {
     let _ = writeln!(json, "    \"replications\": {REPLICATIONS},");
     let _ = writeln!(json, "    \"warmup\": {WARMUP},");
     let _ = writeln!(json, "    \"measure\": {MEASURE},");
+    let _ = writeln!(json, "    \"budget_cycles\": {},", cli.budget_cycles);
+    let _ = writeln!(json, "    \"budget_ms\": {},", cli.budget_ms);
+    let _ = writeln!(json, "    \"retries\": {},", cli.retries);
     let _ = writeln!(json, "    \"threads_detected\": {threads_detected},");
     let _ = writeln!(json, "    \"threads_used\": {threads},");
     let _ = writeln!(json, "    \"hotstats\": {}", cfg!(feature = "hotstats"));
@@ -224,6 +356,11 @@ fn main() -> Result<(), String> {
             "      \"latency_ci95_cycles\": {:.6},",
             r.latency_ci95_cycles
         );
+        let _ = writeln!(
+            json,
+            "      \"ok\": {}, \"partial\": {}, \"failed\": {},",
+            r.ok, r.partial, r.failed
+        );
         json.push_str("      \"loads\": [\n");
         for (j, row) in r.loads.iter().enumerate() {
             write_load_row(&mut json, row, j + 1 == r.loads.len());
@@ -237,7 +374,8 @@ fn main() -> Result<(), String> {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("wrote {out_path}");
+    std::fs::write(&cli.out_path, &json)
+        .map_err(|e| format!("writing {}: {e}", cli.out_path))?;
+    println!("wrote {}", cli.out_path);
     Ok(())
 }

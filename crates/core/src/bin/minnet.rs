@@ -14,8 +14,8 @@ use minnet::routing::{dependency_graph, find_cycle, DependencyRule};
 use minnet::partition::UnidirPartitionAnalysis;
 use minnet::traffic::{Clustering, MessageSizeDist, TrafficPattern};
 use minnet::{
-    curve_csv, curve_table, find_saturation, latency_throughput_curve, saturation_load,
-    Experiment, NetworkSpec,
+    campaign_curve, campaign_saturation_load, curve_csv, curve_table, find_saturation,
+    outcome_counts, CampaignPolicy, Experiment, NetworkSpec, PointOutcome, SweepPoint,
 };
 use minnet_topology::{BitCube, Geometry, UnidirKind};
 use std::collections::BTreeMap;
@@ -47,7 +47,18 @@ COMMON OPTIONS
   --load F         offered load (simulate)                   [0.5]
   --loads a,b,..   offered loads (sweep)                     [0.1..0.9]
   --warmup N --measure N --seed N --buffer-depth N --threads N
-  --csv PATH       also write the sweep as CSV"
+  --csv PATH       also write the sweep as CSV
+
+RESILIENCE (sweep, saturate)
+  --budget-cycles N   cut any run at N simulated cycles (0 = off)  [0]
+  --budget-ms N       cut any run at N wall-clock ms (0 = off)     [0]
+  --retries N         same-point retries after a failed run        [0]
+  --checkpoint PATH   append finished sweep points to a JSONL
+                      checkpoint (creates it, or resumes if present)
+  --resume PATH       like --checkpoint but the file must exist
+A budget-cut point is reported PARTIAL (its truncated stats are kept);
+a panicking or erroring point is reported FAILED after retries. The
+curve always completes with per-point outcomes."
     );
     std::process::exit(2);
 }
@@ -212,7 +223,24 @@ fn experiment(a: &Args) -> Experiment {
     exp.sim.measure = parse_u64(a, "measure", 100_000);
     exp.sim.seed = parse_u64(a, "seed", exp.sim.seed);
     exp.sim.buffer_depth = parse_u64(a, "buffer-depth", 1) as u16;
+    exp.sim.budget.max_cycles = parse_u64(a, "budget-cycles", 0);
+    exp.sim.budget.max_wall_ms = parse_u64(a, "budget-ms", 0);
     exp
+}
+
+/// The campaign policy from `--retries` / `--checkpoint` / `--resume`.
+fn policy(a: &Args) -> CampaignPolicy {
+    let checkpoint = a.opts.get("checkpoint");
+    let resume = a.opts.get("resume");
+    if checkpoint.is_some() && resume.is_some() {
+        die("--checkpoint and --resume are mutually exclusive (--resume is \
+             --checkpoint that refuses to start a fresh file)");
+    }
+    CampaignPolicy {
+        retries: parse_u64(a, "retries", 0) as u32,
+        checkpoint: checkpoint.or(resume).map(Into::into),
+        require_existing: resume.is_some(),
+    }
 }
 
 fn threads(a: &Args) -> usize {
@@ -299,18 +327,49 @@ fn cmd_sweep(a: &Args) {
             .collect(),
         None => (1..=9).map(|i| i as f64 / 10.0).collect(),
     };
-    let points =
-        latency_throughput_curve(&exp, &loads, threads(a)).unwrap_or_else(|e| die(&e));
-    print!("{}", curve_table(&exp.network.name(), &points));
-    if let Some(sat) = saturation_load(&points) {
+    let points = campaign_curve(&exp, &loads, threads(a), &policy(a)).unwrap_or_else(|e| die(&e));
+
+    // The classic table over the points that completed; Partial/Failed
+    // points are listed separately so truncated stats are never mixed
+    // silently into the curve.
+    let completed: Vec<SweepPoint> = points
+        .iter()
+        .filter_map(|p| {
+            p.outcome.ok_report().map(|r| SweepPoint {
+                offered: p.offered,
+                report: r.clone(),
+            })
+        })
+        .collect();
+    print!("{}", curve_table(&exp.network.name(), &completed));
+    for p in &points {
+        match &p.outcome {
+            PointOutcome::Ok(_) => {}
+            PointOutcome::Partial { report, reason } => println!(
+                "  load {:.0}%: PARTIAL after {} cycles ({reason}) — accepted {:.2}% so far",
+                p.offered * 100.0,
+                report.cycles,
+                report.throughput_percent()
+            ),
+            PointOutcome::Failed { reason } => println!(
+                "  load {:.0}%: FAILED after {} attempt(s): {reason}",
+                p.offered * 100.0,
+                p.attempts
+            ),
+        }
+    }
+    let (ok, partial, failed) = outcome_counts(points.iter().map(|p| &p.outcome));
+    println!("outcomes: {ok} ok, {partial} partial, {failed} failed");
+    if let Some(sat) = campaign_saturation_load(&points) {
+        let report = sat.outcome.ok_report().expect("saturation point is Ok");
         println!(
             "max sustainable throughput: {:.1}% (offered {:.0}%)",
-            sat.report.throughput_percent(),
+            report.throughput_percent(),
             sat.offered * 100.0
         );
     }
     if let Some(path) = a.opts.get("csv") {
-        std::fs::write(path, curve_csv(&exp.network.name(), &points))
+        std::fs::write(path, curve_csv(&exp.network.name(), &completed))
             .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         println!("wrote {path}");
     }

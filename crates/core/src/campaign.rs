@@ -1,0 +1,1359 @@
+//! Resilient experiment campaigns: per-point failure isolation, run
+//! budgets, and durable checkpoint/resume.
+//!
+//! The sweep layer in [`crate::sweep`] treats a campaign as all-or-
+//! nothing: one failing `(point, replication)` task turns the whole
+//! curve into an `Err`, and a killed process loses every completed
+//! point. That is the wrong contract for the paper's long §5 campaigns
+//! (curves per network × pattern × size). This module keeps the same
+//! deterministic task grid and per-task seeding but changes what a
+//! failure *means*:
+//!
+//! * **Per-point isolation.** Every task runs under
+//!   [`std::panic::catch_unwind`] in its worker thread; a panic, a
+//!   watchdog trip, or any other typed engine error downgrades to a
+//!   per-point [`PointOutcome::Failed`] (optionally retried on a
+//!   derived seed), while a [`minnet_sim::SimError::BudgetExceeded`]
+//!   cut becomes [`PointOutcome::Partial`] carrying the truncated —
+//!   but valid — report. The campaign always returns a complete curve
+//!   annotated per point; it only `Err`s on configuration or I/O
+//!   problems that no retry can fix.
+//!
+//!   `catch_unwind` needs `AssertUnwindSafe` over the worker's
+//!   [`EngineState`]: that is sound here because a state that observed
+//!   a panic is discarded and replaced with a fresh allocation (and
+//!   every run fully re-dimensions the state on entry anyway).
+//!
+//! * **Poison-proof collection.** Results travel over an mpsc channel
+//!   to the scope-owning thread instead of per-task `Mutex` slots, so
+//!   there is no lock to poison: the old
+//!   `.expect("sweep worker panicked")` abort path is gone (the legacy
+//!   sweep functions now route through this runner too).
+//!
+//! * **Durable checkpointing.** With [`CampaignPolicy::checkpoint`]
+//!   set, every finished task is appended — `write`+`flush`, one JSON
+//!   line each — to a versioned JSONL file keyed by a hash of the full
+//!   campaign configuration. Resuming loads completed tasks and only
+//!   runs the rest; because per-task seeds are independent of both the
+//!   schedule and the thread count, and floats are checkpointed as
+//!   `f64::to_bits` patterns, a resumed curve is **bitwise identical**
+//!   to an uninterrupted one (pinned by the workspace proptests). A
+//!   SIGKILL can at worst tear the final line; the loader stops at the
+//!   first unparsable line and drops the torn tail before appending.
+//!
+//! Budget semantics vs the watchdog: the no-progress watchdog (PR 4)
+//! catches *wedged* networks — zero flit movement with packets active —
+//! while [`minnet_sim::RunBudget`] catches *legitimate but unbounded*
+//! work (a run pushed past saturation whose wall time explodes). A
+//! watchdog trip is a `Failed` outcome (the run's numbers are
+//! meaningless); a budget cut is `Partial` (the numbers are a valid
+//! truncated sample).
+
+use crate::experiment::Experiment;
+use crate::sweep::{
+    aggregate_degradation, aggregate_replicated, mix, DegradationPoint, ReplicatedPoint,
+};
+use minnet_sim::{EngineState, SimError, SimReport};
+use minnet_topology::FaultPlan;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// What one campaign task (a `(point, replication)` cell) produced.
+#[derive(Clone, Debug)]
+pub enum PointOutcome {
+    /// The run completed normally.
+    Ok(SimReport),
+    /// A [`minnet_sim::RunBudget`] limit cut the run short; the report
+    /// is a valid truncated sample (rates normalized over the cycles
+    /// actually measured). Not retried — the same budget would cut a
+    /// retry identically (cycles) or arbitrarily (wall clock).
+    Partial {
+        /// Statistics accumulated up to the cut.
+        report: SimReport,
+        /// Which budget fired, human-readable.
+        reason: String,
+    },
+    /// The run panicked or returned a non-budget engine error, after
+    /// exhausting any configured retries. No usable statistics.
+    Failed {
+        /// The panic message or engine error, human-readable.
+        reason: String,
+    },
+}
+
+impl PointOutcome {
+    /// The report, if this outcome carries one (`Ok` or `Partial`).
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            PointOutcome::Ok(r) | PointOutcome::Partial { report: r, .. } => Some(r),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The report of a fully completed run only.
+    pub fn ok_report(&self) -> Option<&SimReport> {
+        match self {
+            PointOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the run completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PointOutcome::Ok(_))
+    }
+
+    /// Whether a budget cut the run short.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, PointOutcome::Partial { .. })
+    }
+
+    /// Whether the run produced no usable statistics.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointOutcome::Failed { .. })
+    }
+
+    /// The checkpoint tag (`ok` / `partial` / `failed`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PointOutcome::Ok(_) => "ok",
+            PointOutcome::Partial { .. } => "partial",
+            PointOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// How a campaign treats failures and persistence.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignPolicy {
+    /// Same-point retries after a `Failed` outcome (panic or non-budget
+    /// engine error). Attempt `a > 0` reruns the task with seed
+    /// `mix(task_seed, 0x5245_7452 + a)` — deterministic, decorrelated
+    /// from the original draw. Budget cuts are never retried.
+    pub retries: u32,
+    /// Append each finished task to this JSONL checkpoint file (and
+    /// load completed tasks from it when it already exists).
+    pub checkpoint: Option<PathBuf>,
+    /// Refuse to start when the checkpoint file does not exist — the
+    /// CLI's `--resume` (vs `--checkpoint`, which creates or resumes).
+    pub require_existing: bool,
+}
+
+impl CampaignPolicy {
+    /// No retries, no checkpoint — isolation only.
+    pub fn isolate() -> CampaignPolicy {
+        CampaignPolicy::default()
+    }
+}
+
+/// One annotated point of a [`campaign_curve`].
+#[derive(Clone, Debug)]
+pub struct CampaignPoint {
+    /// Nominal offered load (flits/cycle/node).
+    pub offered: f64,
+    /// What the run produced.
+    pub outcome: PointOutcome,
+    /// Attempts spent (1 = no retry was needed).
+    pub attempts: u32,
+}
+
+/// One annotated point of a [`campaign_replicated_curve`]: every
+/// replication's outcome, plus the usual across-replication aggregate
+/// over the replications that completed normally.
+#[derive(Clone, Debug)]
+pub struct ReplicatedCampaignPoint {
+    /// Nominal offered load (flits/cycle/node).
+    pub offered: f64,
+    /// Per-replication outcomes, in replication order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Per-replication attempt counts, in replication order.
+    pub attempts: Vec<u32>,
+    /// Aggregate over the `Ok` replications — `None` when none
+    /// completed. Partial reports are *excluded*: a truncated sample
+    /// would bias the across-replication confidence intervals.
+    pub ok_stats: Option<ReplicatedPoint>,
+}
+
+/// One annotated point of a [`campaign_degradation_curve`].
+#[derive(Clone, Debug)]
+pub struct DegradationCampaignPoint {
+    /// Number of inter-stage links killed for this point.
+    pub fault_count: usize,
+    /// Per-replication outcomes, in replication order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Per-replication attempt counts, in replication order.
+    pub attempts: Vec<u32>,
+    /// Aggregate over the `Ok` replications — `None` when none
+    /// completed (see [`ReplicatedCampaignPoint::ok_stats`]).
+    pub ok_stats: Option<DegradationPoint>,
+}
+
+/// Count `(ok, partial, failed)` over a slice of outcomes.
+pub fn outcome_counts<'a>(
+    outcomes: impl IntoIterator<Item = &'a PointOutcome>,
+) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for o in outcomes {
+        match o {
+            PointOutcome::Ok(_) => counts.0 += 1,
+            PointOutcome::Partial { .. } => counts.1 += 1,
+            PointOutcome::Failed { .. } => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+/// The seed for retry `attempt` of a task originally seeded `seed`:
+/// attempt 0 is the original draw; later attempts decorrelate via
+/// SplitMix64 so a seed-dependent failure is not simply replayed.
+pub(crate) fn retry_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        seed
+    } else {
+        mix(seed, 0x5245_7452 + u64::from(attempt))
+    }
+}
+
+/// Extract a human-readable message from a caught panic payload.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: (non-string payload)".to_string()
+    }
+}
+
+/// The resilient task runner every campaign (and the legacy sweep
+/// functions) sits on. `results` arrives pre-filled with checkpointed
+/// outcomes (`Some`) and holes to run (`None`); workers claim holes
+/// from a shared cursor, run `run(task, attempt, state)` under
+/// `catch_unwind`, and send `(task, outcome, attempts)` over a channel
+/// to the scope-owning thread, which appends to the checkpoint via
+/// `on_complete`. Per-task seeding keeps the *values* independent of
+/// scheduling; only `Err`s on checkpoint I/O failure.
+pub(crate) fn run_outcomes(
+    threads: usize,
+    retries: u32,
+    mut results: Vec<Option<(PointOutcome, u32)>>,
+    mut on_complete: impl FnMut(usize, u32, &PointOutcome) -> Result<(), String>,
+    run: impl Fn(usize, u32, &mut EngineState) -> Result<SimReport, SimError> + Sync,
+) -> Result<Vec<(PointOutcome, u32)>, String> {
+    let pending: Vec<usize> = (0..results.len())
+        .filter(|&i| results[i].is_none())
+        .collect();
+    if !pending.is_empty() {
+        let threads = threads.max(1).min(pending.len());
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, PointOutcome, u32)>();
+        let mut io_err: Option<String> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let pending = &pending;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut st = EngineState::new();
+                    loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(slot) else { break };
+                        let mut attempt = 0u32;
+                        let outcome = loop {
+                            let res =
+                                catch_unwind(AssertUnwindSafe(|| run(i, attempt, &mut st)));
+                            let reason = match res {
+                                Ok(Ok(report)) => break PointOutcome::Ok(report),
+                                Ok(Err(SimError::BudgetExceeded(partial))) => {
+                                    let reason = partial.to_string();
+                                    break PointOutcome::Partial {
+                                        report: partial.report,
+                                        reason,
+                                    };
+                                }
+                                Ok(Err(e)) => e.to_string(),
+                                Err(payload) => {
+                                    // The state witnessed a panic mid-run;
+                                    // never reuse it.
+                                    st = EngineState::new();
+                                    panic_reason(payload)
+                                }
+                            };
+                            if attempt < retries {
+                                attempt += 1;
+                                continue;
+                            }
+                            break PointOutcome::Failed { reason };
+                        };
+                        if tx.send((i, outcome, attempt + 1)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Collect on the scope-owning thread while workers run: no
+            // shared slots, nothing to poison. On a checkpoint write
+            // error keep draining (workers must finish) but remember
+            // the first failure.
+            for (i, outcome, attempts) in rx {
+                if io_err.is_none() {
+                    if let Err(e) = on_complete(i, attempts, &outcome) {
+                        io_err = Some(e);
+                    }
+                }
+                results[i] = Some((outcome, attempts));
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(format!("checkpoint write failed: {e}"));
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|slot| slot.expect("runner fills every task slot"))
+        .collect())
+}
+
+// ---- campaigns -------------------------------------------------------
+
+/// [`crate::latency_throughput_curve`] with campaign semantics: one
+/// task per load, per-point outcomes, optional retries and
+/// checkpointing. Task seeds are exactly the plain sweep's
+/// (`mix(base, i + 1)`), so every `Ok` report is bit-identical to the
+/// corresponding [`crate::SweepPoint`].
+///
+/// # Errors
+///
+/// Configuration problems (invalid experiment) and checkpoint I/O or
+/// validation failures only — runtime failures become per-point
+/// outcomes.
+pub fn campaign_curve(
+    exp: &Experiment,
+    loads: &[f64],
+    threads: usize,
+    policy: &CampaignPolicy,
+) -> Result<Vec<CampaignPoint>, String> {
+    if loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
+    let hash = config_hash("curve", exp, &format!("{loads:?}"), policy.retries);
+    let mut ckpt = Checkpoint::open(policy, "curve", hash, loads.len())?;
+    let results = run_outcomes(
+        threads,
+        policy.retries,
+        ckpt.preloaded(loads.len()),
+        |i, attempts, outcome| ckpt.append(i, attempts, outcome),
+        |i, attempt, st| {
+            compiled.run_typed(loads[i], retry_seed(mix(base, i as u64 + 1), attempt), st)
+        },
+    )?;
+    Ok(loads
+        .iter()
+        .zip(results)
+        .map(|(&offered, (outcome, attempts))| CampaignPoint {
+            offered,
+            outcome,
+            attempts,
+        })
+        .collect())
+}
+
+/// [`crate::replicated_curve`] with campaign semantics over the whole
+/// `(point, replication)` grid. Task `(i, r)` keeps the plain sweep's
+/// seed `mix(base, i·R + r + 1)`, so `Ok` replications are
+/// bit-identical to the fragile path's.
+///
+/// # Errors
+///
+/// As [`campaign_curve`], plus a zero replication count.
+pub fn campaign_replicated_curve(
+    exp: &Experiment,
+    loads: &[f64],
+    replications: usize,
+    threads: usize,
+    policy: &CampaignPolicy,
+) -> Result<Vec<ReplicatedCampaignPoint>, String> {
+    if replications == 0 {
+        return Err("replicated campaign needs at least one replication".into());
+    }
+    if loads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
+    let total = loads.len() * replications;
+    let hash = config_hash(
+        "replicated_curve",
+        exp,
+        &format!("{loads:?}/R{replications}"),
+        policy.retries,
+    );
+    let mut ckpt = Checkpoint::open(policy, "replicated_curve", hash, total)?;
+    let results = run_outcomes(
+        threads,
+        policy.retries,
+        ckpt.preloaded(total),
+        |i, attempts, outcome| ckpt.append(i, attempts, outcome),
+        |t, attempt, st| {
+            let i = t / replications;
+            compiled.run_typed(loads[i], retry_seed(mix(base, t as u64 + 1), attempt), st)
+        },
+    )?;
+
+    let mut results = results.into_iter();
+    let mut out = Vec::with_capacity(loads.len());
+    for &offered in loads {
+        let chunk: Vec<(PointOutcome, u32)> = results.by_ref().take(replications).collect();
+        let attempts = chunk.iter().map(|(_, a)| *a).collect();
+        let outcomes: Vec<PointOutcome> = chunk.into_iter().map(|(o, _)| o).collect();
+        let ok: Vec<SimReport> = outcomes.iter().filter_map(|o| o.ok_report().cloned()).collect();
+        let ok_stats = (!ok.is_empty()).then(|| aggregate_replicated(offered, ok));
+        out.push(ReplicatedCampaignPoint {
+            offered,
+            outcomes,
+            attempts,
+            ok_stats,
+        });
+    }
+    Ok(out)
+}
+
+/// [`crate::degradation_curve`] with campaign semantics: per-
+/// `(fault count, replication)` outcomes, optional retries and
+/// checkpointing, same task seeds as the fragile path.
+///
+/// # Errors
+///
+/// As [`campaign_replicated_curve`], plus fault-plan construction
+/// failures (a fault set larger than the link pool, or one whose masked
+/// dependency graph would deadlock) — those are configuration errors
+/// shared by every replication, not per-point incidents.
+pub fn campaign_degradation_curve(
+    exp: &Experiment,
+    offered_load: f64,
+    fault_counts: &[usize],
+    replications: usize,
+    threads: usize,
+    policy: &CampaignPolicy,
+) -> Result<Vec<DegradationCampaignPoint>, String> {
+    if replications == 0 {
+        return Err("degradation campaign needs at least one replication".into());
+    }
+    if fault_counts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled = exp.compile()?;
+    let base = compiled.base_seed();
+    let workload = compiled.template().workload_at(offered_load)?;
+    let faulted: Vec<minnet_sim::CompiledFaults> = fault_counts
+        .iter()
+        .map(|&count| {
+            let plan = FaultPlan::random_inter_stage_links(
+                compiled.graph(),
+                count,
+                mix(base, 0xFA_0017 + count as u64),
+            )?;
+            compiled.network().compile_faults(&plan).map_err(String::from)
+        })
+        .collect::<Result<_, String>>()?;
+
+    let total = fault_counts.len() * replications;
+    let hash = config_hash(
+        "degradation_curve",
+        exp,
+        &format!("load{:016x}/{fault_counts:?}/R{replications}", offered_load.to_bits()),
+        policy.retries,
+    );
+    let mut ckpt = Checkpoint::open(policy, "degradation_curve", hash, total)?;
+    let results = run_outcomes(
+        threads,
+        policy.retries,
+        ckpt.preloaded(total),
+        |i, attempts, outcome| ckpt.append(i, attempts, outcome),
+        |t, attempt, st| {
+            let i = t / replications;
+            compiled.network().run_poisson_faulted(
+                &workload,
+                Some(&faulted[i]),
+                retry_seed(mix(base, t as u64 + 1), attempt),
+                st,
+            )
+        },
+    )?;
+
+    let mut results = results.into_iter();
+    let mut out = Vec::with_capacity(fault_counts.len());
+    for &fault_count in fault_counts {
+        let chunk: Vec<(PointOutcome, u32)> = results.by_ref().take(replications).collect();
+        let attempts = chunk.iter().map(|(_, a)| *a).collect();
+        let outcomes: Vec<PointOutcome> = chunk.into_iter().map(|(o, _)| o).collect();
+        let ok: Vec<SimReport> = outcomes.iter().filter_map(|o| o.ok_report().cloned()).collect();
+        let ok_stats = (!ok.is_empty()).then(|| aggregate_degradation(fault_count, ok));
+        out.push(DegradationCampaignPoint {
+            fault_count,
+            outcomes,
+            attempts,
+            ok_stats,
+        });
+    }
+    Ok(out)
+}
+
+/// The largest sustainable accepted throughput on a campaign curve —
+/// [`crate::saturation_load`] with outcome awareness: only fully
+/// completed (`Ok`) points qualify. A `Partial` point's report is a
+/// valid truncated sample but its sustainability verdict is not a
+/// completed run's — and a budget cut is itself evidence the point sits
+/// past the knee — so budget-truncated points can never be crowned the
+/// sustainable maximum.
+pub fn campaign_saturation_load(points: &[CampaignPoint]) -> Option<&CampaignPoint> {
+    points
+        .iter()
+        .filter(|p| {
+            p.outcome
+                .ok_report()
+                .is_some_and(|r| r.sustainable && r.steady)
+        })
+        .max_by(|a, b| {
+            let t = |p: &CampaignPoint| {
+                p.outcome
+                    .ok_report()
+                    .map(|r| r.accepted_flits_per_node_cycle)
+                    .unwrap_or(f64::NEG_INFINITY)
+            };
+            t(a).total_cmp(&t(b))
+        })
+}
+
+// ---- configuration hash ----------------------------------------------
+
+/// FNV-1a 64 over the campaign kind, the full `Experiment` (its `Debug`
+/// form covers geometry, network, workload family, and the complete
+/// `EngineConfig` including seed and budget), the point grid, and the
+/// retry policy. Threads are deliberately excluded: values are
+/// thread-count invariant.
+fn config_hash(kind: &str, exp: &Experiment, params: &str, retries: u32) -> u64 {
+    let s = format!("{kind}|{exp:?}|{params}|retries={retries}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---- checkpoint file -------------------------------------------------
+
+/// Current checkpoint format version (the header's `"v"`).
+const CKPT_VERSION: u64 = 1;
+
+/// An open campaign checkpoint: previously completed tasks plus an
+/// append handle. `file == None` means checkpointing is off and every
+/// method is a no-op.
+struct Checkpoint {
+    file: Option<std::fs::File>,
+    loaded: BTreeMap<usize, (PointOutcome, u32)>,
+}
+
+impl Checkpoint {
+    /// Open (or create) the policy's checkpoint for a campaign of
+    /// `total` tasks, validating version, kind, and config hash.
+    fn open(
+        policy: &CampaignPolicy,
+        kind: &str,
+        hash: u64,
+        total: usize,
+    ) -> Result<Checkpoint, String> {
+        let Some(path) = &policy.checkpoint else {
+            return Ok(Checkpoint {
+                file: None,
+                loaded: BTreeMap::new(),
+            });
+        };
+        let hash_hex = format!("{hash:016x}");
+        let shown = path.display();
+        if !path.exists() {
+            if policy.require_existing {
+                return Err(format!(
+                    "resume: checkpoint {shown} does not exist \
+                     (use --checkpoint to start a new campaign)"
+                ));
+            }
+            let mut f = std::fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("creating checkpoint {shown}: {e}"))?;
+            let header = format!(
+                "{{\"v\":{CKPT_VERSION},\"kind\":\"{kind}\",\
+                 \"config_hash\":\"{hash_hex}\",\"total_tasks\":{total}}}\n"
+            );
+            f.write_all(header.as_bytes())
+                .and_then(|()| f.flush())
+                .map_err(|e| format!("writing checkpoint {shown}: {e}"))?;
+            return Ok(Checkpoint {
+                file: Some(f),
+                loaded: BTreeMap::new(),
+            });
+        }
+
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading checkpoint {shown}: {e}"))?;
+        let mut lines = content.split_inclusive('\n');
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("checkpoint {shown}: empty file"))?;
+        if !header.ends_with('\n') {
+            return Err(format!("checkpoint {shown}: torn header line"));
+        }
+        let ht = header.trim();
+        match json_u64(ht, "v") {
+            Some(CKPT_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "checkpoint {shown}: unsupported version {v} (this build reads {CKPT_VERSION})"
+                ))
+            }
+            None => return Err(format!("checkpoint {shown}: malformed header")),
+        }
+        let file_kind = json_str(ht, "kind")
+            .ok_or_else(|| format!("checkpoint {shown}: header has no kind"))?;
+        if file_kind != kind {
+            return Err(format!(
+                "checkpoint {shown} holds a {file_kind} campaign; this run is a {kind} campaign"
+            ));
+        }
+        let file_hash = json_str(ht, "config_hash")
+            .ok_or_else(|| format!("checkpoint {shown}: header has no config_hash"))?;
+        if file_hash != hash_hex {
+            return Err(format!(
+                "checkpoint {shown}: config hash {file_hash} does not match this campaign \
+                 ({hash_hex}) — the experiment, point grid, replication count, or retry \
+                 policy changed; refusing to resume"
+            ));
+        }
+        if json_u64(ht, "total_tasks") != Some(total as u64) {
+            return Err(format!(
+                "checkpoint {shown}: task count differs from this campaign; refusing to resume"
+            ));
+        }
+
+        let mut loaded = BTreeMap::new();
+        let mut good_len = header.len();
+        for line in lines {
+            // A SIGKILL can tear at most the final line: stop at the
+            // first incomplete or unparsable one and drop that tail.
+            if !line.ends_with('\n') {
+                break;
+            }
+            let t = line.trim();
+            if !t.is_empty() {
+                let Some((task, outcome, attempts)) = parse_task_line(t) else {
+                    break;
+                };
+                if task >= total {
+                    break;
+                }
+                loaded.insert(task, (outcome, attempts));
+            }
+            good_len += line.len();
+        }
+        if good_len < content.len() {
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| format!("opening checkpoint {shown}: {e}"))?;
+            f.set_len(good_len as u64)
+                .map_err(|e| format!("dropping torn tail of checkpoint {shown}: {e}"))?;
+        }
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("opening checkpoint {shown}: {e}"))?;
+        Ok(Checkpoint {
+            file: Some(f),
+            loaded,
+        })
+    }
+
+    /// The pre-filled result vector [`run_outcomes`] starts from:
+    /// checkpointed tasks as `Some`, everything else as holes to run.
+    fn preloaded(&mut self, total: usize) -> Vec<Option<(PointOutcome, u32)>> {
+        let mut v: Vec<Option<(PointOutcome, u32)>> = (0..total).map(|_| None).collect();
+        for (task, entry) in std::mem::take(&mut self.loaded) {
+            v[task] = Some(entry);
+        }
+        v
+    }
+
+    /// Append one finished task — one line, written and flushed whole,
+    /// so a kill between tasks never tears more than the line in
+    /// flight.
+    fn append(&mut self, task: usize, attempts: u32, outcome: &PointOutcome) -> Result<(), String> {
+        let Some(f) = &mut self.file else {
+            return Ok(());
+        };
+        let line = task_line(task, attempts, outcome)?;
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Serialize one finished task as a checkpoint line (newline included).
+fn task_line(task: usize, attempts: u32, outcome: &PointOutcome) -> Result<String, String> {
+    let tag = outcome.tag();
+    Ok(match outcome {
+        PointOutcome::Ok(report) => format!(
+            "{{\"task\":{task},\"attempts\":{attempts},\"outcome\":\"{tag}\",\"report\":{}}}\n",
+            report_to_json(report)?
+        ),
+        PointOutcome::Partial { report, reason } => format!(
+            "{{\"task\":{task},\"attempts\":{attempts},\"outcome\":\"{tag}\",\"report\":{},\
+             \"reason\":\"{}\"}}\n",
+            report_to_json(report)?,
+            esc(reason)
+        ),
+        PointOutcome::Failed { reason } => format!(
+            "{{\"task\":{task},\"attempts\":{attempts},\"outcome\":\"{tag}\",\"reason\":\"{}\"}}\n",
+            esc(reason)
+        ),
+    })
+}
+
+/// Parse one checkpoint task line; `None` marks a torn/alien line.
+fn parse_task_line(line: &str) -> Option<(usize, PointOutcome, u32)> {
+    let task = json_u64(line, "task")? as usize;
+    let attempts = json_u64(line, "attempts")? as u32;
+    let outcome = match json_str(line, "outcome")?.as_str() {
+        "ok" => PointOutcome::Ok(report_from_json(line)?),
+        "partial" => PointOutcome::Partial {
+            report: report_from_json(line)?,
+            reason: json_str(line, "reason")?,
+        },
+        "failed" => PointOutcome::Failed {
+            reason: json_str(line, "reason")?,
+        },
+        _ => return None,
+    };
+    Some((task, outcome, attempts))
+}
+
+// ---- hand-rolled JSON (this offline workspace has no serde) ----------
+
+/// Serialize a report for the checkpoint. Floats are written as their
+/// `f64::to_bits` pattern in a quoted decimal — decimal formatting
+/// would round-trip imprecisely and break the bitwise resume contract.
+///
+/// Refuses reports carrying `deliveries` or `trace` payloads: campaigns
+/// run Poisson workloads where both are `None`, and silently dropping
+/// them would make a resumed curve differ from an uninterrupted one.
+fn report_to_json(r: &SimReport) -> Result<String, String> {
+    if r.deliveries.is_some() || r.trace.is_some() {
+        return Err(
+            "checkpointing reports with deliveries or trace payloads is not supported"
+                .to_string(),
+        );
+    }
+    let mut s = format!(
+        "{{\"cycles\":{},\"measured_cycles\":{},\"generated_packets\":{},\
+         \"delivered_packets\":{},\"offered_bits\":\"{}\",\"accepted_bits\":\"{}\",\
+         \"mean_latency_bits\":\"{}\",\"latency_ci95_bits\":\"{}\",\"p50\":{},\"p95\":{},\
+         \"p99\":{},\"max_latency\":{},\"mean_queue_bits\":\"{}\",\"max_queue\":{},\
+         \"sustainable\":{},\"steady\":{},\"in_flight_at_end\":{},\"aborted_packets\":{},\
+         \"undeliverable_packets\":{}",
+        r.cycles,
+        r.measured_cycles,
+        r.generated_packets,
+        r.delivered_packets,
+        r.offered_flits_per_node_cycle.to_bits(),
+        r.accepted_flits_per_node_cycle.to_bits(),
+        r.mean_latency_cycles.to_bits(),
+        r.latency_ci95_cycles.to_bits(),
+        r.p50_latency_cycles,
+        r.p95_latency_cycles,
+        r.p99_latency_cycles,
+        r.max_latency_cycles,
+        r.mean_queue.to_bits(),
+        r.max_queue,
+        r.sustainable,
+        r.steady,
+        r.in_flight_at_end,
+        r.aborted_packets,
+        r.undeliverable_packets,
+    );
+    if let Some(util) = &r.channel_utilization {
+        s.push_str(",\"util_bits\":[");
+        for (i, u) in util.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(&u.to_bits().to_string());
+            s.push('"');
+        }
+        s.push(']');
+    }
+    s.push('}');
+    Ok(s)
+}
+
+/// Rebuild a report from a checkpoint line (flat key scan — every key
+/// is unique within a line). `None` marks a torn/malformed line.
+fn report_from_json(line: &str) -> Option<SimReport> {
+    Some(SimReport {
+        cycles: json_u64(line, "cycles")?,
+        measured_cycles: json_u64(line, "measured_cycles")?,
+        generated_packets: json_u64(line, "generated_packets")?,
+        delivered_packets: json_u64(line, "delivered_packets")?,
+        offered_flits_per_node_cycle: json_bits(line, "offered_bits")?,
+        accepted_flits_per_node_cycle: json_bits(line, "accepted_bits")?,
+        mean_latency_cycles: json_bits(line, "mean_latency_bits")?,
+        latency_ci95_cycles: json_bits(line, "latency_ci95_bits")?,
+        p50_latency_cycles: json_u64(line, "p50")?,
+        p95_latency_cycles: json_u64(line, "p95")?,
+        p99_latency_cycles: json_u64(line, "p99")?,
+        max_latency_cycles: json_u64(line, "max_latency")?,
+        mean_queue: json_bits(line, "mean_queue_bits")?,
+        max_queue: json_u64(line, "max_queue")? as usize,
+        sustainable: json_bool(line, "sustainable")?,
+        steady: json_bool(line, "steady")?,
+        in_flight_at_end: json_u64(line, "in_flight_at_end")?,
+        aborted_packets: json_u64(line, "aborted_packets")?,
+        undeliverable_packets: json_u64(line, "undeliverable_packets")?,
+        channel_utilization: json_bits_array(line, "util_bits"),
+        deliveries: None,
+        trace: None,
+    })
+}
+
+/// Escape a string for a JSON line.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The position just past `"key":` in `line`, skipping a space if any.
+fn after_key(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    let mut at = line.find(&pat)? + pat.len();
+    if line[at..].starts_with(' ') {
+        at += 1;
+    }
+    Some(at)
+}
+
+/// Extract the unsigned integer value of `"key"`.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = &line[after_key(line, key)?..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the boolean value of `"key"`.
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = &line[after_key(line, key)?..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extract and unescape the string value of `"key"`.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[after_key(line, key)?..];
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extract a float checkpointed as a quoted `f64::to_bits` decimal.
+fn json_bits(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[after_key(line, key)?..];
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    rest[..end].parse::<u64>().ok().map(f64::from_bits)
+}
+
+/// Extract an optional array of bit-pattern floats (`None` when the
+/// key is absent — the report had no `channel_utilization`).
+fn json_bits_array(line: &str, key: &str) -> Option<Vec<f64>> {
+    let rest = &line[after_key(line, key)?..];
+    let rest = rest.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|item| {
+            item.trim()
+                .trim_matches('"')
+                .parse::<u64>()
+                .ok()
+                .map(f64::from_bits)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+    use minnet_sim::RunBudget;
+    use minnet_traffic::MessageSizeDist;
+    use std::sync::atomic::AtomicU64;
+
+    fn quick() -> Experiment {
+        let mut e = Experiment::paper_default(NetworkSpec::tmin());
+        e.sizes = MessageSizeDist::Fixed(32);
+        e.sim.warmup = 500;
+        e.sim.measure = 4_000;
+        e
+    }
+
+    /// A unique temp path per call (tests run in parallel).
+    fn temp_ckpt(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "minnet_ckpt_{}_{tag}_{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn panicking_point_is_failed_not_abort() {
+        // The PR-4-era sweep aborted the whole campaign on one panicking
+        // worker (poisoned slot mutex). Now: the panic is contained, the
+        // point reports Failed with the panic message, every other point
+        // completes, and the retry budget is spent.
+        let exp = quick();
+        let compiled = exp.compile().unwrap();
+        let results = run_outcomes(
+            3,
+            1,
+            (0..3).map(|_| None).collect(),
+            |_, _, _| Ok(()),
+            |i, attempt, st| {
+                if i == 1 {
+                    panic!("injected failure at point {i} attempt {attempt}");
+                }
+                compiled.run_typed(0.2, mix(7, i as u64 + 1), st)
+            },
+        )
+        .unwrap();
+        assert!(results[0].0.is_ok());
+        assert!(results[2].0.is_ok());
+        let (outcome, attempts) = &results[1];
+        let PointOutcome::Failed { reason } = outcome else {
+            panic!("expected Failed, got {}", outcome.tag());
+        };
+        assert!(reason.contains("panic: injected failure"), "{reason}");
+        assert_eq!(*attempts, 2, "one retry was configured and spent");
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_failure() {
+        let exp = quick();
+        let compiled = exp.compile().unwrap();
+        let results = run_outcomes(
+            1,
+            2,
+            (0..1).map(|_| None).collect(),
+            |_, _, _| Ok(()),
+            |i, attempt, st| {
+                if attempt == 0 {
+                    panic!("flaky first attempt");
+                }
+                compiled.run_typed(0.2, retry_seed(mix(7, i as u64 + 1), attempt), st)
+            },
+        )
+        .unwrap();
+        assert!(results[0].0.is_ok());
+        assert_eq!(results[0].1, 2);
+    }
+
+    #[test]
+    fn acceptance_scenario_panic_and_budget_in_one_campaign() {
+        // The ISSUE's acceptance criterion: a campaign with an injected
+        // panicking point and an over-budget point completes and reports
+        // both outcomes per-point.
+        let exp = quick();
+        let compiled = exp.compile().unwrap();
+        let mut budgeted = quick();
+        budgeted.sim.budget = RunBudget {
+            max_cycles: 1_500,
+            max_wall_ms: 0,
+        };
+        let budgeted = budgeted.compile().unwrap();
+        let results = run_outcomes(
+            2,
+            0,
+            (0..4).map(|_| None).collect(),
+            |_, _, _| Ok(()),
+            |i, _attempt, st| match i {
+                1 => panic!("injected"),
+                2 => budgeted.run_typed(0.2, 99, st),
+                _ => compiled.run_typed(0.2, mix(7, i as u64 + 1), st),
+            },
+        )
+        .unwrap();
+        let outcomes: Vec<&PointOutcome> = results.iter().map(|(o, _)| o).collect();
+        assert!(outcomes[0].is_ok() && outcomes[3].is_ok());
+        assert!(outcomes[1].is_failed());
+        assert!(outcomes[2].is_partial());
+        let PointOutcome::Partial { report, reason } = outcomes[2] else {
+            unreachable!()
+        };
+        assert_eq!(report.cycles, 1_500);
+        assert!(reason.contains("budget"), "{reason}");
+        assert_eq!(outcome_counts(outcomes), (2, 1, 1));
+    }
+
+    #[test]
+    fn budget_cut_is_not_retried() {
+        let mut exp = quick();
+        exp.sim.budget = RunBudget {
+            max_cycles: 1_200,
+            max_wall_ms: 0,
+        };
+        let policy = CampaignPolicy {
+            retries: 3,
+            ..CampaignPolicy::default()
+        };
+        let pts = campaign_curve(&exp, &[0.2], 1, &policy).unwrap();
+        assert!(pts[0].outcome.is_partial());
+        assert_eq!(pts[0].attempts, 1, "budget cuts must not burn retries");
+    }
+
+    #[test]
+    fn campaign_curve_matches_plain_sweep_bitwise() {
+        let exp = quick();
+        let loads = [0.15, 0.45];
+        let plain = crate::sweep::latency_throughput_curve(&exp, &loads, 2).unwrap();
+        let campaign = campaign_curve(&exp, &loads, 2, &CampaignPolicy::isolate()).unwrap();
+        for (p, c) in plain.iter().zip(&campaign) {
+            assert!(p.report.bitwise_eq(c.outcome.ok_report().unwrap()));
+            assert_eq!(c.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_bitwise_through_json() {
+        let mut exp = quick();
+        exp.sim.collect_channel_util = true;
+        let with_util = exp.run(0.3).unwrap();
+        exp.sim.collect_channel_util = false;
+        let without = exp.run(0.3).unwrap();
+        for r in [with_util, without] {
+            let line = format!("{{\"report\":{}}}", report_to_json(&r).unwrap());
+            let back = report_from_json(&line).unwrap();
+            assert!(r.bitwise_eq(&back), "JSON round trip changed the report");
+        }
+    }
+
+    #[test]
+    fn reason_strings_round_trip_through_escaping() {
+        let nasty = "quote \" backslash \\ newline \n tab \t ctrl \u{1} end";
+        let outcome = PointOutcome::Failed {
+            reason: nasty.to_string(),
+        };
+        let line = task_line(3, 2, &outcome).unwrap();
+        let (task, parsed, attempts) = parse_task_line(line.trim()).unwrap();
+        assert_eq!(task, 3);
+        assert_eq!(attempts, 2);
+        let PointOutcome::Failed { reason } = parsed else {
+            panic!("wrong outcome kind");
+        };
+        assert_eq!(reason, nasty);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_tasks_and_is_bitwise_identical() {
+        let exp = quick();
+        let loads = [0.1, 0.3, 0.5];
+        let path = temp_ckpt("resume");
+        let _cleanup = Cleanup(path.clone());
+        let reference = campaign_curve(&exp, &loads, 2, &CampaignPolicy::isolate()).unwrap();
+
+        let policy = CampaignPolicy {
+            checkpoint: Some(path.clone()),
+            ..CampaignPolicy::default()
+        };
+        let first = campaign_curve(&exp, &loads, 2, &policy).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(full.lines().count(), 1 + loads.len());
+
+        // Truncate to header + one completed task: a simulated kill.
+        let keep: String = full.split_inclusive('\n').take(2).collect();
+        std::fs::write(&path, keep).unwrap();
+        let resume_policy = CampaignPolicy {
+            checkpoint: Some(path.clone()),
+            require_existing: true,
+            ..CampaignPolicy::default()
+        };
+        let resumed = campaign_curve(&exp, &loads, 2, &resume_policy).unwrap();
+        for ((a, b), c) in reference.iter().zip(&first).zip(&resumed) {
+            let r = a.outcome.ok_report().unwrap();
+            assert!(r.bitwise_eq(b.outcome.ok_report().unwrap()));
+            assert!(r.bitwise_eq(c.outcome.ok_report().unwrap()));
+        }
+        // The resumed run refilled the file to completeness.
+        let refilled = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(refilled.lines().count(), 1 + loads.len());
+    }
+
+    #[test]
+    fn torn_tail_line_is_dropped_and_rerun() {
+        let exp = quick();
+        let loads = [0.1, 0.3];
+        let path = temp_ckpt("torn");
+        let _cleanup = Cleanup(path.clone());
+        let policy = CampaignPolicy {
+            checkpoint: Some(path.clone()),
+            ..CampaignPolicy::default()
+        };
+        let reference = campaign_curve(&exp, &loads, 1, &policy).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Keep the header + first task, then a torn half-line (no \n).
+        let mut torn: String = full.split_inclusive('\n').take(2).collect();
+        torn.push_str("{\"task\":1,\"attempts\":1,\"outco");
+        std::fs::write(&path, torn).unwrap();
+        let resumed = campaign_curve(&exp, &loads, 1, &policy).unwrap();
+        for (a, b) in reference.iter().zip(&resumed) {
+            assert!(a
+                .outcome
+                .ok_report()
+                .unwrap()
+                .bitwise_eq(b.outcome.ok_report().unwrap()));
+        }
+    }
+
+    #[test]
+    fn mismatched_config_hash_is_refused() {
+        let exp = quick();
+        let loads = [0.1, 0.3];
+        let path = temp_ckpt("hash");
+        let _cleanup = Cleanup(path.clone());
+        let policy = CampaignPolicy {
+            checkpoint: Some(path.clone()),
+            ..CampaignPolicy::default()
+        };
+        campaign_curve(&exp, &loads, 1, &policy).unwrap();
+
+        let mut other = quick();
+        other.sim.seed ^= 1;
+        let err = campaign_curve(&other, &loads, 1, &policy).unwrap_err();
+        assert!(err.contains("config hash"), "unhelpful refusal: {err}");
+        assert!(err.contains("refusing to resume"), "{err}");
+
+        // A different load grid is likewise refused.
+        let err = campaign_curve(&exp, &[0.1, 0.35], 1, &policy).unwrap_err();
+        assert!(err.contains("config hash"), "{err}");
+    }
+
+    #[test]
+    fn resume_without_checkpoint_file_is_refused() {
+        let exp = quick();
+        let path = temp_ckpt("missing");
+        let policy = CampaignPolicy {
+            checkpoint: Some(path),
+            require_existing: true,
+            ..CampaignPolicy::default()
+        };
+        let err = campaign_curve(&exp, &[0.2], 1, &policy).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn failed_points_are_checkpointed_and_not_rerun() {
+        // A Failed outcome is a completed task: resuming must reuse it,
+        // not retry it (retry budgets are per-process-run).
+        let exp = quick();
+        let compiled = exp.compile().unwrap();
+        let path = temp_ckpt("failedpt");
+        let _cleanup = Cleanup(path.clone());
+        let mut ckpt = Checkpoint::open(
+            &CampaignPolicy {
+                checkpoint: Some(path.clone()),
+                ..CampaignPolicy::default()
+            },
+            "curve",
+            42,
+            2,
+        )
+        .unwrap();
+        let results = run_outcomes(
+            1,
+            0,
+            ckpt.preloaded(2),
+            |i, a, o| ckpt.append(i, a, o),
+            |i, _, st| {
+                if i == 0 {
+                    panic!("boom");
+                }
+                compiled.run_typed(0.2, 5, st)
+            },
+        )
+        .unwrap();
+        assert!(results[0].0.is_failed());
+        drop(ckpt);
+
+        let mut ckpt = Checkpoint::open(
+            &CampaignPolicy {
+                checkpoint: Some(path.clone()),
+                require_existing: true,
+                ..CampaignPolicy::default()
+            },
+            "curve",
+            42,
+            2,
+        )
+        .unwrap();
+        let preloaded = ckpt.preloaded(2);
+        assert!(preloaded.iter().all(Option::is_some), "both tasks loaded");
+        let resumed = run_outcomes(
+            1,
+            0,
+            preloaded,
+            |i, a, o| ckpt.append(i, a, o),
+            |_, _, _| panic!("nothing should run on a complete checkpoint"),
+        )
+        .unwrap();
+        assert!(resumed[0].0.is_failed());
+        assert!(resumed[1].0.is_ok());
+        assert!(results[1].0.ok_report().unwrap().bitwise_eq(
+            resumed[1].0.ok_report().unwrap()
+        ));
+    }
+
+    #[test]
+    fn replicated_campaign_aggregates_ok_subset() {
+        let exp = quick();
+        let pts =
+            campaign_replicated_curve(&exp, &[0.2], 3, 2, &CampaignPolicy::isolate()).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].outcomes.len(), 3);
+        assert!(pts[0].outcomes.iter().all(PointOutcome::is_ok));
+        let stats = pts[0].ok_stats.as_ref().unwrap();
+        assert_eq!(stats.replications.len(), 3);
+        // Same seeds as the fragile path → bit-identical replications.
+        let fragile = crate::sweep::replicated_curve(&exp, &[0.2], 3, 2).unwrap();
+        for (a, b) in fragile[0].replications.iter().zip(&stats.replications) {
+            assert!(a.bitwise_eq(b));
+        }
+    }
+
+    #[test]
+    fn degradation_campaign_matches_fragile_path() {
+        let exp = quick();
+        let fragile = crate::sweep::degradation_curve(&exp, 0.2, &[0, 1], 2, 2).unwrap();
+        let campaign = campaign_degradation_curve(
+            &exp,
+            0.2,
+            &[0, 1],
+            2,
+            2,
+            &CampaignPolicy::isolate(),
+        )
+        .unwrap();
+        for (f, c) in fragile.iter().zip(&campaign) {
+            assert_eq!(f.fault_count, c.fault_count);
+            let stats = c.ok_stats.as_ref().unwrap();
+            for (a, b) in f.replications.iter().zip(&stats.replications) {
+                assert!(a.bitwise_eq(b));
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_excludes_partial_points() {
+        // Build a curve where the highest-throughput point is Partial
+        // (budget-truncated past the knee): it must not be crowned.
+        let exp = quick();
+        let base = exp.run(0.2).unwrap();
+        let mut fat = base.clone();
+        fat.accepted_flits_per_node_cycle = base.accepted_flits_per_node_cycle * 2.0;
+        fat.sustainable = true;
+        fat.steady = true;
+        let points = vec![
+            CampaignPoint {
+                offered: 0.2,
+                outcome: PointOutcome::Ok(base),
+                attempts: 1,
+            },
+            CampaignPoint {
+                offered: 0.8,
+                outcome: PointOutcome::Partial {
+                    report: fat,
+                    reason: "budget".into(),
+                },
+                attempts: 1,
+            },
+            CampaignPoint {
+                offered: 1.2,
+                outcome: PointOutcome::Failed {
+                    reason: "panic".into(),
+                },
+                attempts: 1,
+            },
+        ];
+        let sat = campaign_saturation_load(&points).unwrap();
+        assert_eq!(sat.offered, 0.2, "Partial/Failed must never win");
+        assert!(campaign_saturation_load(&points[1..]).is_none());
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::spec::NetworkSpec;
 use minnet_sim::{
-    run_simulation, with_pooled_state, CompiledNet, EngineConfig, EngineState, SimReport,
+    run_simulation, with_pooled_state, CompiledNet, EngineConfig, EngineState, SimError, SimReport,
 };
 use minnet_topology::{Geometry, NetworkGraph};
 use minnet_traffic::{
@@ -180,6 +180,13 @@ impl CompiledExperiment {
         with_pooled_state(|st| self.run_with(offered_load, seed, st))
     }
 
+    /// [`CompiledExperiment::run_seeded`] with the typed error surface —
+    /// callers that must distinguish a budget cut (carrying a partial
+    /// report) from a watchdog trip or a config problem use this form.
+    pub fn run_seeded_typed(&self, offered_load: f64, seed: u64) -> Result<SimReport, SimError> {
+        with_pooled_state(|st| self.run_typed(offered_load, seed, st))
+    }
+
     /// Run with an explicit seed *and* a caller-owned engine state — the
     /// form sweep workers use so each worker reuses its own allocations.
     pub fn run_with(
@@ -188,8 +195,19 @@ impl CompiledExperiment {
         seed: u64,
         st: &mut EngineState,
     ) -> Result<SimReport, String> {
-        let workload = self.template.workload_at(offered_load)?;
-        Ok(self.net.run_poisson(&workload, seed, st)?)
+        Ok(self.run_typed(offered_load, seed, st)?)
+    }
+
+    /// [`CompiledExperiment::run_with`] with the typed error surface —
+    /// the form the campaign runner uses to classify failures.
+    pub fn run_typed(
+        &self,
+        offered_load: f64,
+        seed: u64,
+        st: &mut EngineState,
+    ) -> Result<SimReport, SimError> {
+        let workload = self.template.workload_at(offered_load).map_err(SimError::Config)?;
+        self.net.run_poisson(&workload, seed, st)
     }
 }
 

@@ -40,12 +40,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiment;
 pub mod model;
 pub mod spec;
 pub mod sweep;
 pub mod table;
 
+pub use campaign::{
+    campaign_curve, campaign_degradation_curve, campaign_replicated_curve,
+    campaign_saturation_load, outcome_counts, CampaignPoint, CampaignPolicy,
+    DegradationCampaignPoint, PointOutcome, ReplicatedCampaignPoint,
+};
 pub use experiment::{CompiledExperiment, Experiment};
 pub use spec::NetworkSpec;
 pub use sweep::{

@@ -19,12 +19,11 @@
 //! compiled path is bit-identical to [`Experiment::run_seeded`] — exactly
 //! the numbers the original per-run sweep produced.
 
+use crate::campaign::{run_outcomes, PointOutcome};
 use crate::experiment::{CompiledExperiment, Experiment};
 use minnet_sim::stats::Welford;
-use minnet_sim::{CompiledFaults, EngineState, SimReport};
+use minnet_sim::{CompiledFaults, EngineState, SimError, SimReport};
 use minnet_topology::FaultPlan;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One point of a latency–throughput curve.
 #[derive(Clone, Debug)]
@@ -36,7 +35,7 @@ pub struct SweepPoint {
 }
 
 /// SplitMix64 — decorrelates per-point seeds from the base seed.
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -48,41 +47,32 @@ fn mix(seed: u64, salt: u64) -> u64 {
 /// `task`; results come back in task order. The shared cursor hands tasks
 /// out first-come-first-served, but per-task seeding makes the *values*
 /// schedule-independent.
+///
+/// This is the strict all-or-nothing surface: the first non-`Ok` point
+/// (in task order) turns the whole sweep into its `Err` — including a
+/// worker panic, which [`crate::campaign::run_outcomes`] contains and
+/// reports as a message instead of poisoning a lock and aborting the
+/// process. Campaign callers that want complete annotated curves use
+/// [`crate::campaign`] directly.
 fn run_tasks(
     total: usize,
     threads: usize,
     run: impl Fn(usize, &mut EngineState) -> Result<SimReport, String> + Sync,
 ) -> Result<Vec<SimReport>, String> {
-    let threads = threads.max(1).min(total.max(1));
-    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let slots = &slots;
-            let run = &run;
-            scope.spawn(move || {
-                let mut st = EngineState::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let res = run(i, &mut st);
-                    *slots[i].lock().expect("sweep worker panicked") = Some(res);
-                }
-            });
-        }
-    });
-
-    let mut out = Vec::with_capacity(total);
-    for slot in slots {
-        let slot = slot.into_inner().expect("sweep worker panicked");
-        out.push(slot.expect("every slot is filled")?);
-    }
-    Ok(out)
+    let results = run_outcomes(
+        threads,
+        0,
+        (0..total).map(|_| None).collect(),
+        |_, _, _| Ok(()),
+        |i, _attempt, st| run(i, st).map_err(SimError::from),
+    )?;
+    results
+        .into_iter()
+        .map(|(outcome, _attempts)| match outcome {
+            PointOutcome::Ok(report) => Ok(report),
+            PointOutcome::Partial { reason, .. } | PointOutcome::Failed { reason } => Err(reason),
+        })
+        .collect()
 }
 
 /// Evaluate the experiment at every load in `loads`, in parallel on
@@ -180,24 +170,31 @@ pub fn replicated_curve(
     let mut reports = reports.into_iter();
     for &offered in loads {
         let reps: Vec<SimReport> = reports.by_ref().take(replications).collect();
-        let mut lat = Welford::new();
-        let mut acc = Welford::new();
-        for r in &reps {
-            lat.push(r.mean_latency_cycles);
-            acc.push(r.accepted_flits_per_node_cycle);
-        }
-        out.push(ReplicatedPoint {
-            offered,
-            mean_latency_cycles: lat.mean(),
-            latency_ci95_cycles: lat.ci95_half_width(),
-            accepted_flits_per_node_cycle: acc.mean(),
-            accepted_ci95: acc.ci95_half_width(),
-            sustainable: reps.iter().all(|r| r.sustainable),
-            steady: reps.iter().all(|r| r.steady),
-            replications: reps,
-        });
+        out.push(aggregate_replicated(offered, reps));
     }
     Ok(out)
+}
+
+/// Fold one load point's replication reports into a [`ReplicatedPoint`]
+/// (shared with the campaign layer, which aggregates the `Ok` subset of
+/// a partially-failed point).
+pub(crate) fn aggregate_replicated(offered: f64, reps: Vec<SimReport>) -> ReplicatedPoint {
+    let mut lat = Welford::new();
+    let mut acc = Welford::new();
+    for r in &reps {
+        lat.push(r.mean_latency_cycles);
+        acc.push(r.accepted_flits_per_node_cycle);
+    }
+    ReplicatedPoint {
+        offered,
+        mean_latency_cycles: lat.mean(),
+        latency_ci95_cycles: lat.ci95_half_width(),
+        accepted_flits_per_node_cycle: acc.mean(),
+        accepted_ci95: acc.ci95_half_width(),
+        sustainable: reps.iter().all(|r| r.sustainable),
+        steady: reps.iter().all(|r| r.steady),
+        replications: reps,
+    }
 }
 
 /// One point of a graceful-degradation curve: `R` replications at a fixed
@@ -297,30 +294,36 @@ pub fn degradation_curve(
     let mut reports = reports.into_iter();
     for &fault_count in fault_counts {
         let reps: Vec<SimReport> = reports.by_ref().take(replications).collect();
-        let mut lat = Welford::new();
-        let mut acc = Welford::new();
-        let mut aborted = Welford::new();
-        let mut refused = Welford::new();
-        for r in &reps {
-            lat.push(r.mean_latency_cycles);
-            acc.push(r.accepted_flits_per_node_cycle);
-            aborted.push(r.aborted_packets as f64);
-            refused.push(r.undeliverable_packets as f64);
-        }
-        out.push(DegradationPoint {
-            fault_count,
-            mean_latency_cycles: lat.mean(),
-            latency_ci95_cycles: lat.ci95_half_width(),
-            accepted_flits_per_node_cycle: acc.mean(),
-            accepted_ci95: acc.ci95_half_width(),
-            mean_aborted_packets: aborted.mean(),
-            mean_undeliverable_packets: refused.mean(),
-            sustainable: reps.iter().all(|r| r.sustainable),
-            steady: reps.iter().all(|r| r.steady),
-            replications: reps,
-        });
+        out.push(aggregate_degradation(fault_count, reps));
     }
     Ok(out)
+}
+
+/// Fold one fault count's replication reports into a
+/// [`DegradationPoint`] (shared with the campaign layer).
+pub(crate) fn aggregate_degradation(fault_count: usize, reps: Vec<SimReport>) -> DegradationPoint {
+    let mut lat = Welford::new();
+    let mut acc = Welford::new();
+    let mut aborted = Welford::new();
+    let mut refused = Welford::new();
+    for r in &reps {
+        lat.push(r.mean_latency_cycles);
+        acc.push(r.accepted_flits_per_node_cycle);
+        aborted.push(r.aborted_packets as f64);
+        refused.push(r.undeliverable_packets as f64);
+    }
+    DegradationPoint {
+        fault_count,
+        mean_latency_cycles: lat.mean(),
+        latency_ci95_cycles: lat.ci95_half_width(),
+        accepted_flits_per_node_cycle: acc.mean(),
+        accepted_ci95: acc.ci95_half_width(),
+        mean_aborted_packets: aborted.mean(),
+        mean_undeliverable_packets: refused.mean(),
+        sustainable: reps.iter().all(|r| r.sustainable),
+        steady: reps.iter().all(|r| r.steady),
+        replications: reps,
+    }
 }
 
 /// Locate the saturation boundary by bisection: the largest offered load
@@ -329,6 +332,12 @@ pub fn degradation_curve(
 /// saturates. Each probe uses a seed derived from the iteration, so the
 /// search is deterministic. The experiment is compiled once; the probes
 /// reuse this thread's pooled engine state.
+///
+/// A probe cut by the experiment's [`minnet_sim::RunBudget`] counts as
+/// *saturated*: past the knee the network backs up and a run's wall time
+/// explodes, so "too expensive to finish" is itself evidence the load is
+/// beyond the boundary. The truncated probe's report is discarded — the
+/// returned boundary report always comes from a completed run.
 pub fn find_saturation(
     exp: &Experiment,
     lo: f64,
@@ -340,8 +349,13 @@ pub fn find_saturation(
     let base = compiled.base_seed();
     let mut lo = lo;
     let mut hi = hi;
-    // Establish the bracket.
-    let first = compiled.run_seeded(lo, mix(base, 0xB15EC7))?;
+    // Establish the bracket; a budget cut at the floor means even `lo`
+    // is past (or too expensive to confirm below) saturation.
+    let first = match compiled.run_seeded_typed(lo, mix(base, 0xB15EC7)) {
+        Ok(report) => report,
+        Err(SimError::BudgetExceeded(_)) => return Ok(None),
+        Err(e) => return Err(e.to_string()),
+    };
     if !(first.sustainable && first.steady) {
         return Ok(None);
     }
@@ -351,15 +365,16 @@ pub fn find_saturation(
     });
     for i in 0..iters {
         let mid = 0.5 * (lo + hi);
-        let report = compiled.run_seeded(mid, mix(base, 0xB15EC7 + 1 + u64::from(i)))?;
-        if report.sustainable && report.steady {
-            best = Some(SweepPoint {
-                offered: mid,
-                report,
-            });
-            lo = mid;
-        } else {
-            hi = mid;
+        match compiled.run_seeded_typed(mid, mix(base, 0xB15EC7 + 1 + u64::from(i))) {
+            Ok(report) if report.sustainable && report.steady => {
+                best = Some(SweepPoint {
+                    offered: mid,
+                    report,
+                });
+                lo = mid;
+            }
+            Ok(_) | Err(SimError::BudgetExceeded(_)) => hi = mid,
+            Err(e) => return Err(e.to_string()),
         }
     }
     Ok(best)
@@ -466,6 +481,50 @@ mod tests {
         let mut exp = quick();
         exp.sim.queue_limit = 0; // nothing is sustainable
         assert!(find_saturation(&exp, 0.3, 0.9, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn bisection_treats_budget_cut_probes_as_saturated() {
+        // Every probe is cut by a cycle budget below the horizon: the
+        // floor probe cannot be confirmed sustainable, so the search
+        // reports None instead of crowning a truncated report (or
+        // erroring the search).
+        let mut exp = quick();
+        exp.sim.budget = minnet_sim::RunBudget {
+            max_cycles: exp.sim.warmup + 100,
+            max_wall_ms: 0,
+        };
+        assert!(find_saturation(&exp, 0.05, 1.5, 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn bisection_unchanged_when_budget_covers_the_horizon() {
+        let exp = quick();
+        let plain = find_saturation(&exp, 0.05, 1.5, 5).unwrap().unwrap();
+        let mut budgeted_exp = quick();
+        budgeted_exp.sim.budget = minnet_sim::RunBudget {
+            max_cycles: budgeted_exp.sim.warmup + budgeted_exp.sim.measure,
+            max_wall_ms: 0,
+        };
+        let budgeted = find_saturation(&budgeted_exp, 0.05, 1.5, 5)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain.offered, budgeted.offered);
+        assert!(plain.report.bitwise_eq(&budgeted.report));
+    }
+
+    #[test]
+    fn saturation_load_requires_both_flags() {
+        // A point that is sustainable but not steady (delivery fell
+        // behind) must not be crowned — the campaign layer additionally
+        // excludes Partial/Failed outcomes (see campaign tests).
+        let exp = quick();
+        let pts = latency_throughput_curve(&exp, &[0.1, 0.2], 1).unwrap();
+        let mut doctored = pts.clone();
+        doctored[1].report.steady = false;
+        doctored[1].report.accepted_flits_per_node_cycle = 99.0;
+        let sat = saturation_load(&doctored).unwrap();
+        assert_eq!(sat.offered, 0.1);
     }
 
     #[test]

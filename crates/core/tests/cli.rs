@@ -54,6 +54,83 @@ fn sweep_writes_csv() {
 }
 
 #[test]
+fn sweep_resume_reproduces_the_csv_bitwise() {
+    let dir = std::env::temp_dir().join(format!("minnet_cli_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("ckpt.jsonl");
+    let csv_ref = dir.join("ref.csv");
+    let csv_res = dir.join("resumed.csv");
+    let base = [
+        "sweep", "--network", "tmin", "--loads", "0.1,0.3,0.5", "--warmup", "500",
+        "--measure", "4000", "--sizes", "fixed:32",
+    ];
+
+    // Uninterrupted reference (no checkpoint involved at all).
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--csv", csv_ref.to_str().unwrap()]);
+    let (ok, stdout, _) = minnet(&args);
+    assert!(ok, "{stdout}");
+
+    // A checkpointed run, then a simulated kill: drop all but the first
+    // completed point and resume.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--checkpoint", ckpt.to_str().unwrap()]);
+    let (ok, stdout, _) = minnet(&args);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("outcomes: 3 ok, 0 partial, 0 failed"));
+    let full = std::fs::read_to_string(&ckpt).unwrap();
+    let cut: String = full.split_inclusive('\n').take(2).collect();
+    std::fs::write(&ckpt, cut).unwrap();
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--csv",
+        csv_res.to_str().unwrap(),
+    ]);
+    let (ok, stdout, _) = minnet(&args);
+    assert!(ok, "{stdout}");
+    let reference = std::fs::read_to_string(&csv_ref).unwrap();
+    let resumed = std::fs::read_to_string(&csv_res).unwrap();
+    assert_eq!(reference, resumed, "resumed CSV differs from uninterrupted run");
+
+    // --resume refuses a missing file; --checkpoint with --resume is an error.
+    let missing = dir.join("nope.jsonl");
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--resume", missing.to_str().unwrap()]);
+    let (ok, _, stderr) = minnet(&args);
+    assert!(!ok);
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    let (ok, _, stderr) = minnet(&args);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_reports_partial_points_under_a_budget() {
+    // A cycle budget below warmup+measure cuts every point: the sweep
+    // still completes, reports PARTIAL per point, and crowns no
+    // sustainable maximum.
+    let (ok, stdout, _) = minnet(&[
+        "sweep", "--network", "tmin", "--loads", "0.1,0.3", "--warmup", "500", "--measure",
+        "4000", "--sizes", "fixed:32", "--budget-cycles", "2000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PARTIAL"), "{stdout}");
+    assert!(stdout.contains("outcomes: 0 ok, 2 partial, 0 failed"), "{stdout}");
+    assert!(!stdout.contains("max sustainable"), "{stdout}");
+}
+
+#[test]
 fn partition_detects_reduced_butterfly() {
     let (ok, stdout, _) = minnet(&["partition", "--wiring", "butterfly", "--clusters", "msd"]);
     assert!(ok);

@@ -23,6 +23,49 @@ pub enum TransmitOrder {
     BuildOrder,
 }
 
+/// Hard resource limits for one simulation run — the campaign layer's
+/// defence against *legitimately unbounded* work (a sweep point pushed
+/// far past saturation keeps thousands of worms in flight and crawls in
+/// wall-clock terms even though its cycle count is finite). This is a
+/// different failure class from what the no-progress watchdog catches:
+/// the watchdog fires on **zero** flit movement (a wedged network), the
+/// budget on a run that is making progress but costing more than the
+/// caller is willing to pay.
+///
+/// A tripped budget is not a lost run: the engine returns
+/// [`crate::SimError::BudgetExceeded`] carrying a
+/// [`crate::PartialReport`] with every statistic accumulated so far, so
+/// a campaign can record the point as *partial* instead of aborting.
+///
+/// `max_cycles` trips deterministically (same seed, same partial
+/// report, bit for bit); `max_wall_ms` depends on the host and is
+/// checked every 1024 executed cycles to keep the hot loop clean.
+/// Either limit at `0` is unlimited. A `max_cycles` at or above the
+/// run's horizon (`warmup + measure`) never trips — completing is
+/// always preferred to truncating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum simulated cycles before the run is cut short (0 = no
+    /// limit). Deterministic.
+    pub max_cycles: u64,
+    /// Maximum wall-clock milliseconds before the run is cut short
+    /// (0 = no limit). Host-dependent by nature.
+    pub max_wall_ms: u64,
+}
+
+impl RunBudget {
+    /// No limits — the default.
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_cycles: 0,
+        max_wall_ms: 0,
+    };
+
+    /// Whether both limits are disabled.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_cycles == 0 && self.max_wall_ms == 0
+    }
+}
+
 /// Simulation-engine parameters.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -85,6 +128,9 @@ pub struct EngineConfig {
     /// everything behind them) until the watchdog fires — a test knob for
     /// exercising the watchdog, not a production mode. Default: on.
     pub fault_abort: bool,
+    /// Per-run resource limits (simulated cycles / wall-clock time); see
+    /// [`RunBudget`]. Default: unlimited.
+    pub budget: RunBudget,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +151,7 @@ impl Default for EngineConfig {
             validate_crossbars: false,
             watchdog_window: 10_000,
             fault_abort: true,
+            budget: RunBudget::UNLIMITED,
         }
     }
 }

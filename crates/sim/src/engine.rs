@@ -146,7 +146,7 @@
 
 use crate::active::{DenseBitSet, LaneBufs};
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
-use crate::error::{SimError, StallDiagnostic, StalledPacket};
+use crate::error::{BudgetKind, PartialReport, SimError, StallDiagnostic, StalledPacket};
 use crate::fault::CompiledFaults;
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
@@ -2022,8 +2022,31 @@ impl<'a> Engine<'a> {
         let finite = !matches!(self.traffic, Traffic::Poisson(_));
         let ff = self.cfg.fast_forward;
         let watchdog = self.cfg.watchdog_window;
+        let budget = self.cfg.budget;
+        // Wall-clock budgets pay for an Instant only when armed; the
+        // elapsed check itself runs every 1024 executed cycles so it
+        // stays invisible in the hot loop.
+        let wall_start = (budget.max_wall_ms > 0).then(std::time::Instant::now);
+        let mut executed: u64 = 0;
         let mut probe = HotProbe::new();
         while self.st.now < self.st.end {
+            // Budget checks sit at the loop top so a fast-forward jump
+            // that lands exactly on the horizon still completes normally
+            // (the `while` condition wins); a jump *past* a cycle limit
+            // but short of the horizon trips here on the next iteration.
+            if budget.max_cycles > 0 && self.st.now >= budget.max_cycles {
+                probe.flush();
+                return Err(self.budget_cut(BudgetKind::Cycles, budget.max_cycles));
+            }
+            if let Some(start) = wall_start {
+                if executed & 0x3FF == 0
+                    && start.elapsed().as_millis() as u64 >= budget.max_wall_ms
+                {
+                    probe.flush();
+                    return Err(self.budget_cut(BudgetKind::WallClock, budget.max_wall_ms));
+                }
+                executed += 1;
+            }
             if ff && self.st.active.is_empty() && self.st.queued_msgs == 0 {
                 let skipped = self.fast_forward();
                 probe.skipped(skipped);
@@ -2070,6 +2093,20 @@ impl<'a> Engine<'a> {
         }
         probe.flush();
         Ok(self.finish())
+    }
+
+    /// Package the current state as a [`SimError::BudgetExceeded`]: the
+    /// same finalization path as a completed run, so the partial report
+    /// is a valid truncated sample (rates normalized over the cycles
+    /// actually measured).
+    fn budget_cut(self, kind: BudgetKind, limit: u64) -> SimError {
+        let spent_cycles = self.st.now;
+        SimError::BudgetExceeded(Box::new(PartialReport {
+            kind,
+            limit,
+            spent_cycles,
+            report: self.finish(),
+        }))
     }
 
     /// Whether a finite (scripted/chained) traffic source has nothing left

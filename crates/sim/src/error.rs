@@ -14,6 +14,7 @@
 //! compiling unchanged: a `SimError` crossing such a boundary degrades to
 //! its display form.
 
+use crate::config::SimReport;
 use minnet_topology::{ChannelId, Geometry};
 
 /// Everything a simulation run (or its preparation) can fail with.
@@ -39,6 +40,11 @@ pub enum SimError {
     /// The no-progress watchdog fired: a full window of cycles passed
     /// with active packets but zero flit movement.
     NoProgress(Box<StallDiagnostic>),
+    /// A [`crate::RunBudget`] limit was hit before the run's horizon.
+    /// Unlike every other variant this is not a *lost* run: the boxed
+    /// [`PartialReport`] carries the statistics accumulated up to the
+    /// cut, so campaign layers can keep the point as partial data.
+    BudgetExceeded(Box<PartialReport>),
     /// An engine invariant was violated — a bug surfaced as an error
     /// instead of a panic.
     Internal {
@@ -63,6 +69,7 @@ impl std::fmt::Display for SimError {
             SimError::Routing(msg) => write!(f, "routing: {msg}"),
             SimError::Fault(msg) => write!(f, "fault plan: {msg}"),
             SimError::NoProgress(d) => write!(f, "{d}"),
+            SimError::BudgetExceeded(p) => write!(f, "{p}"),
             SimError::Internal { what } => {
                 write!(f, "engine invariant violated: {what}")
             }
@@ -87,6 +94,54 @@ impl From<&str> for SimError {
 impl From<SimError> for String {
     fn from(e: SimError) -> String {
         e.to_string()
+    }
+}
+
+/// Which [`crate::RunBudget`] limit cut a run short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// `max_cycles` was reached: deterministic, same cut on every host.
+    Cycles,
+    /// `max_wall_ms` was reached: host-dependent, checked every 1024
+    /// executed cycles.
+    WallClock,
+}
+
+/// The statistics a budget-cut run accumulated before it was stopped.
+///
+/// The embedded [`SimReport`] is produced by the same finalization path
+/// as a completed run — rates are normalized over the cycles actually
+/// measured — so a partial report is a *valid but truncated* sample,
+/// not garbage. Campaign layers surface it as a `Partial` point rather
+/// than discarding the work.
+#[derive(Clone, Debug)]
+pub struct PartialReport {
+    /// Which limit fired.
+    pub kind: BudgetKind,
+    /// The configured limit that fired (cycles or milliseconds).
+    pub limit: u64,
+    /// Simulated cycles executed when the run was cut.
+    pub spent_cycles: u64,
+    /// Statistics accumulated up to the cut.
+    pub report: SimReport,
+}
+
+impl std::fmt::Display for PartialReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            BudgetKind::Cycles => write!(
+                f,
+                "run budget exceeded: cycle limit {} hit at cycle {} \
+                 ({} packets delivered)",
+                self.limit, self.spent_cycles, self.report.delivered_packets
+            ),
+            BudgetKind::WallClock => write!(
+                f,
+                "run budget exceeded: wall-clock limit {} ms hit at cycle {} \
+                 ({} packets delivered)",
+                self.limit, self.spent_cycles, self.report.delivered_packets
+            ),
+        }
     }
 }
 

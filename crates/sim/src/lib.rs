@@ -39,11 +39,11 @@ pub mod reference;
 pub mod stats;
 pub mod trace;
 
-pub use config::{Delivery, EngineConfig, SimReport, TransmitOrder, CYCLE_US};
+pub use config::{Delivery, EngineConfig, RunBudget, SimReport, TransmitOrder, CYCLE_US};
 pub use engine::{
     run_chained, run_scripted, run_simulation, with_pooled_state, Chain, ChainedMsg, CompiledNet,
     EngineState, Script, ScriptedMsg,
 };
-pub use error::{SimError, StallDiagnostic, StalledPacket};
+pub use error::{BudgetKind, PartialReport, SimError, StallDiagnostic, StalledPacket};
 pub use fault::CompiledFaults;
 pub use trace::{Trace, TraceEvent};

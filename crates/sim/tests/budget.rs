@@ -1,0 +1,168 @@
+//! Run-budget integration tests.
+//!
+//! The contract under test (see `RunBudget` in `config.rs`):
+//!
+//! 1. A `max_cycles` budget below the run horizon cuts the run at
+//!    exactly that cycle and returns `SimError::BudgetExceeded` with a
+//!    valid partial report — the *same* report a shorter configured run
+//!    would have produced (pinned bitwise).
+//! 2. A budget at or above the horizon never fires: the run completes
+//!    bit-identically to an unbudgeted one.
+//! 3. A wall-clock budget of ~zero fires on any non-trivial run and
+//!    reports `BudgetKind::WallClock`.
+
+use minnet_sim::{
+    BudgetKind, CompiledNet, EngineConfig, EngineState, RunBudget, SimError,
+};
+use minnet_topology::{build_unidir, Geometry, UnidirKind};
+use minnet_traffic::{Clustering, MessageSizeDist, TrafficPattern, Workload, WorkloadSpec};
+use std::sync::Arc;
+
+fn tmin(cfg: EngineConfig) -> CompiledNet {
+    let g = Geometry::new(2, 4); // 16 nodes
+    let net = build_unidir(g, UnidirKind::Cube, 1);
+    CompiledNet::new(Arc::new(net), cfg).unwrap()
+}
+
+fn workload(load: f64) -> Workload {
+    let spec = WorkloadSpec {
+        offered_load: load,
+        pattern: TrafficPattern::Uniform,
+        clustering: Clustering::Global,
+        rates: None,
+        sizes: MessageSizeDist::Fixed(16),
+    };
+    Workload::compile(Geometry::new(2, 4), &spec).unwrap()
+}
+
+/// Base config: fast-forward off so the budget equivalence below compares
+/// two runs that execute every cycle (a fast-forward jump may legally
+/// overshoot a mid-air cycle limit; see the `RunBudget` docs).
+fn cfg(warmup: u64, measure: u64) -> EngineConfig {
+    EngineConfig {
+        warmup,
+        measure,
+        fast_forward: false,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn cycle_budget_cuts_at_exactly_the_limit() {
+    let limit = 1_500u64;
+    let net = tmin(EngineConfig {
+        budget: RunBudget {
+            max_cycles: limit,
+            max_wall_ms: 0,
+        },
+        ..cfg(500, 4_000)
+    });
+    let wl = workload(0.2);
+    let mut st = EngineState::new();
+    let err = net.run_poisson(&wl, 7, &mut st).unwrap_err();
+    let SimError::BudgetExceeded(partial) = err else {
+        panic!("expected BudgetExceeded, got something else");
+    };
+    assert_eq!(partial.kind, BudgetKind::Cycles);
+    assert_eq!(partial.limit, limit);
+    assert_eq!(partial.spent_cycles, limit);
+    assert_eq!(partial.report.cycles, limit);
+    assert_eq!(partial.report.measured_cycles, limit - 500);
+    assert!(partial.report.delivered_packets > 0);
+}
+
+#[test]
+fn partial_report_matches_equally_short_configured_run() {
+    // A budget cut at warmup + k must produce the very report a run
+    // *configured* with measure = k produces: same finalization path,
+    // same accounting — bitwise.
+    let warmup = 500u64;
+    let k = 1_000u64;
+    let wl = workload(0.2);
+
+    let budgeted = tmin(EngineConfig {
+        budget: RunBudget {
+            max_cycles: warmup + k,
+            max_wall_ms: 0,
+        },
+        ..cfg(warmup, 4_000)
+    });
+    let mut st = EngineState::new();
+    let err = budgeted.run_poisson(&wl, 11, &mut st).unwrap_err();
+    let SimError::BudgetExceeded(partial) = err else {
+        panic!("expected BudgetExceeded");
+    };
+
+    let short = tmin(cfg(warmup, k));
+    let mut st2 = EngineState::new();
+    let full = short.run_poisson(&wl, 11, &mut st2).unwrap();
+    assert!(
+        partial.report.bitwise_eq(&full),
+        "partial report at cycle {} diverged from configured short run",
+        warmup + k
+    );
+}
+
+#[test]
+fn budget_at_or_above_horizon_never_fires() {
+    let warmup = 500u64;
+    let measure = 2_000u64;
+    let wl = workload(0.15);
+
+    let plain = tmin(cfg(warmup, measure));
+    let mut st = EngineState::new();
+    let reference = plain.run_poisson(&wl, 3, &mut st).unwrap();
+
+    for extra in [0u64, 1, 10_000] {
+        let budgeted = tmin(EngineConfig {
+            budget: RunBudget {
+                max_cycles: warmup + measure + extra,
+                max_wall_ms: 0,
+            },
+            ..cfg(warmup, measure)
+        });
+        let mut st = EngineState::new();
+        let report = budgeted.run_poisson(&wl, 3, &mut st).unwrap();
+        assert!(
+            report.bitwise_eq(&reference),
+            "budget {} above horizon changed the run",
+            warmup + measure + extra
+        );
+    }
+}
+
+#[test]
+fn wall_clock_budget_fires_and_reports_kind() {
+    // Wall limit ~0 with a huge horizon: the first 1024-cycle check
+    // already sees elapsed >= 0ms... use 1ms so only genuinely long runs
+    // trip. A 5M-cycle horizon at moderate load takes well over 1ms.
+    let net = tmin(EngineConfig {
+        budget: RunBudget {
+            max_cycles: 0,
+            max_wall_ms: 1,
+        },
+        ..cfg(1_000, 5_000_000)
+    });
+    let wl = workload(0.3);
+    let mut st = EngineState::new();
+    let err = net.run_poisson(&wl, 42, &mut st).unwrap_err();
+    let SimError::BudgetExceeded(partial) = err else {
+        panic!("expected BudgetExceeded");
+    };
+    assert_eq!(partial.kind, BudgetKind::WallClock);
+    assert_eq!(partial.limit, 1);
+    assert!(partial.spent_cycles > 0);
+    assert!(partial.spent_cycles < 1_001_000);
+    let msg = SimError::BudgetExceeded(partial).to_string();
+    assert!(msg.contains("wall-clock"), "display: {msg}");
+}
+
+#[test]
+fn unlimited_budget_is_default_and_inert() {
+    assert!(RunBudget::UNLIMITED.is_unlimited());
+    assert_eq!(EngineConfig::default().budget, RunBudget::UNLIMITED);
+    let net = tmin(cfg(200, 800));
+    let wl = workload(0.1);
+    let mut st = EngineState::new();
+    net.run_poisson(&wl, 1, &mut st).unwrap();
+}

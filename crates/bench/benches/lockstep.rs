@@ -1,0 +1,95 @@
+//! Lockstep-fleet microbenchmarks: R replication seeds per load issued
+//! (a) one lane at a time through the scalar entry, (b) as one serial
+//! lockstep fleet (the amortization headroom of interleaved lanes
+//! alone), and (c) as a fleet chunked over `min(R, cores)` lane-block
+//! threads (the configuration `replicated_curve` actually uses and the
+//! one the ≥2x aggregate-throughput target is stated against).
+//!
+//! Criterion reports wall time per full R-lane batch, so aggregate
+//! cycles/sec ratios read directly off the time ratios — every variant
+//! runs the exact same lanes and produces bitwise-identical reports
+//! (pinned by `tests/engine_equivalence.rs`, not re-checked here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet::{Experiment, NetworkSpec};
+use minnet_sim::{EngineState, LockstepState};
+use minnet_traffic::MessageSizeDist;
+
+const REPLICATIONS: usize = 8;
+
+/// Scalar vs lockstep fleets on one network at one offered load.
+fn fleet_group(c: &mut Criterion, group_name: &str, spec: NetworkSpec, load: f64) {
+    let mut exp = Experiment::paper_default(spec);
+    exp.sizes = MessageSizeDist::Fixed(64);
+    exp.sim.warmup = 500;
+    exp.sim.measure = 4_000;
+    let compiled = exp.compile().expect("experiment compiles");
+    assert!(compiled.network().lockstep_eligible());
+    let wl = compiled
+        .template()
+        .workload_at(load)
+        .expect("workload compiles");
+    let seeds: Vec<u64> = (0..REPLICATIONS as u64).map(|r| 0xF1EE7 + r * 7919).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(REPLICATIONS);
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("scalar", load), |b| {
+        let mut st = EngineState::new();
+        b.iter(|| {
+            for &seed in &seeds {
+                compiled
+                    .network()
+                    .run_poisson(&wl, seed, &mut st)
+                    .expect("simulation runs");
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::new("lockstep_serial", load), |b| {
+        let mut ls = LockstepState::new();
+        b.iter(|| {
+            for res in compiled.network().run_poisson_lockstep(&wl, &seeds, 1, &mut ls) {
+                res.expect("simulation runs");
+            }
+        });
+    });
+    group.bench_function(
+        BenchmarkId::new(format!("lockstep_{threads}_threads"), load),
+        |b| {
+            let mut ls = LockstepState::new();
+            b.iter(|| {
+                let fleet = compiled
+                    .network()
+                    .run_poisson_lockstep(&wl, &seeds, threads, &mut ls);
+                for res in fleet {
+                    res.expect("simulation runs");
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+/// Saturated TMIN: the allocate/transmit hot loops dominate, the regime
+/// the ≥2x aggregate target is stated against.
+fn lockstep_saturated(c: &mut Criterion) {
+    fleet_group(c, "lockstep_saturated", NetworkSpec::tmin(), 0.6);
+}
+
+/// Near-idle TMIN: fast-forward dominates; the fleet must not regress
+/// the low-load rows (joint horizon = min over lanes, so lanes jump
+/// together or step together).
+fn lockstep_idle(c: &mut Criterion) {
+    fleet_group(c, "lockstep_idle", NetworkSpec::tmin(), 0.05);
+}
+
+/// The bidirectional BMIN exercises the turnaround-routing fat tree.
+fn lockstep_bmin(c: &mut Criterion) {
+    fleet_group(c, "lockstep_bmin", NetworkSpec::Bmin, 0.5);
+}
+
+criterion_group!(benches, lockstep_saturated, lockstep_idle, lockstep_bmin);
+criterion_main!(benches);

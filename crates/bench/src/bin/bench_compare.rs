@@ -23,6 +23,14 @@
 //! high-load one at the allocation/transmission hot loops. CI keeps the
 //! warn-only default; the gate is for dedicated (quiet) benchmark hosts.
 //!
+//! When the current file carries the per-load
+//! `cycles_per_sec_scalar` / `cycles_per_sec_lockstep` columns (sweeps
+//! run without a budget), the tool also prints every lockstep fleet's
+//! aggregate speedup over its scalar twin and warns — never gates —
+//! below 0.9x (serial fleets on a 1-core host are honest parity, with
+//! a few percent of cache jitter either way). Baselines predating the
+//! columns simply skip the section.
+//!
 //! `--faults FAULTS_BASELINE FAULTS_CURRENT` additionally diffs a pair
 //! of `faults_smoke` files: per-(network, fault_count) delivered
 //! throughput (warn at ±2% — unlike wall-clock throughput this is a
@@ -49,6 +57,10 @@ struct Net {
     cycles_per_sec: f64,
     /// Per-load `(offered_load, cycles_per_sec)` rows.
     loads: Vec<(f64, f64)>,
+    /// Per-load `(offered_load, scalar, lockstep)` direct-engine
+    /// comparison rows; empty on files predating the lockstep runner
+    /// (or written with a run budget, which skips the comparison).
+    lockstep: Vec<(f64, f64, f64)>,
     /// Campaign outcome counts `(ok, partial, failed)`; `None` on
     /// baselines predating the campaign runner.
     counts: Option<(u64, u64, u64)>,
@@ -74,6 +86,7 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 name: name.to_string(),
                 cycles_per_sec: f64::NAN,
                 loads: Vec::new(),
+                lockstep: Vec::new(),
                 counts: None,
             });
         } else if t.starts_with("\"ok\":") {
@@ -102,11 +115,57 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 field(t, "cycles_per_sec"),
             ) {
                 net.loads.push((load, cps));
+                // Direct-engine comparison columns ride on the same row;
+                // zero means the sweep skipped the comparison (budget).
+                if let (Some(scalar), Some(lock)) = (
+                    field(t, "cycles_per_sec_scalar"),
+                    field(t, "cycles_per_sec_lockstep"),
+                ) {
+                    if scalar > 0.0 && lock > 0.0 {
+                        net.lockstep.push((load, scalar, lock));
+                    }
+                }
             }
         }
     }
     out.retain(|n| !n.cycles_per_sec.is_nan());
     out
+}
+
+/// Warn-only check of the current run's lockstep rows: every per-load
+/// `cycles_per_sec_lockstep` should track or beat its scalar twin (the
+/// fleet spreads `lockstep_threads` lanes over threads). On a 1-core
+/// host the fleet is serial and honest parity is ~1.0x with a few
+/// percent of lane-interleaving cache noise either way, so the warning
+/// fires below **0.9x** — a real overhead regression, not host jitter.
+/// No baseline is consulted — old baselines predate the columns — so
+/// this can never gate a merge; the summary rows are the record.
+fn compare_lockstep(current: &[Net], summary: &mut String) -> usize {
+    let mut warned = 0usize;
+    if current.iter().all(|n| n.lockstep.is_empty()) {
+        return 0;
+    }
+    let _ = writeln!(
+        summary,
+        "lockstep fleets: per-load aggregate cycles/sec vs scalar (warn below 0.9x)"
+    );
+    for net in current {
+        for &(load, scalar, lock) in &net.lockstep {
+            let speedup = lock / scalar;
+            let flag = if speedup < 0.9 {
+                warned += 1;
+                "  <-- WARNING: lockstep slower than scalar"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                summary,
+                "  {:>16} @ load {load:4}: {lock:12.0} vs {scalar:12.0}  ({speedup:5.2}x){flag}",
+                net.name
+            );
+        }
+    }
+    warned
 }
 
 /// One degradation point from a `faults_smoke` JSON file.
@@ -224,6 +283,120 @@ fn compare_faults(
     Ok(warned)
 }
 
+/// A baseline number a percent diff can safely divide by. Zero (or a
+/// non-finite value from a malformed row) means the baseline carries no
+/// usable magnitude — a placeholder entry, a truncated file, or a
+/// machine that never completed the sweep — and `cur / base` would
+/// print `inf%`/`NaN%` and poison every comparison downstream.
+fn usable_baseline(base: f64) -> bool {
+    base.is_finite() && base > 0.0
+}
+
+/// Diff the headline (and, under the gate, per-load) throughput of
+/// `current` against `baseline`, appending human-readable rows to
+/// `summary`. Returns `(warning_count, regressed_network_names)`.
+///
+/// Rows whose baseline is zero/non-finite fall back to reporting the
+/// **absolute difference** instead of a percentage and warn; they never
+/// feed the `--fail-on-regress` gate (there is no ratio to gate on).
+fn compare_sweeps(
+    baseline: &[Net],
+    current: &[Net],
+    fail_pct: Option<f64>,
+    summary: &mut String,
+) -> (usize, Vec<String>) {
+    let mut warned = 0usize;
+    let mut regressed: Vec<String> = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|n| n.name == base.name) else {
+            let _ = writeln!(summary, "  {:>16}: MISSING from current run", base.name);
+            warned += 1;
+            continue;
+        };
+        if !usable_baseline(base.cycles_per_sec) {
+            warned += 1;
+            let _ = writeln!(
+                summary,
+                "  {:>16}: {:12.0} vs {:12.0}  (abs diff {:+.0})  \
+                 <-- WARNING: zero/invalid baseline row; refresh the baseline",
+                base.name,
+                cur.cycles_per_sec,
+                base.cycles_per_sec,
+                cur.cycles_per_sec - base.cycles_per_sec
+            );
+            continue;
+        }
+        let ratio = cur.cycles_per_sec / base.cycles_per_sec;
+        let flag = if !(0.8..=1.2).contains(&ratio) {
+            warned += 1;
+            if ratio < 1.0 {
+                "  <-- WARNING: slower than baseline"
+            } else {
+                "  (faster than baseline; consider refreshing it)"
+            }
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            summary,
+            "  {:>16}: {:12.0} vs {:12.0}  ({:+6.1}%){flag}",
+            base.name,
+            cur.cycles_per_sec,
+            base.cycles_per_sec,
+            (ratio - 1.0) * 100.0
+        );
+        if let Some((ok, partial, failed)) = cur.counts {
+            if partial + failed > 0 {
+                warned += 1;
+                let _ = writeln!(
+                    summary,
+                    "    <-- WARNING: outcomes {ok} ok, {partial} partial, {failed} failed \
+                     (throughput covers completed work only)"
+                );
+            }
+        }
+        if let Some(pct) = fail_pct {
+            if ratio < 1.0 - pct / 100.0 {
+                regressed.push(base.name.clone());
+                let _ = writeln!(
+                    summary,
+                    "    per-load rows beyond the -{pct}% gate:"
+                );
+                for &(load, bcps) in &base.loads {
+                    let Some(&(_, ccps)) =
+                        cur.loads.iter().find(|(l, _)| *l == load)
+                    else {
+                        continue;
+                    };
+                    if !usable_baseline(bcps) {
+                        let _ = writeln!(
+                            summary,
+                            "      load {load:4}: {ccps:12.0} vs {bcps:12.0}  \
+                             (abs diff {:+.0}; zero/invalid baseline row)",
+                            ccps - bcps
+                        );
+                        continue;
+                    }
+                    let r = ccps / bcps;
+                    if r < 1.0 - pct / 100.0 {
+                        let _ = writeln!(
+                            summary,
+                            "      load {load:4}: {ccps:12.0} vs {bcps:12.0}  ({:+6.1}%)",
+                            (r - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|n| n.name == cur.name) {
+            let _ = writeln!(summary, "  {:>16}: new network (no baseline)", cur.name);
+        }
+    }
+    (warned, regressed)
+}
+
 fn main() -> Result<(), String> {
     const USAGE: &str = "usage: bench_compare BASELINE CURRENT [OUT] \
          [--fail-on-regress <pct>] [--faults FAULTS_BASELINE FAULTS_CURRENT]";
@@ -269,73 +442,9 @@ fn main() -> Result<(), String> {
         summary,
         "cycles_per_sec: {current_path} vs baseline {baseline_path} (warn at ±20%)"
     );
-    let mut warned = 0usize;
-    let mut regressed: Vec<String> = Vec::new();
-    for base in &baseline {
-        let Some(cur) = current.iter().find(|n| n.name == base.name) else {
-            let _ = writeln!(summary, "  {:>16}: MISSING from current run", base.name);
-            warned += 1;
-            continue;
-        };
-        let ratio = cur.cycles_per_sec / base.cycles_per_sec;
-        let flag = if !(0.8..=1.2).contains(&ratio) {
-            warned += 1;
-            if ratio < 1.0 {
-                "  <-- WARNING: slower than baseline"
-            } else {
-                "  (faster than baseline; consider refreshing it)"
-            }
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            summary,
-            "  {:>16}: {:12.0} vs {:12.0}  ({:+6.1}%){flag}",
-            base.name,
-            cur.cycles_per_sec,
-            base.cycles_per_sec,
-            (ratio - 1.0) * 100.0
-        );
-        if let Some((ok, partial, failed)) = cur.counts {
-            if partial + failed > 0 {
-                warned += 1;
-                let _ = writeln!(
-                    summary,
-                    "    <-- WARNING: outcomes {ok} ok, {partial} partial, {failed} failed \
-                     (throughput covers completed work only)"
-                );
-            }
-        }
-        if let Some(pct) = fail_pct {
-            if ratio < 1.0 - pct / 100.0 {
-                regressed.push(base.name.clone());
-                let _ = writeln!(
-                    summary,
-                    "    per-load rows beyond the -{pct}% gate:"
-                );
-                for &(load, bcps) in &base.loads {
-                    let Some(&(_, ccps)) =
-                        cur.loads.iter().find(|(l, _)| *l == load)
-                    else {
-                        continue;
-                    };
-                    let r = ccps / bcps;
-                    if r < 1.0 - pct / 100.0 {
-                        let _ = writeln!(
-                            summary,
-                            "      load {load:4}: {ccps:12.0} vs {bcps:12.0}  ({:+6.1}%)",
-                            (r - 1.0) * 100.0
-                        );
-                    }
-                }
-            }
-        }
-    }
-    for cur in &current {
-        if !baseline.iter().any(|n| n.name == cur.name) {
-            let _ = writeln!(summary, "  {:>16}: new network (no baseline)", cur.name);
-        }
-    }
+    let (mut warned, regressed) =
+        compare_sweeps(&baseline, &current, fail_pct, &mut summary);
+    warned += compare_lockstep(&current, &mut summary);
     if let Some((faults_base, faults_cur)) = &faults {
         warned += compare_faults(faults_base, faults_cur, &mut summary)?;
     }
@@ -359,4 +468,111 @@ fn main() -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(name: &str, cps: f64, loads: &[(f64, f64)]) -> Net {
+        Net {
+            name: name.to_string(),
+            cycles_per_sec: cps,
+            loads: loads.to_vec(),
+            lockstep: Vec::new(),
+            counts: None,
+        }
+    }
+
+    #[test]
+    fn lockstep_rows_parse_and_warn_only_below_parity() {
+        let src = r#"{
+  "networks": [
+    {
+      "name": "tmin",
+      "cycles_per_sec": 400000.0,
+      "loads": [
+        {"load": 0.05, "run_ms": 1.0, "cycles": 100, "cycles_per_sec": 100000.0, "cycles_per_sec_scalar": 90000.0, "cycles_per_sec_lockstep": 80000.0},
+        {"load": 0.6, "run_ms": 1.0, "cycles": 100, "cycles_per_sec": 100000.0, "cycles_per_sec_scalar": 100000.0, "cycles_per_sec_lockstep": 250000.0},
+        {"load": 0.5, "run_ms": 1.0, "cycles": 100, "cycles_per_sec": 100000.0, "cycles_per_sec_scalar": 0.0, "cycles_per_sec_lockstep": 0.0}
+      ]
+    }
+  ]
+}"#;
+        let nets = parse_networks(src);
+        assert_eq!(nets.len(), 1);
+        // The budget-skipped (zero) row is dropped at parse time.
+        assert_eq!(nets[0].lockstep.len(), 2);
+        let mut summary = String::new();
+        let warned = compare_lockstep(&nets, &mut summary);
+        assert_eq!(warned, 1, "{summary}");
+        assert!(summary.contains("lockstep slower than scalar"), "{summary}");
+        assert!(summary.contains("2.50x"), "{summary}");
+    }
+
+    #[test]
+    fn files_without_lockstep_rows_stay_silent() {
+        let nets = vec![net("tmin", 400_000.0, &[(0.6, 400_000.0)])];
+        let mut summary = String::new();
+        assert_eq!(compare_lockstep(&nets, &mut summary), 0);
+        assert!(summary.is_empty(), "{summary}");
+    }
+
+    #[test]
+    fn zero_baseline_row_reports_absolute_difference_not_inf() {
+        // Regression: `cur / base` with a zero-baseline row printed
+        // `+inf%` (and `NaN%` for 0 vs 0) and, under the gate, compared
+        // NaN against the threshold. The guard falls back to the
+        // absolute difference and keeps the row out of the gate.
+        let baseline = vec![net("tmin", 0.0, &[(0.05, 0.0), (0.6, 0.0)])];
+        let current = vec![net("tmin", 123_456.0, &[(0.05, 130_000.0), (0.6, 120_000.0)])];
+        let mut summary = String::new();
+        let (warned, regressed) =
+            compare_sweeps(&baseline, &current, Some(10.0), &mut summary);
+        assert!(regressed.is_empty(), "unusable baseline must not gate: {summary}");
+        assert_eq!(warned, 1, "{summary}");
+        assert!(
+            !summary.contains("inf%") && !summary.contains("NaN"),
+            "guard missed a division by zero: {summary}"
+        );
+        assert!(summary.contains("abs diff +123456"), "{summary}");
+        assert!(summary.contains("zero/invalid baseline"), "{summary}");
+    }
+
+    #[test]
+    fn zero_current_against_zero_baseline_stays_finite() {
+        let baseline = vec![net("dmin", 0.0, &[])];
+        let current = vec![net("dmin", 0.0, &[])];
+        let mut summary = String::new();
+        let (warned, regressed) = compare_sweeps(&baseline, &current, None, &mut summary);
+        assert_eq!((warned, regressed.len()), (1, 0), "{summary}");
+        assert!(!summary.contains("NaN"), "{summary}");
+    }
+
+    #[test]
+    fn healthy_rows_still_use_percent_drift_and_gate() {
+        let baseline = vec![net("vmin", 200_000.0, &[(0.6, 200_000.0)])];
+        let current = vec![net("vmin", 100_000.0, &[(0.6, 100_000.0)])];
+        let mut summary = String::new();
+        let (warned, regressed) =
+            compare_sweeps(&baseline, &current, Some(20.0), &mut summary);
+        assert_eq!(regressed, vec!["vmin".to_string()], "{summary}");
+        assert!(warned >= 1);
+        assert!(summary.contains("-50.0%"), "{summary}");
+    }
+
+    #[test]
+    fn zero_per_load_baseline_row_is_reported_without_inf() {
+        // Network-level baseline is fine, but one per-load row is zero:
+        // the gate listing must print it with an absolute difference
+        // instead of choking on the ratio.
+        let baseline = vec![net("bmin", 200_000.0, &[(0.05, 0.0), (0.6, 200_000.0)])];
+        let current = vec![net("bmin", 100_000.0, &[(0.05, 90_000.0), (0.6, 100_000.0)])];
+        let mut summary = String::new();
+        let (_warned, regressed) =
+            compare_sweeps(&baseline, &current, Some(20.0), &mut summary);
+        assert_eq!(regressed.len(), 1);
+        assert!(!summary.contains("inf%") && !summary.contains("NaN"), "{summary}");
+        assert!(summary.contains("abs diff +90000"), "{summary}");
+    }
 }

@@ -32,7 +32,15 @@
 //! * `ok` / `partial` / `failed` — per-network outcome counts over every
 //!   campaign task, so budget cuts and isolated failures are visible in
 //!   the artifact instead of masquerading as fast runs (`bench_compare`
-//!   prints them next to the throughput diff).
+//!   prints them next to the throughput diff);
+//! * `cycles_per_sec_scalar` / `cycles_per_sec_lockstep` — per load, the
+//!   same 3 replication seeds issued (a) one lane at a time through the
+//!   scalar entry and (b) as one lockstep fleet chunked over
+//!   `meta.lockstep_threads` = `min(replications, threads_used)` lane
+//!   blocks. Aggregate throughput: summed lane cycles over fleet wall
+//!   time — the honest lockstep headline (thread count labeled, not
+//!   hidden). Zero when a budget is set (budget-armed runs are
+//!   lockstep-ineligible and fall back to scalar anyway).
 //!
 //! Resilience flags mirror the `minnet` CLI: `--budget-cycles` /
 //! `--budget-ms` bound each run, `--retries` reruns failed points on
@@ -151,6 +159,13 @@ struct LoadRow {
     run_ms: f64,
     cycles: u64,
     cycles_per_sec: f64,
+    /// Direct-engine comparison: the replication seeds one at a time
+    /// through the scalar entry. Zero when a budget skips the section.
+    cycles_per_sec_scalar: f64,
+    /// The same seeds as one lockstep fleet over
+    /// `min(replications, threads)` lane-block threads (aggregate:
+    /// summed lane cycles / fleet wall time). Zero when skipped.
+    cycles_per_sec_lockstep: f64,
     #[cfg(feature = "hotstats")]
     hot: minnet_sim::hotstats::HotStats,
 }
@@ -184,7 +199,12 @@ fn point_cycles(p: &ReplicatedCampaignPoint) -> u64 {
         .sum()
 }
 
-fn bench_network(spec: NetworkSpec, threads: usize, cli: &Cli) -> Result<NetResult, String> {
+fn bench_network(
+    spec: NetworkSpec,
+    threads: usize,
+    lockstep_threads: usize,
+    cli: &Cli,
+) -> Result<NetResult, String> {
     let exp = cli.smoke_experiment(spec);
     let name = spec.name();
 
@@ -219,6 +239,8 @@ fn bench_network(spec: NetworkSpec, threads: usize, cli: &Cli) -> Result<NetResu
             run_ms,
             cycles,
             cycles_per_sec: cycles as f64 / (run_ms / 1e3),
+            cycles_per_sec_scalar: 0.0,
+            cycles_per_sec_lockstep: 0.0,
             #[cfg(feature = "hotstats")]
             hot: minnet_sim::hotstats::take(),
         });
@@ -257,6 +279,49 @@ fn bench_network(spec: NetworkSpec, threads: usize, cli: &Cli) -> Result<NetResu
         0.0
     };
 
+    // Direct-engine lockstep comparison: the same replication count per
+    // load, first one lane at a time through the scalar entry, then as
+    // one lockstep fleet chunked over `lockstep_threads` lane blocks.
+    // Both paths produce bitwise-identical reports (pinned by the
+    // engine_equivalence suite); only the wall clock differs. Skipped
+    // under a budget — budget-armed configs are lockstep-ineligible.
+    if lockstep_threads > 0 {
+        let compiled = exp.compile()?;
+        debug_assert!(compiled.network().lockstep_eligible());
+        let mut st = minnet_sim::EngineState::new();
+        let mut ls = minnet_sim::LockstepState::new();
+        for (i, row) in loads.iter_mut().enumerate() {
+            let wl = compiled.template().workload_at(row.load)?;
+            let seeds: Vec<u64> = (0..REPLICATIONS)
+                .map(|r| 0x10C4_57E9_u64 + (i * REPLICATIONS + r) as u64)
+                .collect();
+            let t = Instant::now();
+            let mut scalar_cycles = 0u64;
+            for &seed in &seeds {
+                let rep = compiled
+                    .network()
+                    .run_poisson(&wl, seed, &mut st)
+                    .map_err(|e| e.to_string())?;
+                scalar_cycles += rep.cycles;
+            }
+            let scalar_ms = ms(t);
+            row.cycles_per_sec_scalar = scalar_cycles as f64 / (scalar_ms / 1e3);
+
+            let t = Instant::now();
+            let reports = compiled
+                .network()
+                .run_poisson_lockstep(&wl, &seeds, lockstep_threads, &mut ls);
+            let fleet_ms = ms(t);
+            let mut fleet_cycles = 0u64;
+            for rep in reports {
+                fleet_cycles += rep.map_err(|e| e.to_string())?.cycles;
+            }
+            row.cycles_per_sec_lockstep = fleet_cycles as f64 / (fleet_ms / 1e3);
+        }
+        #[cfg(feature = "hotstats")]
+        let _ = minnet_sim::hotstats::take(); // keep comparison noise out
+    }
+
     Ok(NetResult {
         name,
         setup_ms,
@@ -278,8 +343,10 @@ fn write_load_row(json: &mut String, r: &LoadRow, last: bool) {
     json.push_str("        {");
     let _ = write!(
         json,
-        "\"load\": {}, \"run_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}",
-        r.load, r.run_ms, r.cycles, r.cycles_per_sec
+        "\"load\": {}, \"run_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \
+         \"cycles_per_sec_scalar\": {:.1}, \"cycles_per_sec_lockstep\": {:.1}",
+        r.load, r.run_ms, r.cycles, r.cycles_per_sec, r.cycles_per_sec_scalar,
+        r.cycles_per_sec_lockstep
     );
     #[cfg(feature = "hotstats")]
     {
@@ -314,13 +381,27 @@ fn main() -> Result<(), String> {
         .unwrap_or(1);
     let threads = threads_detected.min(8);
 
+    // Lockstep fleets are only meaningful (and only taken) without a
+    // run budget; 0 records "comparison skipped" in the artifact.
+    let lockstep_threads = if cli.budget_cycles == 0 && cli.budget_ms == 0 {
+        threads.min(REPLICATIONS).max(1)
+    } else {
+        0
+    };
+
     let mut results = Vec::new();
     for spec in NetworkSpec::paper_lineup() {
-        let r = bench_network(spec, threads, &cli)?;
+        let r = bench_network(spec, threads, lockstep_threads, &cli)?;
+        let speedup = match r.loads.last() {
+            Some(row) if row.cycles_per_sec_scalar > 0.0 => {
+                row.cycles_per_sec_lockstep / row.cycles_per_sec_scalar
+            }
+            _ => 0.0,
+        };
         println!(
-            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s, 1 thread; {:8.2} ms on {threads}) | one-shot {:8.2} ms | {} ok / {} partial / {} failed",
+            "{:>8}: setup {:7.2} ms | sweep {:8.2} ms ({:.2e} cycles/s, 1 thread; {:8.2} ms on {threads}) | one-shot {:8.2} ms | lockstep {speedup:.2}x @{} on {lockstep_threads} | {} ok / {} partial / {} failed",
             r.name, r.setup_ms, r.run_ms, r.cycles_per_sec, r.run_ms_mt, r.one_shot_ms,
-            r.ok, r.partial, r.failed
+            LOADS[LOADS.len() - 1], r.ok, r.partial, r.failed
         );
         results.push(r);
     }
@@ -335,6 +416,7 @@ fn main() -> Result<(), String> {
     let _ = writeln!(json, "    \"retries\": {},", cli.retries);
     let _ = writeln!(json, "    \"threads_detected\": {threads_detected},");
     let _ = writeln!(json, "    \"threads_used\": {threads},");
+    let _ = writeln!(json, "    \"lockstep_threads\": {lockstep_threads},");
     let _ = writeln!(json, "    \"hotstats\": {}", cfg!(feature = "hotstats"));
     json.push_str("  },\n  \"networks\": [\n");
     for (i, r) in results.iter().enumerate() {

@@ -49,11 +49,11 @@
 //! meaningless); a budget cut is `Partial` (the numbers are a valid
 //! truncated sample).
 
-use crate::experiment::Experiment;
+use crate::experiment::{CompiledExperiment, Experiment};
 use crate::sweep::{
     aggregate_degradation, aggregate_replicated, mix, DegradationPoint, ReplicatedPoint,
 };
-use minnet_sim::{EngineState, SimError, SimReport};
+use minnet_sim::{EngineState, LockstepState, SimError, SimReport};
 use minnet_topology::FaultPlan;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -320,6 +320,222 @@ pub(crate) fn run_outcomes(
         .collect())
 }
 
+/// Re-run one `(point, replication)` task through the scalar path with
+/// [`run_outcomes`]-identical retry semantics. `spent_reason` carries
+/// the failure of an attempt already spent by the lockstep fleet (the
+/// fleet is attempt 0); `None` starts from attempt 0 — used after a
+/// fleet panic, where rerunning an innocent lane's attempt 0 scalar
+/// reproduces the fleet's bit-identical report.
+fn scalar_attempts(
+    compiled: &CompiledExperiment,
+    load: f64,
+    seed: u64,
+    spent_reason: Option<String>,
+    retries: u32,
+    st: &mut EngineState,
+) -> (PointOutcome, u32) {
+    let mut attempt = 0u32;
+    if let Some(reason) = spent_reason {
+        // The fleet already spent attempt 0 on this lane's grid seed;
+        // its failure reason stands if there are no retries to spend.
+        if retries == 0 {
+            return (PointOutcome::Failed { reason }, 1);
+        }
+        attempt = 1;
+    }
+    loop {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            compiled.run_typed(load, retry_seed(seed, attempt), st)
+        }));
+        let reason = match res {
+            Ok(Ok(report)) => return (PointOutcome::Ok(report), attempt + 1),
+            Ok(Err(SimError::BudgetExceeded(partial))) => {
+                let reason = partial.to_string();
+                return (
+                    PointOutcome::Partial {
+                        report: partial.report,
+                        reason,
+                    },
+                    attempt + 1,
+                );
+            }
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => {
+                *st = EngineState::new();
+                panic_reason(payload)
+            }
+        };
+        if attempt < retries {
+            attempt += 1;
+            continue;
+        }
+        return (PointOutcome::Failed { reason }, attempt + 1);
+    }
+}
+
+/// The lockstep variant of [`run_outcomes`] for the replicated-curve
+/// task grid: the unit of parallelism is a *load point*, whose missing
+/// replications run as one lockstep fleet on the worker's own
+/// [`LockstepState`] (see `CompiledNet::run_poisson_lockstep`). Task
+/// `(i, r)` keeps the grid seed `mix(base, i·R + r + 1)`, so every `Ok`
+/// lane is bit-identical to the scalar grid's — including resumed
+/// campaigns, where a point's fleet covers only its checkpoint holes
+/// (lanes are independent, so a partial fleet changes nothing).
+///
+/// Fall-backs to the scalar path, per lane: a lane that fails in the
+/// fleet retries scalar under [`retry_seed`]; a fleet panic reruns all
+/// of the point's missing lanes scalar from attempt 0 (innocent lanes
+/// reproduce their fleet report bit-identically, the guilty lane
+/// deterministically re-fails and spends its retries). Budget-armed
+/// configurations never reach this runner — the campaign dispatches to
+/// [`run_outcomes`] instead, because per-run budget accounting cannot
+/// be reproduced under a shared fleet clock.
+pub(crate) fn run_replicated_outcomes_lockstep(
+    compiled: &CompiledExperiment,
+    loads: &[f64],
+    replications: usize,
+    threads: usize,
+    retries: u32,
+    mut results: Vec<Option<(PointOutcome, u32)>>,
+    mut on_complete: impl FnMut(usize, u32, &PointOutcome) -> Result<(), String>,
+) -> Result<Vec<(PointOutcome, u32)>, String> {
+    debug_assert_eq!(results.len(), loads.len() * replications);
+    let base = compiled.base_seed();
+    // Pending points and, per point, the replication lanes still to run
+    // (checkpoint holes).
+    let pending: Vec<(usize, Vec<usize>)> = (0..loads.len())
+        .filter_map(|i| {
+            let lanes: Vec<usize> = (0..replications)
+                .filter(|r| results[i * replications + r].is_none())
+                .collect();
+            (!lanes.is_empty()).then_some((i, lanes))
+        })
+        .collect();
+    if !pending.is_empty() {
+        let requested = threads.max(1);
+        let threads = requested.min(pending.len());
+        // Worker-pool parallelism goes to points first; whatever is
+        // left over (a single-point campaign on a multi-thread budget)
+        // goes to each point's fleet as lane-block threads. Lane
+        // chunking is outside the determinism boundary, so this only
+        // moves wall time; total concurrency stays ≤ the request.
+        let fleet_threads = (requested / pending.len().max(1)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, PointOutcome, u32)>();
+        let mut io_err: Option<String> = None;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let pending = &pending;
+                scope.spawn(move || {
+                    let mut ls = LockstepState::new();
+                    let mut st = EngineState::new();
+                    'points: loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((i, lanes)) = pending.get(slot) else { break };
+                        let i = *i;
+                        let seeds: Vec<u64> = lanes
+                            .iter()
+                            .map(|&r| mix(base, (i * replications + r) as u64 + 1))
+                            .collect();
+                        let workload = match compiled.template().workload_at(loads[i]) {
+                            Ok(w) => w,
+                            Err(e) => {
+                                // A per-load configuration error fails every
+                                // lane of the point identically, after the
+                                // same (futile) retries the scalar grid
+                                // would spend.
+                                let reason = SimError::Config(e).to_string();
+                                for &r in lanes {
+                                    let t = i * replications + r;
+                                    let outcome = PointOutcome::Failed {
+                                        reason: reason.clone(),
+                                    };
+                                    if tx.send((t, outcome, retries + 1)).is_err() {
+                                        break 'points;
+                                    }
+                                }
+                                continue;
+                            }
+                        };
+                        let fleet = catch_unwind(AssertUnwindSafe(|| {
+                            compiled.network().run_poisson_lockstep(
+                                &workload,
+                                &seeds,
+                                fleet_threads,
+                                &mut ls,
+                            )
+                        }));
+                        let mut per_lane: Vec<Option<Result<SimReport, SimError>>> = match fleet
+                        {
+                            Ok(v) => v.into_iter().map(Some).collect(),
+                            Err(_payload) => {
+                                // A lane panicked mid-fleet; the pool may
+                                // hold half-mutated states. Discard it and
+                                // rerun every missing lane scalar.
+                                ls = LockstepState::new();
+                                lanes.iter().map(|_| None).collect()
+                            }
+                        };
+                        for (k, &r) in lanes.iter().enumerate() {
+                            let t = i * replications + r;
+                            let (outcome, attempts) = match per_lane[k].take() {
+                                Some(Ok(report)) => (PointOutcome::Ok(report), 1),
+                                Some(Err(SimError::BudgetExceeded(partial))) => {
+                                    let reason = partial.to_string();
+                                    (
+                                        PointOutcome::Partial {
+                                            report: partial.report,
+                                            reason,
+                                        },
+                                        1,
+                                    )
+                                }
+                                Some(Err(e)) => scalar_attempts(
+                                    compiled,
+                                    loads[i],
+                                    seeds[k],
+                                    Some(e.to_string()),
+                                    retries,
+                                    &mut st,
+                                ),
+                                None => scalar_attempts(
+                                    compiled,
+                                    loads[i],
+                                    seeds[k],
+                                    None,
+                                    retries,
+                                    &mut st,
+                                ),
+                            };
+                            if tx.send((t, outcome, attempts)).is_err() {
+                                break 'points;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (t, outcome, attempts) in rx {
+                if io_err.is_none() {
+                    if let Err(e) = on_complete(t, attempts, &outcome) {
+                        io_err = Some(e);
+                    }
+                }
+                results[t] = Some((outcome, attempts));
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(format!("checkpoint write failed: {e}"));
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|slot| slot.expect("runner fills every task slot"))
+        .collect())
+}
+
 // ---- campaigns -------------------------------------------------------
 
 /// [`crate::latency_throughput_curve`] with campaign semantics: one
@@ -397,16 +613,34 @@ pub fn campaign_replicated_curve(
         policy.retries,
     );
     let mut ckpt = Checkpoint::open(policy, "replicated_curve", hash, total)?;
-    let results = run_outcomes(
-        threads,
-        policy.retries,
-        ckpt.preloaded(total),
-        |i, attempts, outcome| ckpt.append(i, attempts, outcome),
-        |t, attempt, st| {
-            let i = t / replications;
-            compiled.run_typed(loads[i], retry_seed(mix(base, t as u64 + 1), attempt), st)
-        },
-    )?;
+    // R > 1 replications of a budget-free experiment run as lockstep
+    // fleets (one per load point); budget-armed configurations keep the
+    // per-task scalar grid — see `run_replicated_outcomes_lockstep` for
+    // the fall-back ladder. Both paths use the same task seeds, so the
+    // choice never changes a single bit of any `Ok` report.
+    let results = if replications > 1 && compiled.network().lockstep_eligible() {
+        let preloaded = ckpt.preloaded(total);
+        run_replicated_outcomes_lockstep(
+            &compiled,
+            loads,
+            replications,
+            threads,
+            policy.retries,
+            preloaded,
+            |i, attempts, outcome| ckpt.append(i, attempts, outcome),
+        )?
+    } else {
+        run_outcomes(
+            threads,
+            policy.retries,
+            ckpt.preloaded(total),
+            |i, attempts, outcome| ckpt.append(i, attempts, outcome),
+            |t, attempt, st| {
+                let i = t / replications;
+                compiled.run_typed(loads[i], retry_seed(mix(base, t as u64 + 1), attempt), st)
+            },
+        )?
+    };
 
     let mut results = results.into_iter();
     let mut out = Vec::with_capacity(loads.len());

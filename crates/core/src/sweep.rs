@@ -66,6 +66,14 @@ fn run_tasks(
         |_, _, _| Ok(()),
         |i, _attempt, st| run(i, st).map_err(SimError::from),
     )?;
+    strict_reports(results)
+}
+
+/// Collapse annotated campaign outcomes to the strict sweep surface:
+/// the first non-`Ok` point (in task order) fails the whole sweep.
+fn strict_reports(
+    results: Vec<(PointOutcome, u32)>,
+) -> Result<Vec<SimReport>, String> {
     results
         .into_iter()
         .map(|(outcome, _attempts)| match outcome {
@@ -161,10 +169,27 @@ pub fn replicated_curve(
     let compiled = exp.compile()?;
     let base = compiled.base_seed();
     let total = loads.len() * replications;
-    let reports = run_tasks(total, threads, |t, st| {
-        let (i, _r) = (t / replications, t % replications);
-        compiled.run_with(loads[i], mix(base, t as u64 + 1), st)
-    })?;
+    // R > 1 replications of a budget-free experiment run as lockstep
+    // fleets, one per load point; seeds stay the grid's
+    // `mix(base, i·R + r + 1)`, so reports are bit-identical to the
+    // scalar grid either way (pinned by the scalar≡lockstep suite).
+    let reports = if replications > 1 && compiled.network().lockstep_eligible() {
+        let results = crate::campaign::run_replicated_outcomes_lockstep(
+            &compiled,
+            loads,
+            replications,
+            threads,
+            0,
+            (0..total).map(|_| None).collect(),
+            |_, _, _| Ok(()),
+        )?;
+        strict_reports(results)?
+    } else {
+        run_tasks(total, threads, |t, st| {
+            let (i, _r) = (t / replications, t % replications);
+            compiled.run_with(loads[i], mix(base, t as u64 + 1), st)
+        })?
+    };
 
     let mut out = Vec::with_capacity(loads.len());
     let mut reports = reports.into_iter();

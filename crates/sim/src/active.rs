@@ -161,6 +161,28 @@ impl DenseBitSet {
         self.words[i as usize / 64] & (1u64 << (i % 64)) != 0
     }
 
+    /// Number of 64-bit words backing the set.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The raw word at index `w` (bits `64·w .. 64·w+63`). Word-blocked
+    /// sweeps (the engine's ready-channel kernel) re-read a word between
+    /// members so bits set *ahead of the cursor* during the sweep are
+    /// still caught within the same pass.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Make `self` an exact copy of `other` (same capacity, same
+    /// members), reusing the word allocation.
+    pub fn copy_from(&mut self, other: &DenseBitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// Visit members in ascending order, appending them to `out`
     /// (cleared first). Collecting into a caller-owned scratch buffer —
     /// rather than handing out an iterator — lets the engine mutate the
@@ -273,6 +295,33 @@ mod tests {
         let mut out = vec![1, 2, 3];
         s.collect_into(&mut out);
         assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn word_access_matches_membership() {
+        let mut s = DenseBitSet::with_capacity(130);
+        assert_eq!(s.num_words(), 3);
+        s.set(1);
+        s.set(64);
+        s.set(129);
+        assert_eq!(s.word(0), 1u64 << 1);
+        assert_eq!(s.word(1), 1u64 << 0);
+        assert_eq!(s.word(2), 1u64 << 1);
+        s.clear(64);
+        assert_eq!(s.word(1), 0);
+    }
+
+    #[test]
+    fn copy_from_replicates_capacity_and_members() {
+        let mut a = DenseBitSet::with_capacity(130);
+        a.set(0);
+        a.set(129);
+        let mut b = DenseBitSet::with_capacity(10);
+        b.set(3);
+        b.copy_from(&a);
+        assert_eq!(b.num_words(), a.num_words());
+        assert!(b.contains(0) && b.contains(129));
+        assert!(!b.contains(3));
     }
 
     #[test]

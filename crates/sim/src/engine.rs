@@ -92,11 +92,13 @@
 //! cursor, or release heap; clamped to the horizon) instead of spinning
 //! empty cycles. Quiescent cycles make zero RNG draws and their only
 //! observable effect is the zero mean-queue sample, which the jump
-//! replays in bulk ([`crate::stats::Welford::push_zeros`]) — so reports
-//! stay **bit-identical** to the cycle-by-cycle path; the flag exists
-//! only so the differential tests can pin that. The win scales with
-//! idle time: gaps in scripted/chained workloads, drain tails, and very
-//! low Poisson loads.
+//! replays in bulk (the mean-queue statistic is an integer
+//! `queue_sum / queue_cycles` pair precisely so a jump of any length —
+//! or any *split* of jumps — contributes exactly O(1) work and the
+//! exact same bits) — so reports stay **bit-identical** to the
+//! cycle-by-cycle path; the flag exists only so the differential tests
+//! can pin that. The win scales with idle time: gaps in
+//! scripted/chained workloads, drain tails, and very low Poisson loads.
 //!
 //! # Struct-of-arrays hot state
 //!
@@ -148,6 +150,7 @@ use crate::active::{DenseBitSet, LaneBufs};
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
 use crate::error::{BudgetKind, PartialReport, SimError, StallDiagnostic, StalledPacket};
 use crate::fault::CompiledFaults;
+use crate::lockstep::LockstepState;
 use crate::stats::{BatchMeans, LatencyHistogram, Welford};
 use crate::trace::{Trace, TraceEvent};
 use minnet_routing::{find_cycle, RouteLogic, RouteTable};
@@ -662,6 +665,237 @@ impl CompiledNet {
             st,
         )
     }
+
+    // ---- lockstep replication fleets ---------------------------------
+
+    /// Whether this configuration may run replication lanes as a
+    /// lockstep fleet. A [`RunBudget`](crate::RunBudget) is per-*run*
+    /// accounting (cycle limits and wall-clock stopwatches started at
+    /// each lane's own entry); a shared-clock fleet cannot reproduce
+    /// those cuts bit-identically, so budget-armed configurations fall
+    /// back to per-lane scalar runs.
+    pub fn lockstep_eligible(&self) -> bool {
+        self.cfg.budget.max_cycles == 0 && self.cfg.budget.max_wall_ms == 0
+    }
+
+    /// Run one Poisson replication per seed as a lockstep fleet (see
+    /// [`run_fleet`](Self::run_fleet) for the interleaving and its
+    /// bit-identity argument), splitting the lanes into at most
+    /// `threads` contiguous blocks on scoped OS threads. Per-lane
+    /// results are **bit-identical** to `run_poisson(workload, seed,
+    /// ..)` for every lane, every thread count, and every chunking —
+    /// lanes never exchange information; they only share the compiled
+    /// network and amortize the per-cycle sweep over the fleet.
+    ///
+    /// Budget-armed configurations (see
+    /// [`lockstep_eligible`](Self::lockstep_eligible)) transparently run
+    /// each lane through the scalar path instead.
+    pub fn run_poisson_lockstep(
+        &self,
+        workload: &Workload,
+        seeds: &[u64],
+        threads: usize,
+        ls: &mut LockstepState,
+    ) -> Vec<Result<SimReport, SimError>> {
+        if workload.geometry() != self.net.geometry {
+            return seeds
+                .iter()
+                .map(|_| {
+                    Err(SimError::GeometryMismatch {
+                        what: "workload",
+                        expected: self.net.geometry,
+                        got: workload.geometry(),
+                    })
+                })
+                .collect();
+        }
+        self.run_lockstep(FleetSource::Poisson(workload), seeds, threads, ls)
+    }
+
+    /// [`run_poisson_lockstep`](Self::run_poisson_lockstep) for a
+    /// deterministic script: the same script replayed under each seed's
+    /// RNG stream (which scripted runs never draw from — lanes differ
+    /// only if the script itself is stochastic downstream, but the
+    /// fleet machinery and its bit-identity contract are identical).
+    pub fn run_script_lockstep(
+        &self,
+        script: &Script,
+        seeds: &[u64],
+        threads: usize,
+        ls: &mut LockstepState,
+    ) -> Vec<Result<SimReport, SimError>> {
+        if script.geometry != self.net.geometry {
+            return seeds
+                .iter()
+                .map(|_| {
+                    Err(SimError::GeometryMismatch {
+                        what: "script",
+                        expected: self.net.geometry,
+                        got: script.geometry,
+                    })
+                })
+                .collect();
+        }
+        self.run_lockstep(FleetSource::Script(script), seeds, threads, ls)
+    }
+
+    /// Fleet dispatch: scalar fallback for budget-armed configs, then
+    /// contiguous lane-blocks on scoped threads. Chunking cannot change
+    /// any lane's report (lanes are independent), so the thread count is
+    /// a pure wall-clock knob, exactly like the sweep layer's.
+    fn run_lockstep(
+        &self,
+        source: FleetSource<'_>,
+        seeds: &[u64],
+        threads: usize,
+        ls: &mut LockstepState,
+    ) -> Vec<Result<SimReport, SimError>> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        if !self.lockstep_eligible() {
+            let st = &mut ls.lane_block(1)[0];
+            return seeds
+                .iter()
+                .map(|&seed| self.run_traffic(source.traffic(), None, seed, st))
+                .collect();
+        }
+        let states = ls.lane_block(seeds.len());
+        let mut results: Vec<Option<Result<SimReport, SimError>>> =
+            (0..seeds.len()).map(|_| None).collect();
+        let threads = threads.max(1).min(seeds.len());
+        if threads == 1 {
+            self.run_fleet(source, seeds, states, &mut results);
+        } else {
+            let chunk = seeds.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for ((seed_c, state_c), res_c) in seeds
+                    .chunks(chunk)
+                    .zip(states.chunks_mut(chunk))
+                    .zip(results.chunks_mut(chunk))
+                {
+                    scope.spawn(move || self.run_fleet(source, seed_c, state_c, res_c));
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("fleet fills every lane slot"))
+            .collect()
+    }
+
+    /// Drive one interleaved fleet: every live lane executes the same
+    /// simulated cycle before any lane starts the next, so the
+    /// allocate/transmit sweeps of all `R` lanes walk the shared
+    /// compiled artifacts (routes, transmit order, channel table)
+    /// back-to-back while they are hot in cache.
+    ///
+    /// **Bit-identity argument.** Lanes share nothing mutable — each
+    /// owns its [`EngineState`] — so interleaving per se cannot change a
+    /// lane's trajectory. The only joint decision is fast-forward: the
+    /// fleet jumps only when **every** live lane is quiescent with a
+    /// known next event, and jumps to the *minimum* target over the
+    /// lanes, so no lane ever passes its own event horizon
+    /// (`jump_to`'s tripwire). A lane whose horizon lies further ahead
+    /// reaches it through repeated fleet-minimum jumps and interleaved
+    /// quiescent cycles — both of which land it in exactly the state a
+    /// single scalar jump would (see [`Engine::jump_to`]), so every
+    /// lane's report is bit-identical to its scalar run's.
+    fn run_fleet(
+        &self,
+        source: FleetSource<'_>,
+        seeds: &[u64],
+        states: &mut [EngineState],
+        results: &mut [Option<Result<SimReport, SimError>>],
+    ) {
+        debug_assert!(self.lockstep_eligible());
+        let mut engines: Vec<Option<Engine<'_>>> = seeds
+            .iter()
+            .zip(states.iter_mut())
+            .map(|(&seed, st)| {
+                Some(prepare_engine(
+                    &self.net,
+                    &self.cfg,
+                    Router::Table(&self.routes),
+                    &self.order,
+                    &self.order_pos,
+                    &self.dst_is_node,
+                    source.traffic(),
+                    None,
+                    seed,
+                    st,
+                ))
+            })
+            .collect();
+        let ff = self.cfg.fast_forward;
+        let mut live = engines.len();
+        let mut probe = HotProbe::new();
+        while live > 0 {
+            if ff {
+                // Joint fast-forward: the fleet-wide horizon is the
+                // minimum next-event target over live lanes, and only
+                // counts when every live lane is quiescent (a `None`
+                // target — a drained finite source — blocks the jump;
+                // that lane finalizes in the step pass below).
+                let mut horizon = u64::MAX;
+                let all = engines.iter().flatten().all(|e| {
+                    e.quiescent()
+                        && e.ff_target().is_some_and(|t| {
+                            horizon = horizon.min(t);
+                            true
+                        })
+                });
+                if all && horizon != u64::MAX {
+                    for e in engines.iter_mut().flatten() {
+                        probe.skipped(e.jump_to(horizon));
+                    }
+                }
+            }
+            for (slot, res) in engines.iter_mut().zip(results.iter_mut()) {
+                let Some(e) = slot.as_mut() else { continue };
+                let done = if e.st.now >= e.st.end {
+                    Ok(true)
+                } else {
+                    e.cycle_body(&mut probe)
+                };
+                match done {
+                    Ok(false) => {}
+                    Ok(true) => {
+                        let e = slot.take().expect("live lane present");
+                        *res = Some(Ok(e.finish()));
+                        live -= 1;
+                    }
+                    Err(err) => {
+                        slot.take();
+                        *res = Some(Err(err));
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        probe.flush();
+    }
+}
+
+/// A replication fleet's shared traffic source: each lane gets its own
+/// cursor/heap state, but the immutable workload or script is one
+/// allocation shared by all lanes (and all lane-block threads).
+#[derive(Clone, Copy)]
+enum FleetSource<'a> {
+    Poisson(&'a Workload),
+    Script(&'a Script),
+}
+
+impl<'a> FleetSource<'a> {
+    fn traffic(self) -> Traffic<'a> {
+        match self {
+            FleetSource::Poisson(wl) => Traffic::Poisson(wl),
+            FleetSource::Script(s) => Traffic::Scripted {
+                msgs: &s.msgs,
+                next: 0,
+            },
+        }
+    }
 }
 
 /// The mutable half of a simulation run: lanes, queues, heaps, packets,
@@ -684,6 +918,10 @@ pub struct EngineState {
     lane_owner: Vec<u32>,
     lane_upstream: Vec<Upstream>,
     lane_bufs: LaneBufs,
+    /// Inverse of `lane_upstream` along a worm's chain: the lane that
+    /// consumes lane `li`'s buffer, or `NONE` while `li` is the head.
+    /// Only valid while `li` is owned; reset on claim.
+    lane_downstream: Vec<u32>,
     mux: Vec<VcMux>,
     // Packet state, struct-of-arrays by slot: the hot fields the sweeps
     // touch every cycle, plus a cold `PktMeta` array for the rest.
@@ -711,6 +949,16 @@ pub struct EngineState {
     injectable: DenseBitSet,
     /// Bit `p` ⟺ channel `order[p]` has at least one owned lane.
     occupied: DenseBitSet,
+    /// Bit `p` ⟺ channel `order[p]` *may* have a transmit-ready lane.
+    /// A conservative superset of the truly-ready channels, maintained
+    /// incrementally: set whenever an event could turn a lane ready
+    /// (a lane claim, a buffer gaining input, a buffer gaining room, a
+    /// fault-epoch change), cleared when a sweep visit finds no ready
+    /// lane. The transmit sweep iterates this set instead of `occupied`,
+    /// so blocked worms cost nothing per cycle — the readiness *test* at
+    /// visit time is unchanged, which is what keeps the sweep
+    /// bit-identical to the scan-everything reference.
+    maybe_ready: DenseBitSet,
     /// Owned-lane count per channel, backing `occupied`.
     owned_lanes: Vec<u32>,
     /// Messages sitting in source queues, across all sources.
@@ -732,7 +980,14 @@ pub struct EngineState {
     latency: Welford,
     latency_hist: LatencyHistogram,
     latency_batches: BatchMeans,
-    queue_time_avg: Welford,
+    /// Exact integer accumulator behind `mean_queue`: the sum of
+    /// `queued_msgs` over measured cycles plus the measured-cycle count.
+    /// Integer sums make the fast-forward contribution O(1) — a skipped
+    /// quiescent stretch adds `k` cycles of zero queue, which leaves the
+    /// sum untouched — where the previous float Welford accumulator had
+    /// to replay `k` pushes one by one to stay bit-identical.
+    queue_sum: u64,
+    queue_cycles: u64,
     max_queue: usize,
     util: Vec<u64>,
     deliveries: Option<Vec<Delivery>>,
@@ -741,7 +996,6 @@ pub struct EngineState {
     cand: Vec<ChannelId>,
     elig: Vec<u32>,
     reqs: Vec<Req>,
-    sweep: Vec<u32>,
     ready: Vec<bool>,
 }
 
@@ -752,6 +1006,7 @@ impl EngineState {
             lane_owner: Vec::new(),
             lane_upstream: Vec::new(),
             lane_bufs: LaneBufs::default(),
+            lane_downstream: Vec::new(),
             mux: Vec::new(),
             pkt_head_lane: Vec::new(),
             pkt_sent: Vec::new(),
@@ -770,6 +1025,7 @@ impl EngineState {
             releases: BinaryHeap::new(),
             injectable: DenseBitSet::with_capacity(0),
             occupied: DenseBitSet::with_capacity(0),
+            maybe_ready: DenseBitSet::with_capacity(0),
             owned_lanes: Vec::new(),
             queued_msgs: 0,
             moved: 0,
@@ -783,7 +1039,8 @@ impl EngineState {
             latency: Welford::new(),
             latency_hist: LatencyHistogram::new(),
             latency_batches: BatchMeans::new(2, 1),
-            queue_time_avg: Welford::new(),
+            queue_sum: 0,
+            queue_cycles: 0,
             max_queue: 0,
             util: Vec::new(),
             deliveries: None,
@@ -791,7 +1048,6 @@ impl EngineState {
             cand: Vec::new(),
             elig: Vec::new(),
             reqs: Vec::new(),
-            sweep: Vec::new(),
             ready: Vec::new(),
         }
     }
@@ -814,6 +1070,8 @@ impl EngineState {
         self.lane_upstream.clear();
         self.lane_upstream.resize(want_lanes, Upstream::Exhausted);
         self.lane_bufs.reset(want_lanes, depth as u32);
+        self.lane_downstream.clear();
+        self.lane_downstream.resize(want_lanes, NONE);
 
         self.mux.clear();
         self.mux.resize(nch, VcMux::new(cfg.vc_mux));
@@ -862,6 +1120,7 @@ impl EngineState {
         self.releases.clear();
         self.injectable.reset(n_nodes);
         self.occupied.reset(nch);
+        self.maybe_ready.reset(nch);
         self.owned_lanes.clear();
         self.owned_lanes.resize(nch, 0);
         self.queued_msgs = 0;
@@ -877,7 +1136,8 @@ impl EngineState {
         self.latency.reset();
         self.latency_hist.reset();
         self.latency_batches.reset(16, 64.max(cfg.measure / 2048));
-        self.queue_time_avg.reset();
+        self.queue_sum = 0;
+        self.queue_cycles = 0;
         self.max_queue = 0;
         self.util.clear();
         if cfg.collect_channel_util {
@@ -893,7 +1153,6 @@ impl EngineState {
         self.cand.clear();
         self.elig.clear();
         self.reqs.clear();
-        self.sweep.clear();
         self.ready.clear();
         self.ready.resize(vcs, false);
     }
@@ -1032,22 +1291,23 @@ struct Engine<'a> {
     st: &'a mut EngineState,
 }
 
-/// The single run entry: resets `st` for `(net, cfg, seed)`, primes the
-/// traffic source, and executes the cycle loop. Both the compiled and the
-/// one-shot paths funnel through here — there is exactly one engine.
+/// Reset `st` for `(net, cfg, seed)`, prime the traffic source, and
+/// return the ready-to-run engine. Shared by the scalar entry
+/// ([`run_prepared`]) and the lockstep fleet, which prepares one engine
+/// per replication lane and interleaves their cycles.
 #[allow(clippy::too_many_arguments)]
-fn run_prepared(
-    net: &NetworkGraph,
-    cfg: &EngineConfig,
-    router: Router<'_>,
-    order: &[ChannelId],
-    order_pos: &[u32],
-    dst_is_node: &[bool],
-    traffic: Traffic<'_>,
-    faults: Option<&CompiledFaults>,
+fn prepare_engine<'a>(
+    net: &'a NetworkGraph,
+    cfg: &'a EngineConfig,
+    router: Router<'a>,
+    order: &'a [ChannelId],
+    order_pos: &'a [u32],
+    dst_is_node: &'a [bool],
+    traffic: Traffic<'a>,
+    faults: Option<&'a CompiledFaults>,
     seed: u64,
-    st: &mut EngineState,
-) -> Result<SimReport, SimError> {
+    st: &'a mut EngineState,
+) -> Engine<'a> {
     // A trivial schedule (no epoch kills any lane) is indistinguishable
     // from no schedule; normalizing it to `None` here *guarantees* the
     // empty-plan path is the untouched fast path, bit for bit.
@@ -1093,6 +1353,36 @@ fn run_prepared(
         epoch: 0,
         st,
     }
+}
+
+/// The single scalar run entry: prepare one engine and drive it to
+/// completion. Both the compiled and the one-shot paths funnel through
+/// here — there is exactly one engine.
+#[allow(clippy::too_many_arguments)]
+fn run_prepared(
+    net: &NetworkGraph,
+    cfg: &EngineConfig,
+    router: Router<'_>,
+    order: &[ChannelId],
+    order_pos: &[u32],
+    dst_is_node: &[bool],
+    traffic: Traffic<'_>,
+    faults: Option<&CompiledFaults>,
+    seed: u64,
+    st: &mut EngineState,
+) -> Result<SimReport, SimError> {
+    prepare_engine(
+        net,
+        cfg,
+        router,
+        order,
+        order_pos,
+        dst_is_node,
+        traffic,
+        faults,
+        seed,
+        st,
+    )
     .run()
 }
 
@@ -1355,11 +1645,16 @@ impl<'a> Engine<'a> {
             .pick_uncontested(self.st.elig.len(), &mut self.st.rng);
         let lane = self.st.elig[idx];
         self.st.lane_owner[lane as usize] = owner;
+        self.st.lane_downstream[lane as usize] = NONE;
         let ch = lane as usize / self.vcs;
         self.st.owned_lanes[ch] += 1;
         if self.st.owned_lanes[ch] == 1 {
             self.st.occupied.set(self.order_pos[ch]);
         }
+        // A freshly claimed lane is the worm's head with its input
+        // available (a queued source message or the upstream head flit),
+        // so its channel may transmit this very cycle.
+        self.st.maybe_ready.set(self.order_pos[ch]);
         Some(lane)
     }
 
@@ -1505,6 +1800,7 @@ impl<'a> Engine<'a> {
         };
         let new_ch = (lane as usize / self.vcs) as u32;
         self.st.lane_upstream[lane as usize] = Upstream::Lane(at_lane);
+        self.st.lane_downstream[at_lane as usize] = lane;
         self.st.pkt_head_lane[p as usize] = lane;
         if let Some(tr) = &mut self.st.trace {
             tr.events.push(TraceEvent::Hop {
@@ -1532,57 +1828,76 @@ impl<'a> Engine<'a> {
     // ---- phase 3: transmission ---------------------------------------
 
     fn transmit(&mut self) -> Result<(), SimError> {
-        // Sweep a snapshot of the occupied channels: `release_lane` clears
-        // bits mid-sweep, and mutating the set under iteration would skip
-        // or repeat members. A snapshotted channel that empties before its
-        // turn has no ready lane — visiting it is a no-op. Nothing is
-        // *claimed* during transmission, so the snapshot is complete.
-        let mut sweep = std::mem::take(&mut self.st.sweep);
-        self.st.occupied.collect_into(&mut sweep);
-        let mut result = Ok(());
+        // Sweep the maybe-ready superset word by word with a monotone
+        // cursor, re-reading the current word after every visit. A move
+        // can set bits *ahead* of the cursor — popping lane `li`'s
+        // upstream `u` re-arms `u`, and reverse-topological order places
+        // upstream channels at later positions — and the re-read serves
+        // them within this same pass, exactly as the old full-`occupied`
+        // snapshot sweep did. Bits set at or behind the cursor (a push
+        // feeding a *downstream* consumer, at an earlier position) wait
+        // for the next cycle — also exactly as before, since the old
+        // ascending sweep had already evaluated those positions before
+        // the enabling mutation.
+        //
+        // Bit-identity with the scan-everything sweep: `maybe_ready` is a
+        // superset of the channels with a ready lane (every readiness-
+        // creating event sets the bit; only a visit that *observes* no
+        // ready lane clears it), and a visit with no ready lane touches
+        // neither mux nor RNG nor report state. So the two sweeps perform
+        // the same moves and mux selections in the same order; the only
+        // difference is skipping no-op visits.
+        for w in 0..self.st.maybe_ready.num_words() {
+            // Bits at or below the last-served index of this word are
+            // behind the cursor; mask them off on each re-read.
+            let mut behind: u64 = 0;
+            loop {
+                let bits = self.st.maybe_ready.word(w) & !behind;
+                if bits == 0 {
+                    break;
+                }
+                let b = bits.trailing_zeros();
+                behind = if b == 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                self.visit_channel((w * 64) as u32 + b)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one maybe-ready position: move a flit if a lane of the
+    /// channel is ready, otherwise clear the stale bit (the next
+    /// readiness-creating event re-arms it).
+    fn visit_channel(&mut self, pos: u32) -> Result<(), SimError> {
+        let ch = self.order[pos as usize];
         if self.vcs == 1 {
             // Single-VC fast path: the round-robin mux over one lane
             // deterministically picks VC 0 and leaves its priority state
             // at its initial value, so skipping it is state-identical —
             // and the per-channel ready vector disappears.
-            for &pos in &sweep {
-                let ch = self.order[pos as usize];
-                let li = ch as usize;
-                if self.lane_ready(li, ch) {
-                    result = self.move_flit(ch, li);
-                    if result.is_err() {
-                        break;
-                    }
-                }
+            let li = ch as usize;
+            if self.lane_ready(li, ch) {
+                return self.move_flit(ch, li);
             }
-        } else {
-            for &pos in &sweep {
-                let ch = self.order[pos as usize];
-                let base = ch as usize * self.vcs;
-                let mut any = false;
-                for vc in 0..self.vcs {
-                    let r = self.lane_ready(base + vc, ch);
-                    self.st.ready[vc] = r;
-                    any |= r;
-                }
-                if !any {
-                    continue;
-                }
-                let Some(vc) = self.st.mux[ch as usize].select(&self.st.ready[..self.vcs])
-                else {
-                    result = Err(SimError::Internal {
-                        what: "a ready lane must be selectable",
-                    });
-                    break;
-                };
-                result = self.move_flit(ch, base + vc);
-                if result.is_err() {
-                    break;
-                }
-            }
+            self.st.maybe_ready.clear(pos);
+            return Ok(());
         }
-        self.st.sweep = sweep;
-        result
+        let base = ch as usize * self.vcs;
+        let mut any = false;
+        for vc in 0..self.vcs {
+            let r = self.lane_ready(base + vc, ch);
+            self.st.ready[vc] = r;
+            any |= r;
+        }
+        if !any {
+            self.st.maybe_ready.clear(pos);
+            return Ok(());
+        }
+        let Some(vc) = self.st.mux[ch as usize].select(&self.st.ready[..self.vcs]) else {
+            return Err(SimError::Internal {
+                what: "a ready lane must be selectable",
+            });
+        };
+        self.move_flit(ch, base + vc)
     }
 
     #[inline]
@@ -1635,7 +1950,12 @@ impl<'a> Engine<'a> {
                 f
             }
             Upstream::Lane(u) => match self.st.lane_bufs.pop(u as usize) {
-                Some(f) => f,
+                Some(f) => {
+                    // The pop freed a buffer slot in `u`, which may be the
+                    // one thing that was blocking `u`'s own transmit.
+                    self.st.maybe_ready.set(self.order_pos[u as usize / self.vcs]);
+                    f
+                }
                 None => {
                     return Err(SimError::Internal {
                         what: "ready lane lost its upstream flit",
@@ -1672,7 +1992,14 @@ impl<'a> Engine<'a> {
                 self.release_lane(li as u32);
                 self.complete_packet(p, gen_time, measured, len)?;
             }
-        } else if !self.st.lane_bufs.push(li, flit) {
+        } else if self.st.lane_bufs.push(li, flit) {
+            // The flit just buffered in `li` is input for the downstream
+            // lane that pulls from `li` (if the worm has advanced past it).
+            let d = self.st.lane_downstream[li];
+            if d != NONE {
+                self.st.maybe_ready.set(self.order_pos[d as usize / self.vcs]);
+            }
+        } else {
             return Err(SimError::Internal {
                 what: "flit moved into a full lane buffer",
             });
@@ -1782,7 +2109,15 @@ impl<'a> Engine<'a> {
             self.epoch += 1;
             changed = true;
         }
-        if !changed || !self.cfg.fault_abort {
+        if !changed {
+            return Ok(());
+        }
+        // A boundary can resurrect lanes (dead in the old epoch, live in
+        // the new one), silently restoring readiness the incremental
+        // triggers never saw — conservatively re-arm every occupied
+        // channel for the transmit sweep.
+        self.st.maybe_ready.copy_from(&self.st.occupied);
+        if !self.cfg.fault_abort {
             return Ok(());
         }
         let ep = &f.epochs[self.epoch];
@@ -1968,64 +2303,145 @@ impl<'a> Engine<'a> {
 
     // ---- event-horizon fast-forward ----------------------------------
 
-    /// Jump over fully quiescent stretches: with no active worms and no
-    /// queued messages, no phase can do any work until the next traffic
-    /// event matures, so advance `now` straight to the earliest pending
-    /// event key (clamped to `end`). Returns the number of cycles
-    /// skipped (0 = no jump; run the cycle normally).
-    ///
-    /// **Bitwise-identity argument.** In a quiescent cycle the three
-    /// phases make *zero* RNG draws (the request shuffle iterates
-    /// `(1..len).rev()` over an empty list, heap peeks draw nothing) and
-    /// the only observable effect is the mean-queue sample `push(0.0)`
-    /// while measuring. The jump therefore replays exactly those pushes
-    /// — [`Welford::push_zeros`] for the cycles in
-    /// `[max(now, warmup), target)` — and touches nothing else, so the
-    /// report is bit-identical to the cycle-by-cycle path (enforced by
-    /// the fast-forward-on/off differential tests). The jump never
-    /// passes an event: the target *is* the earliest heap/script key,
-    /// and `generate_arrivals` debug-asserts every matured entry fires
-    /// on its exact cycle.
-    fn fast_forward(&mut self) -> u64 {
-        debug_assert!(self.st.active.is_empty() && self.st.queued_msgs == 0);
+    /// Whether no phase can do any work this cycle: no active worms and
+    /// no queued messages — everything waits on a future traffic event.
+    #[inline]
+    fn quiescent(&self) -> bool {
+        self.st.active.is_empty() && self.st.queued_msgs == 0
+    }
+
+    /// The fast-forward jump target for a quiescent lane: the earliest
+    /// pending traffic-event key, clamped to the horizon. `None` means a
+    /// drained finite source — no jump; one last cycle must run so the
+    /// drain break ends the run at the same count as the slow path. A
+    /// silent Poisson workload stays quiescent forever, so its target is
+    /// the horizon itself.
+    fn ff_target(&self) -> Option<u64> {
         let next = match &self.traffic {
             Traffic::Poisson(_) => self.st.arrivals.peek().map(|&Reverse((t, _))| t),
             Traffic::Scripted { msgs, next } => msgs.get(*next).map(|m| m.time),
             Traffic::Chained { .. } => self.st.releases.peek().map(|&Reverse((t, _))| t),
         };
-        let target = match next {
-            Some(t) => t.min(self.st.end),
-            // No pending event at all. A silent Poisson workload stays
-            // quiescent forever — jump to the horizon. A drained finite
-            // source must instead run one last cycle so the drain break
-            // ends the run at the same count as the slow path.
+        match next {
+            Some(t) => Some(t.min(self.st.end)),
             None => match self.traffic {
-                Traffic::Poisson(_) => self.st.end,
-                _ => return 0,
+                Traffic::Poisson(_) => Some(self.st.end),
+                _ => None,
             },
-        };
+        }
+    }
+
+    /// Jump a quiescent run straight to `target` (which must not exceed
+    /// the run's own [`ff_target`](Self::ff_target) — the lockstep
+    /// driver passes the *minimum* over its live lanes, a scalar run its
+    /// own target). Returns the number of cycles skipped (0 = no jump;
+    /// run the cycle normally).
+    ///
+    /// **Bitwise-identity argument.** In a quiescent cycle the three
+    /// phases make *zero* RNG draws (the request shuffle iterates
+    /// `(1..len).rev()` over an empty list, heap peeks draw nothing) and
+    /// the only observable effect is one mean-queue sample of zero while
+    /// measuring. The jump therefore adds exactly those samples — the
+    /// cycles in `[max(now, warmup), target)` join `queue_cycles` while
+    /// the zero queue leaves `queue_sum` untouched — and nothing else,
+    /// so the report is bit-identical to the cycle-by-cycle path
+    /// (enforced by the fast-forward-on/off differential tests), and a
+    /// jump split into several shorter jumps — which is how a lockstep
+    /// lane reaches its own horizon through repeated fleet-minimum jumps
+    /// — lands in exactly the same state as one long jump. The jump
+    /// never passes an event: the target is capped by the earliest
+    /// heap/script key, and `generate_arrivals` debug-asserts every
+    /// matured entry fires on its exact cycle.
+    fn jump_to(&mut self, target: u64) -> u64 {
+        debug_assert!(self.quiescent());
+        debug_assert!(
+            self.ff_target().is_some_and(|t| target <= t),
+            "fast-forward jumped past the lane's own event horizon"
+        );
         if target <= self.st.now {
             return 0;
         }
         let skipped = target - self.st.now;
         let measured_from = self.st.now.max(self.cfg.warmup);
         if target > measured_from {
-            self.st.queue_time_avg.push_zeros(target - measured_from);
+            self.st.queue_cycles += target - measured_from;
         }
         self.st.now = target;
         skipped
     }
 
+    /// Jump over a fully quiescent stretch to this run's own event
+    /// horizon (the scalar path; lockstep lanes jump to the fleet
+    /// minimum instead).
+    fn fast_forward(&mut self) -> u64 {
+        match self.ff_target() {
+            Some(t) => self.jump_to(t),
+            None => 0,
+        }
+    }
+
     // ---- main loop ----------------------------------------------------
 
-    fn run(mut self) -> Result<SimReport, SimError> {
-        let finite = !matches!(self.traffic, Traffic::Poisson(_));
-        let ff = self.cfg.fast_forward;
+    /// One full simulated cycle — fault-epoch catch-up, the three
+    /// phases, the no-progress watchdog, the mean-queue sample, and the
+    /// clock increment. The shared loop body of the scalar run and the
+    /// lockstep driver; returns `true` when a finite traffic source has
+    /// fully drained (the caller ends the run).
+    fn cycle_body(&mut self, probe: &mut HotProbe) -> Result<bool, SimError> {
+        // Bring the fault epoch up to date *before* the phases so the
+        // whole cycle — injection refusal, routing, transmission —
+        // sees one consistent mask (a fast-forward jump may cross
+        // several boundaries at once; casualties are aborted here).
+        if self.faults.is_some() {
+            self.advance_epoch()?;
+        }
+        probe.mark();
+        self.generate_arrivals();
+        probe.arrivals_done();
+        self.allocate()?;
+        probe.allocate_done();
+        self.transmit()?;
+        probe.transmit_done();
+        // No-progress watchdog: a full window of cycles with active
+        // packets but zero flit movement can only mean a wedged
+        // network (in a healthy run the downstream-most flit of some
+        // worm always moves — see `EngineConfig::watchdog_window`).
         let watchdog = self.cfg.watchdog_window;
+        if watchdog > 0 {
+            if self.st.moved == 0 && !self.st.active.is_empty() {
+                if self.st.now - self.st.last_progress >= watchdog {
+                    return Err(SimError::NoProgress(Box::new(self.diagnose_stall())));
+                }
+            } else {
+                self.st.last_progress = self.st.now;
+            }
+            self.st.moved = 0;
+        }
+        if self.measuring() {
+            self.st.queue_sum += self.st.queued_msgs;
+            self.st.queue_cycles += 1;
+        }
+        self.st.now += 1;
+        Ok(self.finite() && self.st.active.is_empty() && self.drained())
+    }
+
+    /// Whether the traffic source is finite (scripted/chained): the run
+    /// ends at drain rather than the horizon.
+    #[inline]
+    fn finite(&self) -> bool {
+        !matches!(self.traffic, Traffic::Poisson(_))
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        let ff = self.cfg.fast_forward;
         let budget = self.cfg.budget;
         // Wall-clock budgets pay for an Instant only when armed; the
-        // elapsed check itself runs every 1024 executed cycles so it
-        // stays invisible in the hot loop.
+        // elapsed check runs every 1024 executed cycles so it stays
+        // invisible in the hot loop — and additionally after every
+        // fast-forward jump, because a single jump can swallow an
+        // arbitrarily long simulated stretch: a near-quiescent run
+        // would otherwise overshoot `max_wall_ms` by whole jumps
+        // between two counter-gated checks.
         let wall_start = (budget.max_wall_ms > 0).then(std::time::Instant::now);
         let mut executed: u64 = 0;
         let mut probe = HotProbe::new();
@@ -2047,47 +2463,24 @@ impl<'a> Engine<'a> {
                 }
                 executed += 1;
             }
-            if ff && self.st.active.is_empty() && self.st.queued_msgs == 0 {
+            if ff && self.quiescent() {
                 let skipped = self.fast_forward();
                 probe.skipped(skipped);
+                if skipped > 0 {
+                    if let Some(start) = wall_start {
+                        if start.elapsed().as_millis() as u64 >= budget.max_wall_ms {
+                            probe.flush();
+                            return Err(
+                                self.budget_cut(BudgetKind::WallClock, budget.max_wall_ms)
+                            );
+                        }
+                    }
+                }
                 if self.st.now >= self.st.end {
                     break;
                 }
             }
-            // Bring the fault epoch up to date *before* the phases so the
-            // whole cycle — injection refusal, routing, transmission —
-            // sees one consistent mask (a fast-forward jump may cross
-            // several boundaries at once; casualties are aborted here).
-            if self.faults.is_some() {
-                self.advance_epoch()?;
-            }
-            probe.mark();
-            self.generate_arrivals();
-            probe.arrivals_done();
-            self.allocate()?;
-            probe.allocate_done();
-            self.transmit()?;
-            probe.transmit_done();
-            // No-progress watchdog: a full window of cycles with active
-            // packets but zero flit movement can only mean a wedged
-            // network (in a healthy run the downstream-most flit of some
-            // worm always moves — see `EngineConfig::watchdog_window`).
-            if watchdog > 0 {
-                if self.st.moved == 0 && !self.st.active.is_empty() {
-                    if self.st.now - self.st.last_progress >= watchdog {
-                        return Err(SimError::NoProgress(Box::new(self.diagnose_stall())));
-                    }
-                } else {
-                    self.st.last_progress = self.st.now;
-                }
-                self.st.moved = 0;
-            }
-            if self.measuring() {
-                let queued = self.st.queued_msgs as f64;
-                self.st.queue_time_avg.push(queued);
-            }
-            self.st.now += 1;
-            if finite && self.st.active.is_empty() && self.drained() {
+            if self.cycle_body(&mut probe)? {
                 break;
             }
         }
@@ -2150,7 +2543,11 @@ impl<'a> Engine<'a> {
             p95_latency_cycles: st.latency_hist.quantile(0.95),
             p99_latency_cycles: st.latency_hist.quantile(0.99),
             max_latency_cycles: st.latency_hist.max(),
-            mean_queue: st.queue_time_avg.mean(),
+            mean_queue: if st.queue_cycles == 0 {
+                0.0
+            } else {
+                st.queue_sum as f64 / st.queue_cycles as f64
+            },
             max_queue: st.max_queue,
             sustainable: st.max_queue <= self.cfg.queue_limit,
             steady: st.delivered_flits as f64 >= 0.95 * st.generated_flits as f64,

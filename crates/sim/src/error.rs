@@ -103,7 +103,10 @@ pub enum BudgetKind {
     /// `max_cycles` was reached: deterministic, same cut on every host.
     Cycles,
     /// `max_wall_ms` was reached: host-dependent, checked every 1024
-    /// executed cycles.
+    /// executed cycles **and after every fast-forward jump that skipped
+    /// cycles** — a near-quiescent run executes almost no cycles, so
+    /// without the per-jump check an FF-dominated run could overshoot
+    /// the wall limit by arbitrarily many jumps.
     WallClock,
 }
 

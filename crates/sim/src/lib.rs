@@ -34,6 +34,7 @@ pub mod error;
 pub mod fault;
 #[cfg(feature = "hotstats")]
 pub mod hotstats;
+pub mod lockstep;
 #[cfg(feature = "reference-engine")]
 pub mod reference;
 pub mod stats;
@@ -46,4 +47,5 @@ pub use engine::{
 };
 pub use error::{BudgetKind, PartialReport, SimError, StallDiagnostic, StalledPacket};
 pub use fault::CompiledFaults;
+pub use lockstep::LockstepState;
 pub use trace::{Trace, TraceEvent};

@@ -124,7 +124,11 @@ struct Engine<'a> {
     latency: Welford,
     latency_hist: LatencyHistogram,
     latency_batches: BatchMeans,
-    queue_time_avg: Welford,
+    /// Exact integer accumulator behind `mean_queue` (kept in lockstep
+    /// with the optimized engine's: the division happens once, in
+    /// `finish`, so both engines produce the identical f64).
+    queue_sum: u64,
+    queue_cycles: u64,
     max_queue: usize,
     util: Vec<u64>,
     deliveries: Option<Vec<Delivery>>,
@@ -228,7 +232,8 @@ impl<'a> Engine<'a> {
             latency: Welford::new(),
             latency_hist: LatencyHistogram::new(),
             latency_batches: BatchMeans::new(16, 64.max(cfg.measure / 2048)),
-            queue_time_avg: Welford::new(),
+            queue_sum: 0,
+            queue_cycles: 0,
             max_queue: 0,
             util: if cfg.collect_channel_util {
                 vec![0; nch]
@@ -715,7 +720,8 @@ impl<'a> Engine<'a> {
             self.transmit();
             if self.measuring() {
                 let queued: usize = self.sources.iter().map(|s| s.queue.len()).sum();
-                self.queue_time_avg.push(queued as f64);
+                self.queue_sum += queued as u64;
+                self.queue_cycles += 1;
             }
             self.now += 1;
             if finite && self.active.is_empty() && self.drained() {
@@ -764,7 +770,11 @@ impl<'a> Engine<'a> {
             p95_latency_cycles: self.latency_hist.quantile(0.95),
             p99_latency_cycles: self.latency_hist.quantile(0.99),
             max_latency_cycles: self.latency_hist.max(),
-            mean_queue: self.queue_time_avg.mean(),
+            mean_queue: if self.queue_cycles == 0 {
+                0.0
+            } else {
+                self.queue_sum as f64 / self.queue_cycles as f64
+            },
             max_queue: self.max_queue,
             sustainable: self.max_queue <= self.cfg.queue_limit,
             steady: self.delivered_flits as f64 >= 0.95 * self.generated_flits as f64,

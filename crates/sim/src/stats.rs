@@ -44,12 +44,18 @@ impl Welford {
     }
 
     /// Push `k` zero samples, bit-identically to calling [`Welford::push`]
-    /// with `0.0` exactly `k` times. The engine's fast-forward integrates
-    /// the mean-queue statistic over skipped quiescent intervals through
-    /// this: when the accumulator is still all-zero (every prior sample
-    /// was zero) a push of `0.0` changes nothing but the count, so the
-    /// loop collapses to `n += k`; otherwise the pushes are replayed one
-    /// by one so the float sequence matches cycle-by-cycle execution.
+    /// with `0.0` exactly `k` times: when the accumulator is still
+    /// all-zero (every prior sample was zero) a push of `0.0` changes
+    /// nothing but the count, so the loop collapses to `n += k`;
+    /// otherwise the pushes are replayed one by one so the float
+    /// sequence matches sample-by-sample pushing.
+    ///
+    /// No longer on the engine's fast-forward path: the engine's
+    /// mean-queue statistic is an integer `queue_sum / queue_cycles`
+    /// pair precisely so a skipped interval costs O(1) regardless of
+    /// history (the replay branch here is O(k)), and so split jumps sum
+    /// to the same bits as one long jump. Kept for external consumers
+    /// of [`Welford`] that batch zero samples.
     pub fn push_zeros(&mut self, k: u64) {
         if self.mean.to_bits() == 0 && self.m2.to_bits() == 0 {
             self.n += k;

@@ -158,6 +158,90 @@ fn wall_clock_budget_fires_and_reports_kind() {
 }
 
 #[test]
+fn wall_clock_budget_fires_on_fast_forward_jumps() {
+    // Regression: the wall-clock check used to run only every 1024
+    // *executed* cycles, but a near-quiescent fast-forwarded run
+    // executes almost no cycles — each loop iteration swallows a whole
+    // inter-event gap in one jump, so a 1024-iteration granule could
+    // overshoot `max_wall_ms` by arbitrarily many jumps. The budget is
+    // now also checked after every jump that skipped cycles, bounding
+    // the overshoot to one jump's wall time. A scripted workload of
+    // tens of thousands of sparse one-flit worms (gap 5_000 cycles)
+    // keeps the run FF-dominated for well past 1ms of wall time.
+    let g = Geometry::new(2, 4);
+    let msgs: Vec<minnet_sim::ScriptedMsg> = (0..60_000u32)
+        .map(|i| minnet_sim::ScriptedMsg {
+            time: u64::from(i) * 5_000,
+            src: i % 16,
+            dst: (i + 7) % 16,
+            len: 1,
+        })
+        .collect();
+    let script = minnet_sim::Script::compile(g, &msgs).unwrap();
+    let net = tmin(EngineConfig {
+        budget: RunBudget {
+            max_cycles: 0,
+            max_wall_ms: 1,
+        },
+        fast_forward: true, // the path under test — cfg() turns it off
+        ..cfg(0, u64::MAX / 2)
+    });
+    let mut st = EngineState::new();
+    let err = net.run_script(&script, 42, &mut st).unwrap_err();
+    let SimError::BudgetExceeded(partial) = err else {
+        panic!("expected BudgetExceeded, got a completed run");
+    };
+    assert_eq!(partial.kind, BudgetKind::WallClock);
+    assert_eq!(partial.limit, 1);
+    // A sane truncated sample: the cut lands mid-script, not at the end
+    // (the drain would finish long after 1ms), and some worms landed.
+    assert!(partial.report.delivered_packets > 0);
+    assert!(
+        (partial.report.delivered_packets as usize) < msgs.len(),
+        "run completed under the wall budget; the workload is too small \
+         to pin the jump-path check"
+    );
+}
+
+#[test]
+fn budget_armed_lockstep_falls_back_to_scalar_bitwise() {
+    // A budget-armed configuration is ineligible for lockstep fleets
+    // (per-run budget accounting has no shared-clock equivalent); the
+    // lockstep entry must transparently run each lane scalar — and cut
+    // it — exactly as the scalar entry does.
+    let limit = 1_500u64;
+    let net = tmin(EngineConfig {
+        budget: RunBudget {
+            max_cycles: limit,
+            max_wall_ms: 0,
+        },
+        ..cfg(500, 4_000)
+    });
+    assert!(!net.lockstep_eligible());
+    let wl = workload(0.2);
+    let seeds = [7u64, 11, 13];
+    let mut ls = minnet_sim::LockstepState::new();
+    let results = net.run_poisson_lockstep(&wl, &seeds, 2, &mut ls);
+    let mut st = EngineState::new();
+    for (res, &seed) in results.into_iter().zip(&seeds) {
+        let SimError::BudgetExceeded(got) = res.unwrap_err() else {
+            panic!("expected BudgetExceeded");
+        };
+        let SimError::BudgetExceeded(want) =
+            net.run_poisson(&wl, seed, &mut st).unwrap_err()
+        else {
+            panic!("expected BudgetExceeded");
+        };
+        assert_eq!(got.kind, BudgetKind::Cycles);
+        assert_eq!(got.spent_cycles, want.spent_cycles);
+        assert!(
+            got.report.bitwise_eq(&want.report),
+            "seed {seed:#x}: budget-armed lockstep fallback diverged"
+        );
+    }
+}
+
+#[test]
 fn unlimited_budget_is_default_and_inert() {
     assert!(RunBudget::UNLIMITED.is_unlimited());
     assert_eq!(EngineConfig::default().budget, RunBudget::UNLIMITED);

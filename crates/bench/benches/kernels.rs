@@ -1,0 +1,68 @@
+//! Word-kernel microbenchmarks: the engine's per-cycle allocate/transmit
+//! phases with the word-parallel kernels forced on vs forced off, from
+//! one compiled network and one reused engine state (both settings are
+//! pinned bit-identical by the equivalence suite, so the wall clock is
+//! the only difference).
+//!
+//! Two load points per network bracket the regime the kernels target:
+//! `load_low` (0.1, sparse occupancy masks — the kernels must not
+//! regress) and `load_sat` (0.55, past the saturation knee — dense masks
+//! are where the word-at-a-time sweeps and the reverse-topological
+//! patch loops pay off). Compare with
+//! `cargo bench -p minnet-bench --bench kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minnet::NetworkSpec;
+use minnet_sim::{CompiledNet, EngineConfig, EngineState};
+use minnet_topology::Geometry;
+use minnet_traffic::{MessageSizeDist, TrafficPattern, Workload, WorkloadSpec};
+use std::sync::Arc;
+
+fn kernel_pair(c: &mut Criterion, group_name: &str, load: f64) {
+    let g = Geometry::new(4, 3);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for spec in NetworkSpec::paper_lineup() {
+        let net = Arc::new(spec.build(g));
+        let cfg = EngineConfig {
+            vcs: spec.vcs(),
+            warmup: 500,
+            measure: 4_000,
+            ..EngineConfig::default()
+        };
+        let compiled = CompiledNet::new(net, cfg).expect("network compiles");
+        let wl_spec = WorkloadSpec {
+            sizes: MessageSizeDist::Fixed(64),
+            pattern: TrafficPattern::Uniform,
+            ..WorkloadSpec::global_uniform(load)
+        };
+        let wl = Workload::compile(g, &wl_spec).expect("workload compiles");
+        let on = compiled.with_word_kernels(true);
+        let off = compiled.with_word_kernels(false);
+        let mut st = EngineState::new();
+        group.bench_function(BenchmarkId::new("on", spec.name()), |b| {
+            b.iter(|| on.run_poisson(&wl, 0xBEEF, &mut st).expect("run"));
+        });
+        group.bench_function(BenchmarkId::new("off", spec.name()), |b| {
+            b.iter(|| off.run_poisson(&wl, 0xBEEF, &mut st).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+/// Sparse masks: most words are zero and the kernels' word scans skip
+/// whole channels 64 lanes at a time. Parity with the scalar path is
+/// the requirement here, not a win.
+fn kernels_low_load(c: &mut Criterion) {
+    kernel_pair(c, "kernels_load_low", 0.1);
+}
+
+/// Saturated masks: the batched transmit path and the patch-based
+/// ready-word maintenance carry the cycle; this is the regime the
+/// speedup targets quote.
+fn kernels_saturation(c: &mut Criterion) {
+    kernel_pair(c, "kernels_load_sat", 0.55);
+}
+
+criterion_group!(benches, kernels_low_load, kernels_saturation);
+criterion_main!(benches);

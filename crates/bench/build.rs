@@ -1,0 +1,23 @@
+//! Captures toolchain identity at build time so benchmark artifacts can
+//! record which compiler and target produced them (see `src/host.rs`).
+//! Throughput baselines are only comparable when the host matches;
+//! `bench_compare` warns when these fields differ from the baseline's.
+
+use std::env;
+use std::process::Command;
+
+fn main() {
+    let rustc = env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=MINNET_RUSTC_VERSION={version}");
+    // TARGET is set for build scripts but not for the crate itself.
+    let target = env::var("TARGET").unwrap_or_else(|_| "unknown".into());
+    println!("cargo:rustc-env=MINNET_TARGET={target}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

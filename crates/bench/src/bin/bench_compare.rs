@@ -31,6 +31,18 @@
 //! a few percent of cache jitter either way). Baselines predating the
 //! columns simply skip the section.
 //!
+//! When the current file carries the per-load
+//! `cycles_per_sec_kernels_off` column, the tool also prints every
+//! load's word-kernel speedup (`cycles_per_sec_scalar` over the
+//! kernels-off twin timing from the same binary and window) and warns —
+//! never gates — below 1.0x at loads ≥ 0.4, where the occupancy masks
+//! are dense enough that the kernels must pay for themselves.
+//!
+//! Both files' `meta.host` blocks (compiler, target triple, target
+//! features, core count) are compared first: a mismatch prints a
+//! warning that wall-clock diffs across hosts are noise. Files
+//! predating the block skip the check.
+//!
 //! `--faults FAULTS_BASELINE FAULTS_CURRENT` additionally diffs a pair
 //! of `faults_smoke` files: per-(network, fault_count) delivered
 //! throughput (warn at ±2% — unlike wall-clock throughput this is a
@@ -61,6 +73,10 @@ struct Net {
     /// comparison rows; empty on files predating the lockstep runner
     /// (or written with a run budget, which skips the comparison).
     lockstep: Vec<(f64, f64, f64)>,
+    /// Per-load `(offered_load, kernels_on, kernels_off)` same-binary
+    /// word-kernel comparison rows; empty on files predating the
+    /// kernels or written with a run budget.
+    kernels: Vec<(f64, f64, f64)>,
     /// Campaign outcome counts `(ok, partial, failed)`; `None` on
     /// baselines predating the campaign runner.
     counts: Option<(u64, u64, u64)>,
@@ -87,6 +103,7 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 cycles_per_sec: f64::NAN,
                 loads: Vec::new(),
                 lockstep: Vec::new(),
+                kernels: Vec::new(),
                 counts: None,
             });
         } else if t.starts_with("\"ok\":") {
@@ -123,6 +140,17 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 ) {
                     if scalar > 0.0 && lock > 0.0 {
                         net.lockstep.push((load, scalar, lock));
+                    }
+                }
+                // Kernel on/off twin timings ride on the same row; the
+                // scalar column is the kernels-on numerator (the sweep
+                // runs with the default toggle, which is on).
+                if let (Some(on), Some(off)) = (
+                    field(t, "cycles_per_sec_scalar"),
+                    field(t, "cycles_per_sec_kernels_off"),
+                ) {
+                    if on > 0.0 && off > 0.0 {
+                        net.kernels.push((load, on, off));
                     }
                 }
             }
@@ -166,6 +194,122 @@ fn compare_lockstep(current: &[Net], summary: &mut String) -> usize {
         }
     }
     warned
+}
+
+/// Warn-only check of the word-kernel speedup columns: at saturating
+/// loads (≥ 0.4, where the occupancy masks are dense enough that the
+/// kernels should pay for themselves) a per-load
+/// `cycles_per_sec_scalar / cycles_per_sec_kernels_off` ratio below
+/// **1.0x** warns — the word-parallel path has regressed below the
+/// scalar oracle it replaced. Low-load rows are printed for the record
+/// but never warn (sparse masks make the ratio noise-dominated), and no
+/// baseline is consulted, so this can never gate a merge.
+fn compare_kernels(current: &[Net], summary: &mut String) -> usize {
+    let mut warned = 0usize;
+    if current.iter().all(|n| n.kernels.is_empty()) {
+        return 0;
+    }
+    let _ = writeln!(
+        summary,
+        "word kernels: per-load cycles/sec, kernels on vs off (warn below 1.0x at loads >= 0.4)"
+    );
+    for net in current {
+        for &(load, on, off) in &net.kernels {
+            let speedup = on / off;
+            let flag = if load >= 0.4 && speedup < 1.0 {
+                warned += 1;
+                "  <-- WARNING: kernels slower than scalar at saturating load"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                summary,
+                "  {:>16} @ load {load:4}: {on:12.0} vs {off:12.0}  ({speedup:5.2}x){flag}",
+                net.name
+            );
+        }
+    }
+    warned
+}
+
+/// Host identity from a smoke artifact's `meta.host` block (see
+/// `minnet_bench::host`); `None` on files predating the block.
+#[derive(Debug, PartialEq, Eq)]
+struct HostId {
+    rustc: String,
+    target: String,
+    features: String,
+    cores: u64,
+}
+
+/// Extract the string following `"key": "` inside a line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parse the `meta.host` block. Stops at the first network entry so a
+/// hypothetical `"rustc"` deeper in the file cannot masquerade as host
+/// identity.
+fn parse_host(src: &str) -> Option<HostId> {
+    let (mut rustc, mut target, mut features, mut cores) = (None, None, None, None);
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("\"name\":") {
+            break;
+        } else if t.starts_with("\"rustc\":") {
+            rustc = str_field(t, "rustc");
+        } else if t.starts_with("\"target\":") {
+            target = str_field(t, "target");
+        } else if t.starts_with("\"target_features\":") {
+            features = str_field(t, "target_features");
+        } else if t.starts_with("\"cores\":") {
+            cores = field(t, "cores").map(|c| c as u64);
+        }
+    }
+    Some(HostId {
+        rustc: rustc?,
+        target: target?,
+        features: features?,
+        cores: cores?,
+    })
+}
+
+/// Warn when the two files disagree on host identity — wall-clock
+/// throughput diffs across different compilers, targets, or machine
+/// classes are noise, not regressions. Silent when either file predates
+/// the `meta.host` block.
+fn compare_hosts(baseline_src: &str, current_src: &str, summary: &mut String) -> usize {
+    let (Some(base), Some(cur)) = (parse_host(baseline_src), parse_host(current_src)) else {
+        return 0;
+    };
+    if base == cur {
+        return 0;
+    }
+    let mut diffs = Vec::new();
+    if base.rustc != cur.rustc {
+        diffs.push(format!("rustc {:?} vs {:?}", cur.rustc, base.rustc));
+    }
+    if base.target != cur.target {
+        diffs.push(format!("target {:?} vs {:?}", cur.target, base.target));
+    }
+    if base.features != cur.features {
+        diffs.push(format!(
+            "target_features {:?} vs {:?}",
+            cur.features, base.features
+        ));
+    }
+    if base.cores != cur.cores {
+        diffs.push(format!("cores {} vs {}", cur.cores, base.cores));
+    }
+    let _ = writeln!(
+        summary,
+        "WARNING: host mismatch vs baseline ({}) — treat wall-clock diffs as noise",
+        diffs.join("; ")
+    );
+    1
 }
 
 /// One degradation point from a `faults_smoke` JSON file.
@@ -428,8 +572,10 @@ fn main() -> Result<(), String> {
     let out_path = positional.next();
 
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
-    let baseline = parse_networks(&read(&baseline_path)?);
-    let current = parse_networks(&read(&current_path)?);
+    let baseline_src = read(&baseline_path)?;
+    let current_src = read(&current_path)?;
+    let baseline = parse_networks(&baseline_src);
+    let current = parse_networks(&current_src);
     if baseline.is_empty() {
         return Err(format!("{baseline_path}: no networks parsed"));
     }
@@ -438,13 +584,16 @@ fn main() -> Result<(), String> {
     }
 
     let mut summary = String::new();
+    let mut warned = compare_hosts(&baseline_src, &current_src, &mut summary);
     let _ = writeln!(
         summary,
         "cycles_per_sec: {current_path} vs baseline {baseline_path} (warn at ±20%)"
     );
-    let (mut warned, regressed) =
+    let (sweep_warned, regressed) =
         compare_sweeps(&baseline, &current, fail_pct, &mut summary);
+    warned += sweep_warned;
     warned += compare_lockstep(&current, &mut summary);
+    warned += compare_kernels(&current, &mut summary);
     if let Some((faults_base, faults_cur)) = &faults {
         warned += compare_faults(faults_base, faults_cur, &mut summary)?;
     }
@@ -480,8 +629,79 @@ mod tests {
             cycles_per_sec: cps,
             loads: loads.to_vec(),
             lockstep: Vec::new(),
+            kernels: Vec::new(),
             counts: None,
         }
+    }
+
+    #[test]
+    fn kernel_rows_parse_and_warn_only_at_saturating_loads() {
+        let src = r#"{
+  "networks": [
+    {
+      "name": "tmin",
+      "cycles_per_sec": 400000.0,
+      "loads": [
+        {"load": 0.05, "cycles_per_sec": 1.0, "cycles_per_sec_scalar": 80000.0, "cycles_per_sec_lockstep": 80000.0, "cycles_per_sec_kernels_off": 100000.0},
+        {"load": 0.6, "cycles_per_sec": 1.0, "cycles_per_sec_scalar": 90000.0, "cycles_per_sec_lockstep": 90000.0, "cycles_per_sec_kernels_off": 100000.0},
+        {"load": 0.5, "cycles_per_sec": 1.0, "cycles_per_sec_scalar": 150000.0, "cycles_per_sec_lockstep": 150000.0, "cycles_per_sec_kernels_off": 100000.0}
+      ]
+    }
+  ]
+}"#;
+        let nets = parse_networks(src);
+        assert_eq!(nets[0].kernels.len(), 3);
+        let mut summary = String::new();
+        // Only the 0.9x row at load 0.6 warns; the 0.8x row at load
+        // 0.05 is below the saturating-load threshold.
+        assert_eq!(compare_kernels(&nets, &mut summary), 1, "{summary}");
+        assert!(summary.contains("kernels slower than scalar"), "{summary}");
+        assert!(summary.contains("1.50x"), "{summary}");
+    }
+
+    #[test]
+    fn files_without_kernel_rows_stay_silent() {
+        let nets = vec![net("tmin", 400_000.0, &[(0.6, 400_000.0)])];
+        let mut summary = String::new();
+        assert_eq!(compare_kernels(&nets, &mut summary), 0);
+        assert!(summary.is_empty(), "{summary}");
+    }
+
+    const HOST_A: &str = r#"{
+  "meta": {
+    "host": {
+      "rustc": "rustc 1.95.0",
+      "target": "x86_64-unknown-linux-gnu",
+      "target_features": "popcnt sse4.2",
+      "cores": 1
+    }
+  },
+  "networks": [
+    { "name": "tmin", "cycles_per_sec": 1.0 }
+  ]
+}"#;
+
+    #[test]
+    fn matching_hosts_stay_silent_and_missing_hosts_skip() {
+        let mut summary = String::new();
+        assert_eq!(compare_hosts(HOST_A, HOST_A, &mut summary), 0);
+        let no_host = r#"{ "networks": [ { "name": "tmin", "cycles_per_sec": 1.0 } ] }"#;
+        assert_eq!(compare_hosts(no_host, HOST_A, &mut summary), 0);
+        assert_eq!(compare_hosts(HOST_A, no_host, &mut summary), 0);
+        assert!(summary.is_empty(), "{summary}");
+    }
+
+    #[test]
+    fn host_mismatch_warns_with_differing_fields() {
+        let other = HOST_A
+            .replace("rustc 1.95.0", "rustc 1.99.0")
+            .replace("\"cores\": 1", "\"cores\": 8");
+        let mut summary = String::new();
+        assert_eq!(compare_hosts(HOST_A, &other, &mut summary), 1);
+        assert!(summary.contains("host mismatch"), "{summary}");
+        assert!(summary.contains("rustc 1.99.0"), "{summary}");
+        assert!(summary.contains("cores 8 vs 1"), "{summary}");
+        assert!(!summary.contains("target_features"), "{summary}");
     }
 
     #[test]

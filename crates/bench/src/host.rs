@@ -1,0 +1,94 @@
+//! Host and toolchain identity for benchmark artifacts.
+//!
+//! Wall-clock throughput numbers (`cycles_per_sec`, kernel speedup
+//! ratios) are only comparable when they come from the same compiler,
+//! target, and machine class. Every artifact the smoke harnesses write
+//! therefore embeds a `"host"` object built here, and `bench_compare`
+//! warns when the baseline's host identity differs from the current
+//! run's — a regression verdict across differing hosts is noise, not
+//! signal.
+//!
+//! The compiler version and target triple are captured at build time by
+//! `build.rs` (they describe the binary, not the process); the core
+//! count is probed at runtime (it describes the machine the numbers
+//! were taken on).
+
+/// `rustc --version` of the compiler that built this harness.
+pub fn rustc_version() -> &'static str {
+    env!("MINNET_RUSTC_VERSION")
+}
+
+/// Target triple this harness was compiled for.
+pub fn target() -> &'static str {
+    env!("MINNET_TARGET")
+}
+
+/// Logical cores visible to this process (0 when the probe fails).
+pub fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0)
+}
+
+/// Compile-time-enabled target features the word-parallel kernels care
+/// about (bit-manipulation and wide-vector ISA extensions), as a
+/// space-separated list. Empty when none of the probed features are on —
+/// e.g. a stock `x86_64-unknown-linux-gnu` build without `-C
+/// target-cpu=native`.
+pub fn target_features() -> String {
+    let mut out = Vec::new();
+    macro_rules! probe {
+        ($($name:literal),* $(,)?) => {
+            $(if cfg!(target_feature = $name) { out.push($name); })*
+        };
+    }
+    probe!(
+        "popcnt", "bmi1", "bmi2", "lzcnt", "sse4.2", "avx", "avx2", "avx512f", "neon",
+    );
+    out.join(" ")
+}
+
+/// The `"host": { ... }` JSON fragment the smoke harnesses embed in
+/// their `meta` block. `indent` is the leading whitespace of the
+/// `"host"` key; no trailing comma or newline is appended.
+pub fn host_meta_json(indent: &str) -> String {
+    format!(
+        "{indent}\"host\": {{\n\
+         {indent}  \"rustc\": \"{}\",\n\
+         {indent}  \"target\": \"{}\",\n\
+         {indent}  \"target_features\": \"{}\",\n\
+         {indent}  \"cores\": {}\n\
+         {indent}}}",
+        escape(rustc_version()),
+        escape(target()),
+        escape(&target_features()),
+        cores()
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_time_identity_is_present() {
+        assert!(rustc_version().starts_with("rustc") || rustc_version() == "unknown");
+        assert!(!target().is_empty());
+    }
+
+    #[test]
+    fn json_fragment_is_well_formed() {
+        let frag = host_meta_json("  ");
+        assert!(frag.starts_with("  \"host\": {"));
+        assert!(frag.ends_with('}'));
+        assert!(frag.contains("\"rustc\": \""));
+        assert!(frag.contains("\"cores\": "));
+        // Balanced braces, no trailing comma before the close.
+        assert_eq!(frag.matches('{').count(), frag.matches('}').count());
+        assert!(!frag.contains(",\n  }"));
+    }
+}

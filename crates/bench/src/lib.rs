@@ -12,5 +12,6 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod host;
 
 pub use figures::{all_figures, figure_by_id, FigureDef};

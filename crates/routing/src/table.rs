@@ -127,10 +127,27 @@ impl RouteTable {
     /// reaches.
     #[inline]
     pub fn candidates(&self, at: ChannelId, dst: NodeId) -> &[ChannelId] {
+        let (lo, hi) = self.candidate_range(at, dst);
+        &self.cands[lo as usize..hi as usize]
+    }
+
+    /// The `(lo, hi)` bounds of [`Self::candidates`]' slice within the
+    /// flat CSR arena. A `(at, dst)` cell lookup walks a table too large
+    /// for L1 on realistic networks; callers whose `(at, dst)` pair is
+    /// stable across many queries (a blocked worm re-requesting every
+    /// cycle) can cache the bounds and resolve them with
+    /// [`Self::resolve_range`] instead.
+    #[inline]
+    pub fn candidate_range(&self, at: ChannelId, dst: NodeId) -> (u32, u32) {
         let cell = at as usize * self.nodes as usize + dst as usize;
-        let lo = self.starts[cell] as usize;
-        let hi = self.starts[cell + 1] as usize;
-        &self.cands[lo..hi]
+        (self.starts[cell], self.starts[cell + 1])
+    }
+
+    /// Resolve bounds previously obtained from [`Self::candidate_range`]
+    /// on this same table.
+    #[inline]
+    pub fn resolve_range(&self, lo: u32, hi: u32) -> &[ChannelId] {
+        &self.cands[lo as usize..hi as usize]
     }
 
     /// The fault-masked variant of this table: every candidate list is

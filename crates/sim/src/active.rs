@@ -79,6 +79,8 @@ impl LaneBufs {
     pub fn front(&self, li: usize) -> Option<FlitRef> {
         if self.len[li] == 0 {
             None
+        } else if self.depth == 1 {
+            Some(self.store[li])
         } else {
             Some(self.store[li * self.depth as usize + self.head[li] as usize])
         }
@@ -89,6 +91,12 @@ impl LaneBufs {
     pub fn pop(&mut self, li: usize) -> Option<FlitRef> {
         if self.len[li] == 0 {
             return None;
+        }
+        // Single-slot buffers (the paper's default) skip the ring
+        // arithmetic entirely: `head` is pinned at 0, the slot is `li`.
+        if self.depth == 1 {
+            self.len[li] = 0;
+            return Some(self.store[li]);
         }
         let f = self.store[li * self.depth as usize + self.head[li] as usize];
         // `head < depth` always, so one conditional wrap replaces the
@@ -110,6 +118,12 @@ impl LaneBufs {
         if self.len[li] == self.depth {
             return false;
         }
+        // Depth-1 twin of the `pop` fast path: `len` was 0, `head` is 0.
+        if self.depth == 1 {
+            self.store[li] = f;
+            self.len[li] = 1;
+            return true;
+        }
         // `head < depth` and `len < depth` here, so the ring offset needs
         // at most one wrap — no runtime-divisor modulo.
         let s = self.head[li] + self.len[li];
@@ -117,6 +131,55 @@ impl LaneBufs {
         self.store[li * self.depth as usize + slot as usize] = f;
         self.len[li] += 1;
         true
+    }
+}
+
+/// Word-level iterator over the set bits of a `u64` word slice, in
+/// ascending index order.
+///
+/// This is the one scan primitive behind every bitset traversal in the
+/// engine: it walks whole words and extracts members with
+/// `trailing_zeros`, so a sweep costs O(words + members) regardless of
+/// how the members cluster. [`DenseBitSet::iter_set`] hands one out over
+/// a set's own words; [`SetBits::over`] runs the same kernel over any
+/// raw mask slice (the per-epoch dead-lane words, scratch masks).
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    /// Index of the next word to load.
+    next_word: usize,
+    /// Remaining bits of the current word (already consumed bits cleared).
+    current: u64,
+    /// Bit index of the current word's bit 0.
+    base: u32,
+}
+
+impl<'a> SetBits<'a> {
+    /// Iterate the set bits of an arbitrary word slice (bit `64·w + b` of
+    /// word `w` is index `64·w + b`).
+    pub fn over(words: &'a [u64]) -> SetBits<'a> {
+        SetBits {
+            words,
+            next_word: 0,
+            current: 0,
+            base: 0,
+        }
+    }
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            let &w = self.words.get(self.next_word)?;
+            self.base = (self.next_word * 64) as u32;
+            self.next_word += 1;
+            self.current = w;
+        }
+        let b = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.base + b)
     }
 }
 
@@ -141,6 +204,16 @@ impl DenseBitSet {
     pub fn reset(&mut self, capacity: usize) {
         self.words.clear();
         self.words.resize(capacity.div_ceil(64), 0);
+    }
+
+    /// Grow the capacity to at least `capacity` indices, preserving the
+    /// current members (the engine's per-packet-slot set grows with the
+    /// slot table). Never shrinks.
+    pub fn grow(&mut self, capacity: usize) {
+        let want = capacity.div_ceil(64);
+        if want > self.words.len() {
+            self.words.resize(want, 0);
+        }
     }
 
     /// Insert `i`. Idempotent.
@@ -183,32 +256,33 @@ impl DenseBitSet {
         self.words.extend_from_slice(&other.words);
     }
 
+    /// Whether no index is set. A word-level scan — the quiescence-style
+    /// checks use this instead of iterating members.
+    #[inline]
+    pub fn is_empty_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-level iterator over the members in ascending order.
+    #[inline]
+    pub fn iter_set(&self) -> SetBits<'_> {
+        SetBits::over(&self.words)
+    }
+
     /// Visit members in ascending order, appending them to `out`
     /// (cleared first). Collecting into a caller-owned scratch buffer —
     /// rather than handing out an iterator — lets the engine mutate the
     /// set while processing the snapshot.
     pub fn collect_into(&self, out: &mut Vec<u32>) {
         out.clear();
-        for (w, &word) in self.words.iter().enumerate() {
-            let mut bits = word;
-            while bits != 0 {
-                let b = bits.trailing_zeros();
-                out.push((w * 64) as u32 + b);
-                bits &= bits - 1;
-            }
-        }
+        out.extend(self.iter_set());
     }
 
     /// Call `f` on each member in ascending order. `f` must not mutate
     /// the set (enforced by the shared borrow).
     pub fn for_each(&self, mut f: impl FnMut(u32)) {
-        for (w, &word) in self.words.iter().enumerate() {
-            let mut bits = word;
-            while bits != 0 {
-                let b = bits.trailing_zeros();
-                f((w * 64) as u32 + b);
-                bits &= bits - 1;
-            }
+        for i in self.iter_set() {
+            f(i);
         }
     }
 }
@@ -322,6 +396,79 @@ mod tests {
         assert_eq!(b.num_words(), a.num_words());
         assert!(b.contains(0) && b.contains(129));
         assert!(!b.contains(3));
+    }
+
+    #[test]
+    fn set_bits_crosses_word_boundaries() {
+        // Members straddling every word seam of a 3-word set, including
+        // both sides of each boundary (63|64, 127|128).
+        let mut s = DenseBitSet::with_capacity(192);
+        let members = [0u32, 62, 63, 64, 65, 126, 127, 128, 191];
+        for &m in &members {
+            s.set(m);
+        }
+        assert_eq!(s.iter_set().collect::<Vec<_>>(), members);
+        // A fully-set middle word between sparse neighbours.
+        let mut s = DenseBitSet::with_capacity(192);
+        s.set(5);
+        for i in 64..128 {
+            s.set(i);
+        }
+        s.set(130);
+        let got: Vec<u32> = s.iter_set().collect();
+        assert_eq!(got.len(), 66);
+        assert_eq!(got[0], 5);
+        assert_eq!(&got[1..65], (64..128).collect::<Vec<_>>().as_slice());
+        assert_eq!(got[65], 130);
+    }
+
+    #[test]
+    fn set_bits_trailing_partial_word() {
+        // Capacity 150 leaves a 22-bit tail in the third word; the
+        // iterator must stop at the last member, and the unused high
+        // bits of the trailing word stay zero.
+        let mut s = DenseBitSet::with_capacity(150);
+        s.set(149);
+        s.set(128);
+        assert_eq!(s.iter_set().collect::<Vec<_>>(), vec![128, 149]);
+        assert_eq!(s.word(2) >> 22, 0, "no bits beyond the capacity tail");
+        s.clear(149);
+        s.clear(128);
+        assert!(s.is_empty_set());
+    }
+
+    #[test]
+    fn set_bits_over_raw_words() {
+        let words = [0u64, 1 << 3 | 1 << 63, 0, 1];
+        assert_eq!(
+            SetBits::over(&words).collect::<Vec<_>>(),
+            vec![67, 127, 192]
+        );
+        assert_eq!(SetBits::over(&[]).count(), 0);
+        assert_eq!(SetBits::over(&[0, 0]).count(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_members() {
+        let mut s = DenseBitSet::with_capacity(10);
+        s.set(9);
+        s.grow(200);
+        assert!(s.contains(9));
+        assert_eq!(s.num_words(), 4);
+        s.set(199);
+        assert_eq!(s.iter_set().collect::<Vec<_>>(), vec![9, 199]);
+        s.grow(50); // never shrinks
+        assert_eq!(s.num_words(), 4);
+    }
+
+    #[test]
+    fn is_empty_set_tracks_membership() {
+        let mut s = DenseBitSet::with_capacity(130);
+        assert!(s.is_empty_set());
+        s.set(129);
+        assert!(!s.is_empty_set());
+        s.clear(129);
+        assert!(s.is_empty_set());
     }
 
     #[test]

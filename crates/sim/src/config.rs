@@ -102,6 +102,21 @@ pub struct EngineConfig {
     /// differential tests enforce it); the flag exists only so those
     /// tests can exercise both paths. Default: on.
     pub fast_forward: bool,
+    /// Word-parallel allocate/transmit kernels: the engine tracks exact
+    /// per-lane readiness (owned ∧ alive ∧ has-input ∧ (ejection ∨
+    /// ¬full)) in dense `u64` masks laid out in transmit-order position
+    /// space, and the transmit sweep iterates `trailing_zeros` over the
+    /// branchlessly-combined ready words instead of re-testing each
+    /// maybe-ready channel. Reports are **bitwise identical** with the
+    /// kernels on or off — same tie-breaking order (ascending position
+    /// within and across words), same RNG stream, same accumulators —
+    /// pinned by the kernel-on/off differential tests; the scalar path
+    /// stays as the differential oracle. The kernels engage for
+    /// power-of-two `vcs` up to 64 (every paper network) and silently
+    /// fall back to the scalar sweep otherwise. Default: on; the
+    /// `MINNET_WORD_KERNELS=0` environment variable flips the default to
+    /// off so CI can run the whole suite down the scalar path.
+    pub word_kernels: bool,
     /// Collect per-channel utilization (busy fraction over the window).
     pub collect_channel_util: bool,
     /// Record a [`crate::trace::Trace`] of message events (queue, inject,
@@ -146,6 +161,7 @@ impl Default for EngineConfig {
             vc_mux: VcMuxPolicy::RoundRobin,
             transmit_order: TransmitOrder::ReverseTopo,
             fast_forward: true,
+            word_kernels: std::env::var("MINNET_WORD_KERNELS").map_or(true, |v| v != "0"),
             collect_channel_util: false,
             collect_trace: false,
             validate_crossbars: false,

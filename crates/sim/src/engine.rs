@@ -146,7 +146,7 @@
 //! warmup-generated packets that land inside the window are excluded,
 //! just as their latencies are.
 
-use crate::active::{DenseBitSet, LaneBufs};
+use crate::active::{DenseBitSet, LaneBufs, SetBits};
 use crate::config::{EngineConfig, SimReport, TransmitOrder};
 use crate::error::{BudgetKind, PartialReport, SimError, StallDiagnostic, StalledPacket};
 use crate::fault::CompiledFaults;
@@ -165,6 +165,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 const NONE: u32 = u32::MAX;
+
+/// [`Engine::move_flit`] feedback: "no lane ahead of the cursor changed
+/// readiness" (the move pulled from a source, or the kernels are off).
+const NO_FEEDBACK: u32 = u32::MAX;
+/// Feedback low bits: the popped upstream lane's plane index. Bit 31
+/// carries its recomputed ready state; plane indices stay far below 2³¹.
+const PLANE_MASK: u32 = 0x7FFF_FFFF;
 
 /// Where a lane's next flit comes from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -486,6 +493,18 @@ impl CompiledNet {
     /// The engine configuration this network was compiled under.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// This same compiled network with the word-kernel toggle forced to
+    /// `on` — the hook harnesses use for same-binary kernel on/off
+    /// comparisons (both settings produce bit-identical reports; only
+    /// the wall clock differs). The toggle does not participate in
+    /// compilation, so the artifacts are reused as-is.
+    #[must_use]
+    pub fn with_word_kernels(&self, on: bool) -> CompiledNet {
+        let mut c = self.clone();
+        c.cfg.word_kernels = on;
+        c
     }
 
     /// The precomputed routing table.
@@ -862,11 +881,14 @@ impl CompiledNet {
                     Ok(false) => {}
                     Ok(true) => {
                         let e = slot.take().expect("live lane present");
+                        probe.absorb_masks(e.st);
                         *res = Some(Ok(e.finish()));
                         live -= 1;
                     }
                     Err(err) => {
-                        slot.take();
+                        if let Some(e) = slot.take() {
+                            probe.absorb_masks(e.st);
+                        }
                         *res = Some(Err(err));
                         live -= 1;
                     }
@@ -928,6 +950,16 @@ pub struct EngineState {
     pkt_head_lane: Vec<u32>,
     pkt_sent: Vec<u32>,
     pkt_len: Vec<u32>,
+    /// Destination node, duplicated out of `PktMeta` so the allocate
+    /// phase's per-request routing lookup stays off the cold array.
+    pkt_dst: Vec<u32>,
+    /// Kernel-path cache of the head's `RouteTable::candidate_range`
+    /// bounds, refreshed whenever the head advances. A blocked worm
+    /// re-requests every cycle; resolving the cached bounds skips the
+    /// `(at, dst)` cell lookup in the L2-sized `starts` table. Only
+    /// maintained and read on the fault-free table-router kernel path
+    /// (`(0, 0)` placeholder otherwise).
+    pkt_cand: Vec<(u32, u32)>,
     pkt_delivered: Vec<u32>,
     pkt_meta: Vec<PktMeta>,
     free_slots: Vec<u32>,
@@ -959,6 +991,35 @@ pub struct EngineState {
     /// visit time is unchanged, which is what keeps the sweep
     /// bit-identical to the scan-everything reference.
     maybe_ready: DenseBitSet,
+    // Word-parallel kernel masks (see the module header's kernel notes).
+    // All five lane masks are indexed by **plane** — `order_pos[ch] * vcs
+    // + vc` — so ascending bit order *is* the transmit sweep order and a
+    // channel's lanes share one aligned bit group. Maintained only while
+    // the kernels are engaged (`Engine::kern`); the scalar path uses
+    // `maybe_ready` instead.
+    /// Bit `plane` ⟺ the lane is owned by a worm.
+    k_owned: DenseBitSet,
+    /// Bit `plane` ⟺ the lane's upstream input is available (a source
+    /// with flits left to emit, or a nonempty upstream lane buffer).
+    k_has_input: DenseBitSet,
+    /// Bit `plane` ⟺ the lane's own buffer is full. Ejection lanes are
+    /// never pushed (the destination absorbs flits immediately), so
+    /// their bits stay 0 forever — which is why the ready combine needs
+    /// no separate ejection mask: `eject ∨ ¬full` ≡ `¬full`.
+    k_full: DenseBitSet,
+    /// Bit `plane` ⟺ the lane is dead in the current fault epoch
+    /// (rebuilt at epoch boundaries from `CompiledEpoch::dead_lane_words`).
+    k_dead: DenseBitSet,
+    /// Bit `p` (a packet slot) ⟺ packet `p`'s head lane is off the
+    /// ejection channel **and** its buffer's front flit is `p`'s header —
+    /// exactly the scalar allocate phase's advance-request predicate.
+    k_advance: DenseBitSet,
+    // Mask-density counters (words scanned vs bits processed per phase),
+    // drained into the `hotstats` counters at probe-flush time.
+    alloc_words: u64,
+    alloc_bits: u64,
+    transmit_words: u64,
+    transmit_bits: u64,
     /// Owned-lane count per channel, backing `occupied`.
     owned_lanes: Vec<u32>,
     /// Messages sitting in source queues, across all sources.
@@ -1011,6 +1072,8 @@ impl EngineState {
             pkt_head_lane: Vec::new(),
             pkt_sent: Vec::new(),
             pkt_len: Vec::new(),
+            pkt_dst: Vec::new(),
+            pkt_cand: Vec::new(),
             pkt_delivered: Vec::new(),
             pkt_meta: Vec::new(),
             free_slots: Vec::new(),
@@ -1026,6 +1089,15 @@ impl EngineState {
             injectable: DenseBitSet::with_capacity(0),
             occupied: DenseBitSet::with_capacity(0),
             maybe_ready: DenseBitSet::with_capacity(0),
+            k_owned: DenseBitSet::with_capacity(0),
+            k_has_input: DenseBitSet::with_capacity(0),
+            k_full: DenseBitSet::with_capacity(0),
+            k_dead: DenseBitSet::with_capacity(0),
+            k_advance: DenseBitSet::with_capacity(0),
+            alloc_words: 0,
+            alloc_bits: 0,
+            transmit_words: 0,
+            transmit_bits: 0,
             owned_lanes: Vec::new(),
             queued_msgs: 0,
             moved: 0,
@@ -1078,6 +1150,8 @@ impl EngineState {
         self.pkt_head_lane.clear();
         self.pkt_sent.clear();
         self.pkt_len.clear();
+        self.pkt_dst.clear();
+        self.pkt_cand.clear();
         self.pkt_delivered.clear();
         self.pkt_meta.clear();
         self.free_slots.clear();
@@ -1121,6 +1195,12 @@ impl EngineState {
         self.injectable.reset(n_nodes);
         self.occupied.reset(nch);
         self.maybe_ready.reset(nch);
+        // Kernel masks are (re)dimensioned by `Engine::init_kernel_masks`
+        // when the kernels engage; only the counters reset here.
+        self.alloc_words = 0;
+        self.alloc_bits = 0;
+        self.transmit_words = 0;
+        self.transmit_bits = 0;
         self.owned_lanes.clear();
         self.owned_lanes.resize(nch, 0);
         self.queued_msgs = 0;
@@ -1241,6 +1321,15 @@ mod probe {
             }
         }
 
+        /// Fold one engine state's mask-density counters (words scanned /
+        /// bits processed per phase) into this probe's totals.
+        pub(super) fn absorb_masks(&mut self, st: &super::EngineState) {
+            self.stats.alloc_words_scanned += st.alloc_words;
+            self.stats.alloc_bits_processed += st.alloc_bits;
+            self.stats.transmit_words_scanned += st.transmit_words;
+            self.stats.transmit_bits_processed += st.transmit_bits;
+        }
+
         pub(super) fn flush(mut self) {
             self.stats.runs = 1;
             crate::hotstats::record(&self.stats);
@@ -1268,6 +1357,8 @@ mod probe {
         #[inline]
         pub(super) fn skipped(&mut self, _cycles: u64) {}
         #[inline]
+        pub(super) fn absorb_masks(&mut self, _st: &super::EngineState) {}
+        #[inline]
         pub(super) fn flush(self) {}
     }
 }
@@ -1288,6 +1379,13 @@ struct Engine<'a> {
     faults: Option<&'a CompiledFaults>,
     /// Index of the current fault epoch in `faults`.
     epoch: usize,
+    /// Whether the word-parallel kernels are engaged for this run:
+    /// `cfg.word_kernels` and `vcs` is a power of two ≤ 64, so every
+    /// channel's lanes form one aligned bit group inside a mask word.
+    kern: bool,
+    /// `log2(vcs)` when the kernels are engaged: plane index =
+    /// `(order_pos[ch] << vcs_shift) | vc`.
+    vcs_shift: u32,
     st: &'a mut EngineState,
 }
 
@@ -1340,7 +1438,8 @@ fn prepare_engine<'a>(
         }
     }
 
-    Engine {
+    let kern = cfg.word_kernels && cfg.vcs.is_power_of_two() && cfg.vcs <= 64;
+    let mut e = Engine {
         net,
         cfg,
         router,
@@ -1351,8 +1450,14 @@ fn prepare_engine<'a>(
         traffic,
         faults,
         epoch: 0,
+        kern,
+        vcs_shift: u32::from(cfg.vcs).trailing_zeros(),
         st,
+    };
+    if e.kern {
+        e.init_kernel_masks();
     }
+    e
 }
 
 /// The single scalar run entry: prepare one engine and drive it to
@@ -1429,6 +1534,108 @@ impl<'a> Engine<'a> {
             }
         } else {
             port * self.net.kind.dilation() + lane
+        }
+    }
+
+    // ---- word-parallel kernel masks ----------------------------------
+
+    /// Plane index of lane `li`: the lane's channel mapped to its
+    /// transmit-order position, with the VC bits kept in the low end —
+    /// `(order_pos[ch] << vcs_shift) | vc`. Ascending plane order is
+    /// ascending sweep-position order, and (because `vcs` is a power of
+    /// two ≤ 64 whenever the kernels engage) a channel's lanes form one
+    /// aligned group inside a single mask word.
+    #[inline]
+    fn plane(&self, li: usize) -> u32 {
+        (self.order_pos[li >> self.vcs_shift] << self.vcs_shift)
+            | (li as u32 & ((1 << self.vcs_shift) - 1))
+    }
+
+    /// Dimension and seed the kernel masks for a fresh run: everything
+    /// empty except the epoch-0 dead mask.
+    fn init_kernel_masks(&mut self) {
+        debug_assert!(self.kern);
+        let lanes = self.net.num_channels() * self.vcs;
+        self.st.k_owned.reset(lanes);
+        self.st.k_has_input.reset(lanes);
+        self.st.k_full.reset(lanes);
+        self.st.k_advance.reset(0);
+        self.rebuild_dead_mask();
+    }
+
+    /// Rebuild the permuted dead-lane mask for the current fault epoch
+    /// from its packed `dead_lane_words` (set-bit iteration, so a sparse
+    /// epoch costs O(words + casualties), not O(lanes)).
+    fn rebuild_dead_mask(&mut self) {
+        let lanes = self.net.num_channels() * self.vcs;
+        self.st.k_dead.reset(lanes);
+        if let Some(f) = self.faults {
+            let ep = &f.epochs[self.epoch];
+            if ep.any_dead {
+                for li in SetBits::over(&ep.dead_lane_words) {
+                    self.st.k_dead.set(self.plane(li as usize));
+                }
+            }
+        }
+    }
+
+    /// Debug-only exactness audit: every kernel-mask bit must equal the
+    /// scalar predicate it mirrors. Called periodically from the cycle
+    /// loop in debug builds; incremental-maintenance bugs persist in the
+    /// masks, so a sampled check still catches them.
+    #[cfg(debug_assertions)]
+    fn check_kernel_masks(&self) {
+        if !self.kern {
+            return;
+        }
+        for ch in 0..self.net.num_channels() {
+            for vc in 0..self.vcs {
+                let li = ch * self.vcs + vc;
+                let pl = self.plane(li);
+                let owned = self.st.lane_owner[li] != NONE;
+                assert_eq!(self.st.k_owned.contains(pl), owned, "k_owned lane {li}");
+                let dead = self
+                    .faults
+                    .is_some_and(|f| f.epochs[self.epoch].dead_lane[li]);
+                assert_eq!(self.st.k_dead.contains(pl), dead, "k_dead lane {li}");
+                assert_eq!(
+                    self.st.k_full.contains(pl),
+                    self.st.lane_bufs.is_full(li),
+                    "k_full lane {li}"
+                );
+                let has_input = match self.st.lane_upstream[li] {
+                    Upstream::Exhausted => false,
+                    Upstream::Source(_) => {
+                        let p = self.st.lane_owner[li] as usize;
+                        self.st.pkt_sent[p] < self.st.pkt_len[p]
+                    }
+                    Upstream::Lane(u) => !self.st.lane_bufs.is_empty(u as usize),
+                };
+                assert_eq!(
+                    self.st.k_has_input.contains(pl),
+                    has_input,
+                    "k_has_input lane {li}"
+                );
+            }
+        }
+        for &p in &self.st.active {
+            let hl = self.st.pkt_head_lane[p as usize] as usize;
+            let want = !self.dst_is_node[hl / self.vcs]
+                && self
+                    .st
+                    .lane_bufs
+                    .front(hl)
+                    .is_some_and(|f| f.packet == p && f.is_header());
+            assert_eq!(self.st.k_advance.contains(p), want, "k_advance packet {p}");
+            if let (None, Router::Table(table)) = (self.faults, self.router) {
+                let dst = self.st.pkt_dst[p as usize];
+                let (lo, hi) = self.st.pkt_cand[p as usize];
+                assert_eq!(
+                    table.resolve_range(lo, hi),
+                    table.candidates((hl / self.vcs) as u32, dst),
+                    "pkt_cand packet {p}"
+                );
+            }
         }
     }
 
@@ -1570,18 +1777,39 @@ impl<'a> Engine<'a> {
         self.st
             .injectable
             .for_each(|node| reqs.push(Req::Inject(node)));
-        for &p in &self.st.active {
-            let hl = self.st.pkt_head_lane[p as usize];
-            debug_assert_ne!(hl, NONE);
-            let ch = (hl as usize / self.vcs) as u32;
-            if self.dst_is_node[ch as usize] {
-                continue; // header already on the ejection channel
-            }
-            if let Some(flit) = self.st.lane_bufs.front(hl as usize) {
-                if flit.packet == p && flit.is_header() {
+        if self.kern {
+            // The advance-request predicate is tracked incrementally in
+            // `k_advance` (set when the header flit lands in the head
+            // lane's buffer, cleared when a claim moves the head), so the
+            // scan costs one bit test per active packet instead of a
+            // head-lane / ejection / buffer-front load chain. The `active`
+            // vec still drives the scan — request order (injectable
+            // ascending, then `active` insertion order) feeds the request
+            // shuffle and must stay identical to the scalar path's.
+            for &p in &self.st.active {
+                if self.st.k_advance.contains(p) {
                     reqs.push(Req::Advance(p));
                 }
             }
+        } else {
+            for &p in &self.st.active {
+                let hl = self.st.pkt_head_lane[p as usize];
+                debug_assert_ne!(hl, NONE);
+                let ch = (hl as usize / self.vcs) as u32;
+                if self.dst_is_node[ch as usize] {
+                    continue; // header already on the ejection channel
+                }
+                if let Some(flit) = self.st.lane_bufs.front(hl as usize) {
+                    if flit.packet == p && flit.is_header() {
+                        reqs.push(Req::Advance(p));
+                    }
+                }
+            }
+        }
+        #[cfg(feature = "hotstats")]
+        {
+            self.st.alloc_words += self.st.injectable.num_words() as u64;
+            self.st.alloc_bits += reqs.len() as u64;
         }
         // Serve requests in random order (distributed arbitration).
         let n = reqs.len();
@@ -1651,10 +1879,14 @@ impl<'a> Engine<'a> {
         if self.st.owned_lanes[ch] == 1 {
             self.st.occupied.set(self.order_pos[ch]);
         }
-        // A freshly claimed lane is the worm's head with its input
-        // available (a queued source message or the upstream head flit),
-        // so its channel may transmit this very cycle.
-        self.st.maybe_ready.set(self.order_pos[ch]);
+        if self.kern {
+            self.st.k_owned.set(self.plane(lane as usize));
+        } else {
+            // A freshly claimed lane is the worm's head with its input
+            // available (a queued source message or the upstream head
+            // flit), so its channel may transmit this very cycle.
+            self.st.maybe_ready.set(self.order_pos[ch]);
+        }
         Some(lane)
     }
 
@@ -1725,6 +1957,8 @@ impl<'a> Engine<'a> {
                 self.st.pkt_head_lane[si] = lane;
                 self.st.pkt_sent[si] = 0;
                 self.st.pkt_len[si] = msg.len;
+                self.st.pkt_dst[si] = msg.dst;
+                self.st.pkt_cand[si] = (0, 0);
                 self.st.pkt_delivered[si] = 0;
                 self.st.pkt_meta[si] = meta;
                 s
@@ -1733,6 +1967,8 @@ impl<'a> Engine<'a> {
                 self.st.pkt_head_lane.push(lane);
                 self.st.pkt_sent.push(0);
                 self.st.pkt_len.push(msg.len);
+                self.st.pkt_dst.push(msg.dst);
+                self.st.pkt_cand.push((0, 0));
                 self.st.pkt_delivered.push(0);
                 self.st.pkt_meta.push(meta);
                 (self.st.pkt_meta.len() - 1) as u32
@@ -1740,6 +1976,18 @@ impl<'a> Engine<'a> {
         };
         self.st.lane_owner[lane as usize] = slot;
         self.st.lane_upstream[lane as usize] = Upstream::Source(node);
+        if self.kern {
+            // A source with a packet to emit is available input
+            // (`sent == 0 < len`); the fresh head lane's buffer is empty,
+            // so no advance request until the header lands in it.
+            debug_assert!(self.st.pkt_len[slot as usize] >= 1);
+            self.st.k_has_input.set(self.plane(lane as usize));
+            self.st.k_advance.grow(self.st.pkt_meta.len());
+            self.st.k_advance.clear(slot);
+            if let (None, Router::Table(table)) = (self.faults, self.router) {
+                self.st.pkt_cand[slot as usize] = table.candidate_range(inj, msg.dst);
+            }
+        }
         self.st.sources[node as usize].injecting = slot;
         self.st.active.push(slot);
         if let Some(tr) = &mut self.st.trace {
@@ -1758,8 +2006,10 @@ impl<'a> Engine<'a> {
     }
 
     fn try_advance(&mut self, p: u32) -> Result<(), SimError> {
-        let meta = self.st.pkt_meta[p as usize];
-        let (src, dst) = (meta.src, meta.dst);
+        // The destination comes from the hot SoA copy; the cold `PktMeta`
+        // record is only touched on the rare paths that need more (the
+        // logic-router candidates call wants `src`, tracing wants `tag`).
+        let dst = self.st.pkt_dst[p as usize];
         let at_lane = self.st.pkt_head_lane[p as usize];
         let at_ch = (at_lane as usize / self.vcs) as u32;
         match (self.faults, self.router) {
@@ -1783,11 +2033,19 @@ impl<'a> Engine<'a> {
                 self.gather_free(cands);
             }
             (None, Router::Table(table)) => {
-                let cands = table.candidates(at_ch, dst);
+                let cands = if self.kern {
+                    let (lo, hi) = self.st.pkt_cand[p as usize];
+                    let cands = table.resolve_range(lo, hi);
+                    debug_assert_eq!(cands, table.candidates(at_ch, dst));
+                    cands
+                } else {
+                    table.candidates(at_ch, dst)
+                };
                 debug_assert!(!cands.is_empty(), "advance request at the destination");
                 self.gather_free(cands);
             }
             (None, Router::Logic(logic)) => {
+                let src = self.st.pkt_meta[p as usize].src;
                 let mut cand = std::mem::take(&mut self.st.cand);
                 logic.candidates(self.net, src, dst, at_ch, &mut cand);
                 debug_assert!(!cand.is_empty(), "advance request at the destination");
@@ -1802,9 +2060,24 @@ impl<'a> Engine<'a> {
         self.st.lane_upstream[lane as usize] = Upstream::Lane(at_lane);
         self.st.lane_downstream[at_lane as usize] = lane;
         self.st.pkt_head_lane[p as usize] = lane;
+        if self.kern {
+            // The advance request came off a nonempty `at_lane` buffer
+            // (its front is the header), so the new head has input; its
+            // own empty buffer holds no header yet.
+            debug_assert!(!self.st.lane_bufs.is_empty(at_lane as usize));
+            self.st.k_has_input.set(self.plane(lane as usize));
+            self.st.k_advance.clear(p);
+            // New head, new candidate cell: refresh the cached bounds
+            // once per hop. Reaching the destination stores the ejection
+            // channel's empty range, which is never read (no advance
+            // requests are raised from an ejection-channel head).
+            if let (None, Router::Table(table)) = (self.faults, self.router) {
+                self.st.pkt_cand[p as usize] = table.candidate_range(new_ch, dst);
+            }
+        }
         if let Some(tr) = &mut self.st.trace {
             tr.events.push(TraceEvent::Hop {
-                tag: meta.tag,
+                tag: self.st.pkt_meta[p as usize].tag,
                 time: self.st.now,
                 channel: new_ch,
             });
@@ -1828,6 +2101,9 @@ impl<'a> Engine<'a> {
     // ---- phase 3: transmission ---------------------------------------
 
     fn transmit(&mut self) -> Result<(), SimError> {
+        if self.kern {
+            return self.transmit_kernel();
+        }
         // Sweep the maybe-ready superset word by word with a monotone
         // cursor, re-reading the current word after every visit. A move
         // can set bits *ahead* of the cursor — popping lane `li`'s
@@ -1852,13 +2128,237 @@ impl<'a> Engine<'a> {
             // behind the cursor; mask them off on each re-read.
             let mut behind: u64 = 0;
             loop {
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_words += 1;
+                }
                 let bits = self.st.maybe_ready.word(w) & !behind;
                 if bits == 0 {
                     break;
                 }
                 let b = bits.trailing_zeros();
                 behind = if b == 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_bits += 1;
+                }
                 self.visit_channel((w * 64) as u32 + b)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Word-parallel transmit: combine the lane masks into an **exact**
+    /// per-word ready mask — `owned ∧ has_input ∧ ¬full ∧ ¬dead`, bit
+    /// for bit the [`lane_ready`](Self::lane_ready) predicate (the
+    /// scalar `eject ∨ ¬full` term collapses to `¬full` because
+    /// ejection-lane buffers are never pushed, and the `¬dead` term is
+    /// folded only when a fault plan is loaded — without one `k_dead` is
+    /// identically zero) — and serve its set bits with
+    /// `trailing_zeros`. Planes are `order_pos`-permuted, so ascending
+    /// bit order *is* the scalar sweep's ascending-position order, and
+    /// the same monotone cursor with a re-read after every move catches
+    /// lanes that become ready ahead of the cursor (a pop re-arms the
+    /// upstream lane, which reverse-topological order places at a later
+    /// position) within the same pass.
+    ///
+    /// Bit-identity with the scalar sweep: the scalar `maybe_ready` set
+    /// is a superset of the truly-ready channels, and a visit that finds
+    /// no ready lane touches neither mux nor RNG nor report state — so
+    /// dropping exactly those no-op visits leaves every move and every
+    /// mux selection identical, in identical order. For `vcs > 1` the
+    /// mux sees the same `ready` bool array a scalar visit would build,
+    /// and is consulted only when some lane is ready, exactly as the
+    /// scalar path does.
+    fn transmit_kernel(&mut self) -> Result<(), SimError> {
+        let nw = self.st.k_owned.num_words();
+        let faulted = self.faults.is_some();
+        if self.vcs == 1 {
+            if matches!(self.cfg.transmit_order, TransmitOrder::ReverseTopo) {
+                return self.transmit_kernel_vc1_rt(nw, faulted);
+            }
+            // Non-topological orders (the build-order ablation) lose the
+            // "a move only re-arms *later* positions, and only via the
+            // popped upstream lane" invariant, so fall back to re-reading
+            // the masks after every move — still exact, word-at-a-time.
+            for w in 0..nw {
+                let mut behind: u64 = 0;
+                loop {
+                    #[cfg(feature = "hotstats")]
+                    {
+                        self.st.transmit_words += 1;
+                    }
+                    let mut ready = self.st.k_owned.word(w)
+                        & self.st.k_has_input.word(w)
+                        & !(self.st.k_full.word(w) | behind);
+                    if faulted {
+                        ready &= !self.st.k_dead.word(w);
+                    }
+                    if ready == 0 {
+                        break;
+                    }
+                    let b = ready.trailing_zeros();
+                    behind = if b == 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                    let pl = (w * 64) as u32 + b;
+                    let ch = self.order[pl as usize];
+                    #[cfg(feature = "hotstats")]
+                    {
+                        self.st.transmit_bits += 1;
+                    }
+                    debug_assert!(self.lane_ready(ch as usize, ch));
+                    self.move_flit(ch, ch as usize, pl)?;
+                }
+            }
+            return Ok(());
+        }
+        // vcs > 1: each channel's lanes are one aligned group of `vcs`
+        // bits. The group's ready bits feed the channel's VC mux exactly
+        // as a scalar visit would; the cursor advances a whole group at
+        // a time (one flit per channel per cycle).
+        if matches!(self.cfg.transmit_order, TransmitOrder::ReverseTopo) {
+            return self.transmit_kernel_vcn_rt(nw, faulted);
+        }
+        let vcs = self.vcs;
+        let gmask = u64::MAX >> (64 - vcs as u32);
+        for w in 0..nw {
+            let mut behind: u64 = 0;
+            loop {
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_words += 1;
+                }
+                let mut ready = self.st.k_owned.word(w)
+                    & self.st.k_has_input.word(w)
+                    & !(self.st.k_full.word(w) | behind);
+                if faulted {
+                    ready &= !self.st.k_dead.word(w);
+                }
+                if ready == 0 {
+                    break;
+                }
+                let b = ready.trailing_zeros();
+                let g0 = b & !(vcs as u32 - 1);
+                let group = (ready >> g0) & gmask;
+                let hi = g0 + vcs as u32;
+                behind = if hi >= 64 { u64::MAX } else { (1u64 << hi) - 1 };
+                let pos = ((w * 64) as u32 + g0) >> self.vcs_shift;
+                let ch = self.order[pos as usize];
+                for vc in 0..vcs {
+                    self.st.ready[vc] = (group >> vc) & 1 == 1;
+                }
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_bits += 1;
+                }
+                let Some(vc) = self.st.mux[ch as usize].select(&self.st.ready[..vcs]) else {
+                    return Err(SimError::Internal {
+                        what: "a ready lane must be selectable",
+                    });
+                };
+                self.move_flit(ch, ch as usize * vcs + vc, (w * 64) as u32 + g0 + vc as u32)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The saturation-critical kernel: `vcs == 1` under reverse-
+    /// topological order. Each mask word is combined **once**; the set
+    /// bits are then consumed low-to-high with no re-read, because under
+    /// this order a move can change the readiness of at most one lane
+    /// *ahead* of the cursor — the popped upstream lane `u` (its
+    /// full-bit falls; every other mask transition lands at an earlier
+    /// position: the pushed-into lane is the bit just consumed, and the
+    /// downstream lane gaining input sits before it). [`Self::move_flit`]
+    /// reports `u`'s plane and recomputed ready bit, and the loop patches
+    /// the resident word directly — turning the per-move mask re-read
+    /// into a register operation. Bits that *fall* ahead of the cursor
+    /// cannot happen: a released upstream lane had no input (its worm's
+    /// tail was the popped flit), so its bit was never set.
+    fn transmit_kernel_vc1_rt(&mut self, nw: usize, faulted: bool) -> Result<(), SimError> {
+        for w in 0..nw {
+            #[cfg(feature = "hotstats")]
+            {
+                self.st.transmit_words += 1;
+            }
+            let mut ready =
+                self.st.k_owned.word(w) & self.st.k_has_input.word(w) & !self.st.k_full.word(w);
+            if faulted {
+                ready &= !self.st.k_dead.word(w);
+            }
+            while ready != 0 {
+                let b = ready.trailing_zeros();
+                ready &= ready - 1;
+                let pl = (w * 64) as u32 + b;
+                let ch = self.order[pl as usize];
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_bits += 1;
+                }
+                debug_assert!(self.lane_ready(ch as usize, ch));
+                let fb = self.move_flit(ch, ch as usize, pl)?;
+                if fb != NO_FEEDBACK && (fb & PLANE_MASK) >> 6 == w as u32 {
+                    debug_assert!(fb & PLANE_MASK > pl, "upstream behind the cursor");
+                    let bit = 1u64 << (fb & 63);
+                    if fb >> 31 != 0 {
+                        ready |= bit;
+                    } else {
+                        ready &= !bit;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `vcs > 1` twin of [`Self::transmit_kernel_vc1_rt`]: the same
+    /// combine-once / patch-on-feedback cursor, consuming a whole
+    /// `vcs`-aligned group per visit (one flit per channel per cycle).
+    /// The ahead-patch argument is unchanged — the popped upstream lane
+    /// belongs to a strictly-upstream *channel*, so its plane lands in a
+    /// strictly later group than the one just consumed.
+    fn transmit_kernel_vcn_rt(&mut self, nw: usize, faulted: bool) -> Result<(), SimError> {
+        let vcs = self.vcs;
+        let gmask = u64::MAX >> (64 - vcs as u32);
+        for w in 0..nw {
+            #[cfg(feature = "hotstats")]
+            {
+                self.st.transmit_words += 1;
+            }
+            let mut ready =
+                self.st.k_owned.word(w) & self.st.k_has_input.word(w) & !self.st.k_full.word(w);
+            if faulted {
+                ready &= !self.st.k_dead.word(w);
+            }
+            while ready != 0 {
+                let b = ready.trailing_zeros();
+                let g0 = b & !(vcs as u32 - 1);
+                let group = (ready >> g0) & gmask;
+                ready &= !(gmask << g0);
+                let pos = ((w * 64) as u32 + g0) >> self.vcs_shift;
+                let ch = self.order[pos as usize];
+                for vc in 0..vcs {
+                    self.st.ready[vc] = (group >> vc) & 1 == 1;
+                }
+                #[cfg(feature = "hotstats")]
+                {
+                    self.st.transmit_bits += 1;
+                }
+                let Some(vc) = self.st.mux[ch as usize].select(&self.st.ready[..vcs]) else {
+                    return Err(SimError::Internal {
+                        what: "a ready lane must be selectable",
+                    });
+                };
+                let fb =
+                    self.move_flit(ch, ch as usize * vcs + vc, (w * 64) as u32 + g0 + vc as u32)?;
+                if fb != NO_FEEDBACK && (fb & PLANE_MASK) >> 6 == w as u32 {
+                    debug_assert!(fb & PLANE_MASK > (w * 64) as u32 + g0 + vcs as u32 - 1);
+                    let bit = 1u64 << (fb & 63);
+                    if fb >> 31 != 0 {
+                        ready |= bit;
+                    } else {
+                        ready &= !bit;
+                    }
+                }
             }
         }
         Ok(())
@@ -1876,7 +2376,8 @@ impl<'a> Engine<'a> {
             // and the per-channel ready vector disappears.
             let li = ch as usize;
             if self.lane_ready(li, ch) {
-                return self.move_flit(ch, li);
+                self.move_flit(ch, li, 0)?;
+                return Ok(());
             }
             self.st.maybe_ready.clear(pos);
             return Ok(());
@@ -1897,7 +2398,8 @@ impl<'a> Engine<'a> {
                 what: "a ready lane must be selectable",
             });
         };
-        self.move_flit(ch, base + vc)
+        self.move_flit(ch, base + vc, 0)?;
+        Ok(())
     }
 
     #[inline]
@@ -1925,14 +2427,25 @@ impl<'a> Engine<'a> {
         has_input && (self.dst_is_node[ch as usize] || !self.st.lane_bufs.is_full(li))
     }
 
-    fn move_flit(&mut self, ch: ChannelId, li: usize) -> Result<(), SimError> {
+    /// Move one flit across `ch` into lane `li`. `pl` is `li`'s plane
+    /// index — the kernel sweep already knows it (it *is* the bit
+    /// position just served), so passing it down spares the kern-mode
+    /// maintenance a permutation lookup per touch of `li`'s own masks.
+    /// Scalar callers pass 0; the value is only read when `kern` is set.
+    ///
+    /// Returns the cursor-patch feedback the `vcs == 1` reverse-topo
+    /// kernel consumes: [`NO_FEEDBACK`], or the popped upstream lane's
+    /// plane in the low bits with its recomputed ready state in bit 31.
+    /// Only computed when the kernels own single-lane channels; every
+    /// other caller discards it.
+    #[inline]
+    fn move_flit(&mut self, ch: ChannelId, li: usize, pl: u32) -> Result<u32, SimError> {
+        debug_assert!(!self.kern || pl == self.plane(li));
         let p = self.st.lane_owner[li];
         let upstream = self.st.lane_upstream[li];
         let pi = p as usize;
         let len = self.st.pkt_len[pi];
-        let PktMeta {
-            gen_time, measured, ..
-        } = self.st.pkt_meta[pi];
+        let mut fb = NO_FEEDBACK;
         let flit = match upstream {
             Upstream::Source(node) => {
                 let f = FlitRef {
@@ -1943,6 +2456,9 @@ impl<'a> Engine<'a> {
                 if self.st.pkt_sent[pi] == len {
                     self.st.sources[node as usize].injecting = NONE;
                     self.st.lane_upstream[li] = Upstream::Exhausted;
+                    if self.kern {
+                        self.st.k_has_input.clear(pl);
+                    }
                     if !self.st.sources[node as usize].queue.is_empty() {
                         self.st.injectable.set(node);
                     }
@@ -1951,9 +2467,21 @@ impl<'a> Engine<'a> {
             }
             Upstream::Lane(u) => match self.st.lane_bufs.pop(u as usize) {
                 Some(f) => {
-                    // The pop freed a buffer slot in `u`, which may be the
-                    // one thing that was blocking `u`'s own transmit.
-                    self.st.maybe_ready.set(self.order_pos[u as usize / self.vcs]);
+                    if self.kern {
+                        // The pop leaves `u`'s buffer non-full; if it
+                        // also drained it, this lane's input is gone.
+                        let pu = self.plane(u as usize);
+                        self.st.k_full.clear(pu);
+                        fb = pu;
+                        if self.st.lane_bufs.is_empty(u as usize) {
+                            self.st.k_has_input.clear(pl);
+                        }
+                    } else {
+                        // The pop freed a buffer slot in `u`, which may
+                        // be the one thing that was blocking `u`'s own
+                        // transmit.
+                        self.st.maybe_ready.set(self.order_pos[u as usize / self.vcs]);
+                    }
                     f
                 }
                 None => {
@@ -1979,8 +2507,18 @@ impl<'a> Engine<'a> {
                 self.release_lane(u);
             }
             self.st.lane_upstream[li] = Upstream::Exhausted;
+            if self.kern {
+                self.st.k_has_input.clear(pl);
+            }
         }
         if self.dst_is_node[ch as usize] {
+            // The cold packet meta is only needed on the ejection path
+            // (delivery accounting and completion); deferring the load
+            // here keeps the ~80% of moves that just forward a flit off
+            // the cold array entirely.
+            let PktMeta {
+                gen_time, measured, ..
+            } = self.st.pkt_meta[pi];
             // Consumption: the destination absorbs the flit immediately.
             self.st.pkt_delivered[pi] += 1;
             // Count flits of *measured* packets, matching delivered_pkts
@@ -1993,18 +2531,53 @@ impl<'a> Engine<'a> {
                 self.complete_packet(p, gen_time, measured, len)?;
             }
         } else if self.st.lane_bufs.push(li, flit) {
-            // The flit just buffered in `li` is input for the downstream
-            // lane that pulls from `li` (if the worm has advanced past it).
-            let d = self.st.lane_downstream[li];
-            if d != NONE {
-                self.st.maybe_ready.set(self.order_pos[d as usize / self.vcs]);
+            if self.kern {
+                if self.st.lane_bufs.is_full(li) {
+                    self.st.k_full.set(pl);
+                }
+                let d = self.st.lane_downstream[li];
+                if d != NONE {
+                    self.st.k_has_input.set(self.plane(d as usize));
+                }
+                if flit.is_header() {
+                    // A header flit only ever lands in the worm's current
+                    // head lane (the downstream consumer that pops it
+                    // exists only after a later claim moves the head), so
+                    // this push is exactly the advance-request-becomes-
+                    // true event — and this branch never runs for the
+                    // ejection channel.
+                    debug_assert_eq!(self.st.pkt_head_lane[pi], li as u32);
+                    self.st.k_advance.set(p);
+                }
+            } else {
+                // The flit just buffered in `li` is input for the
+                // downstream lane that pulls from `li` (if the worm has
+                // advanced past it).
+                let d = self.st.lane_downstream[li];
+                if d != NONE {
+                    self.st.maybe_ready.set(self.order_pos[d as usize / self.vcs]);
+                }
             }
         } else {
             return Err(SimError::Internal {
                 what: "flit moved into a full lane buffer",
             });
         }
-        Ok(())
+        if fb != NO_FEEDBACK {
+            // Recompute the popped upstream lane's ready bit for the
+            // cursor patch: the pop just cleared its full-bit, it is
+            // still owned unless the tail released it (and a released
+            // lane had no input left either way), so readiness reduces
+            // to its own input being available — plus aliveness under an
+            // active fault plan.
+            if !is_tail
+                && self.st.k_has_input.contains(fb)
+                && !(self.faults.is_some() && self.st.k_dead.contains(fb))
+            {
+                fb |= 1 << 31;
+            }
+        }
+        Ok(fb)
     }
 
     fn release_lane(&mut self, li: u32) {
@@ -2015,6 +2588,13 @@ impl<'a> Engine<'a> {
         debug_assert_ne!(self.st.lane_owner[li as usize], NONE, "double lane release");
         self.st.lane_owner[li as usize] = NONE;
         self.st.lane_upstream[li as usize] = Upstream::Exhausted;
+        if self.kern {
+            let pl = self.plane(li as usize);
+            self.st.k_owned.clear(pl);
+            self.st.k_has_input.clear(pl);
+            // `k_full` needs no touch: the buffer is empty (asserted
+            // above), so the last pop already cleared it.
+        }
         let ch = li as usize / self.vcs;
         self.st.owned_lanes[ch] -= 1;
         if self.st.owned_lanes[ch] == 0 {
@@ -2091,6 +2671,11 @@ impl<'a> Engine<'a> {
             });
         };
         self.st.active.swap_remove(idx);
+        if self.kern {
+            // Already clear (the bit dies with the claim of the ejection
+            // lane), but slot-recycling hygiene is cheap to make total.
+            self.st.k_advance.clear(p);
+        }
         self.st.free_slots.push(p);
         Ok(())
     }
@@ -2114,9 +2699,15 @@ impl<'a> Engine<'a> {
         }
         // A boundary can resurrect lanes (dead in the old epoch, live in
         // the new one), silently restoring readiness the incremental
-        // triggers never saw — conservatively re-arm every occupied
-        // channel for the transmit sweep.
-        self.st.maybe_ready.copy_from(&self.st.occupied);
+        // triggers never saw. The kernel path just rebuilds its dead
+        // mask — readiness is recomputed from the masks on every word
+        // read, so resurrection needs no re-arming; the scalar path
+        // conservatively re-arms every occupied channel.
+        if self.kern {
+            self.rebuild_dead_mask();
+        } else {
+            self.st.maybe_ready.copy_from(&self.st.occupied);
+        }
         if !self.cfg.fault_abort {
             return Ok(());
         }
@@ -2182,6 +2773,9 @@ impl<'a> Engine<'a> {
                 debug_assert_eq!(flit.packet, p, "foreign flit drained during abort");
                 drained += 1;
             }
+            if self.kern {
+                self.st.k_full.clear(self.plane(li as usize));
+            }
             let up = self.st.lane_upstream[li as usize];
             self.release_lane(li);
             match up {
@@ -2201,6 +2795,9 @@ impl<'a> Engine<'a> {
             self.st.pkt_delivered[pi] + drained,
             "flits leaked during abort-and-drain"
         );
+        if self.kern {
+            self.st.k_advance.clear(p);
+        }
         if self.st.pkt_meta[pi].measured {
             self.st.aborted_pkts += 1;
         }
@@ -2307,7 +2904,15 @@ impl<'a> Engine<'a> {
     /// no queued messages — everything waits on a future traffic event.
     #[inline]
     fn quiescent(&self) -> bool {
-        self.st.active.is_empty() && self.st.queued_msgs == 0
+        let q = self.st.active.is_empty() && self.st.queued_msgs == 0;
+        // Quiescence implies empty occupancy sets; the word-level
+        // emptiness scans keep this lockstep/fast-forward gate honest
+        // without iterating members.
+        debug_assert!(
+            !q || (self.st.injectable.is_empty_set() && self.st.occupied.is_empty_set()),
+            "quiescent run with live occupancy bits"
+        );
+        q
     }
 
     /// The fast-forward jump target for a quiescent lane: the earliest
@@ -2421,6 +3026,13 @@ impl<'a> Engine<'a> {
             self.st.queue_sum += self.st.queued_msgs;
             self.st.queue_cycles += 1;
         }
+        // Sampled mask-exactness audit (debug builds only): maintenance
+        // bugs persist in the masks, so a periodic full check catches
+        // them without multiplying test wall time by the lane count.
+        #[cfg(debug_assertions)]
+        if self.st.now & 63 == 0 {
+            self.check_kernel_masks();
+        }
         self.st.now += 1;
         Ok(self.finite() && self.st.active.is_empty() && self.drained())
     }
@@ -2451,6 +3063,7 @@ impl<'a> Engine<'a> {
             // (the `while` condition wins); a jump *past* a cycle limit
             // but short of the horizon trips here on the next iteration.
             if budget.max_cycles > 0 && self.st.now >= budget.max_cycles {
+                probe.absorb_masks(self.st);
                 probe.flush();
                 return Err(self.budget_cut(BudgetKind::Cycles, budget.max_cycles));
             }
@@ -2458,6 +3071,7 @@ impl<'a> Engine<'a> {
                 if executed & 0x3FF == 0
                     && start.elapsed().as_millis() as u64 >= budget.max_wall_ms
                 {
+                    probe.absorb_masks(self.st);
                     probe.flush();
                     return Err(self.budget_cut(BudgetKind::WallClock, budget.max_wall_ms));
                 }
@@ -2469,6 +3083,7 @@ impl<'a> Engine<'a> {
                 if skipped > 0 {
                     if let Some(start) = wall_start {
                         if start.elapsed().as_millis() as u64 >= budget.max_wall_ms {
+                            probe.absorb_masks(self.st);
                             probe.flush();
                             return Err(
                                 self.budget_cut(BudgetKind::WallClock, budget.max_wall_ms)
@@ -2484,6 +3099,7 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        probe.absorb_masks(self.st);
         probe.flush();
         Ok(self.finish())
     }

@@ -34,6 +34,12 @@ pub(crate) struct CompiledEpoch {
     pub(crate) start: u64,
     /// `dead_lane[channel * vcs + vc]` — lane is failed this epoch.
     pub(crate) dead_lane: Vec<bool>,
+    /// The same mask packed as `u64` words (bit `li % 64` of word
+    /// `li / 64`), so the engine's word-parallel kernels fold the epoch's
+    /// dead lanes into their per-word eligibility masks — and rebuild
+    /// their permuted alive mask at an epoch boundary — by iterating set
+    /// bits instead of scanning every lane's `bool`.
+    pub(crate) dead_lane_words: Vec<u64>,
     /// Whether any lane is dead this epoch (fast-path gate).
     pub(crate) any_dead: bool,
     /// Masked routing table: candidates are alive and deliverable.
@@ -81,9 +87,16 @@ impl CompiledFaults {
             } else {
                 base.clone()
             };
+            let mut dead_lane_words = vec![0u64; ep.dead_lane.len().div_ceil(64)];
+            for (li, &dead) in ep.dead_lane.iter().enumerate() {
+                if dead {
+                    dead_lane_words[li / 64] |= 1u64 << (li % 64);
+                }
+            }
             epochs.push(CompiledEpoch {
                 start: ep.start,
                 dead_lane: ep.dead_lane.clone(),
+                dead_lane_words,
                 any_dead: ep.any_dead,
                 routes,
             });
@@ -153,6 +166,30 @@ mod tests {
         for dst in 0..net.geometry.nodes() {
             for ch in 0..net.num_channels() as u32 {
                 assert!(!cf.epochs[1].routes.candidates(ch, dst).contains(&victim));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_lane_words_mirror_the_bool_mask() {
+        let net = build_unidir(Geometry::new(4, 3), UnidirKind::Cube, 1);
+        let base = RouteTable::build(&net).unwrap();
+        let victim = (0..net.num_channels() as u32)
+            .find(|&c| {
+                let d = net.channel(c);
+                d.src.switch().is_some() && d.dst.switch().is_some()
+            })
+            .unwrap();
+        let plan =
+            FaultPlan::new().with(Fault::transient(FaultTarget::Channel(victim), 10, 20));
+        for vcs in [1u8, 2] {
+            let cf = CompiledFaults::compile(&net, &base, &plan, vcs).unwrap();
+            for ep in &cf.epochs {
+                assert_eq!(ep.dead_lane_words.len(), ep.dead_lane.len().div_ceil(64));
+                for (li, &dead) in ep.dead_lane.iter().enumerate() {
+                    let bit = ep.dead_lane_words[li / 64] >> (li % 64) & 1 == 1;
+                    assert_eq!(bit, dead, "vcs={vcs} lane {li}");
+                }
             }
         }
     }

@@ -9,6 +9,14 @@
 //! went. The counters are global and lock-free so sweeps that fan runs
 //! out over worker threads still aggregate correctly.
 //!
+//! Beyond wall time, the allocate and transmit phases each report a
+//! **words-scanned / bits-processed pair**: how many `u64` mask words
+//! their sweeps loaded versus how many set bits (requests served,
+//! channel visits) they actually processed. The ratio is the mask
+//! density the word-parallel kernels exploit — a speedup claim is
+//! attributable when bits-per-word rises with load while the word count
+//! stays flat.
+//!
 //! With the feature off this module does not exist and the engine's
 //! probe type compiles to a zero-sized no-op, so the production hot loop
 //! pays nothing.
@@ -22,6 +30,10 @@ static FF_JUMPS: AtomicU64 = AtomicU64::new(0);
 static ARRIVALS_NS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATE_NS: AtomicU64 = AtomicU64::new(0);
 static TRANSMIT_NS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_WORDS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BITS: AtomicU64 = AtomicU64::new(0);
+static TRANSMIT_WORDS: AtomicU64 = AtomicU64::new(0);
+static TRANSMIT_BITS: AtomicU64 = AtomicU64::new(0);
 
 /// One snapshot of the hot-path counters (or one run's contribution).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +52,14 @@ pub struct HotStats {
     pub allocate_ns: u64,
     /// Wall nanoseconds in the transmission phase.
     pub transmit_ns: u64,
+    /// Injectable-mask words the allocate phase scanned.
+    pub alloc_words_scanned: u64,
+    /// Allocation requests (injects + advances) the phase processed.
+    pub alloc_bits_processed: u64,
+    /// Ready/maybe-ready mask words the transmit sweep scanned.
+    pub transmit_words_scanned: u64,
+    /// Channel visits the transmit sweep processed.
+    pub transmit_bits_processed: u64,
 }
 
 impl HotStats {
@@ -53,6 +73,16 @@ impl HotStats {
             self.cycles_skipped as f64 / total as f64
         }
     }
+
+    /// Set bits the transmit sweep processed per mask word scanned —
+    /// the occupancy density the word-parallel kernels amortize over.
+    pub fn transmit_bits_per_word(&self) -> f64 {
+        if self.transmit_words_scanned == 0 {
+            0.0
+        } else {
+            self.transmit_bits_processed as f64 / self.transmit_words_scanned as f64
+        }
+    }
 }
 
 /// Add one run's counters to the process-wide totals.
@@ -64,6 +94,10 @@ pub(crate) fn record(h: &HotStats) {
     ARRIVALS_NS.fetch_add(h.arrivals_ns, Ordering::Relaxed);
     ALLOCATE_NS.fetch_add(h.allocate_ns, Ordering::Relaxed);
     TRANSMIT_NS.fetch_add(h.transmit_ns, Ordering::Relaxed);
+    ALLOC_WORDS.fetch_add(h.alloc_words_scanned, Ordering::Relaxed);
+    ALLOC_BITS.fetch_add(h.alloc_bits_processed, Ordering::Relaxed);
+    TRANSMIT_WORDS.fetch_add(h.transmit_words_scanned, Ordering::Relaxed);
+    TRANSMIT_BITS.fetch_add(h.transmit_bits_processed, Ordering::Relaxed);
 }
 
 /// Read the totals without clearing them.
@@ -76,6 +110,10 @@ pub fn snapshot() -> HotStats {
         arrivals_ns: ARRIVALS_NS.load(Ordering::Relaxed),
         allocate_ns: ALLOCATE_NS.load(Ordering::Relaxed),
         transmit_ns: TRANSMIT_NS.load(Ordering::Relaxed),
+        alloc_words_scanned: ALLOC_WORDS.load(Ordering::Relaxed),
+        alloc_bits_processed: ALLOC_BITS.load(Ordering::Relaxed),
+        transmit_words_scanned: TRANSMIT_WORDS.load(Ordering::Relaxed),
+        transmit_bits_processed: TRANSMIT_BITS.load(Ordering::Relaxed),
     }
 }
 
@@ -90,6 +128,10 @@ pub fn take() -> HotStats {
         arrivals_ns: ARRIVALS_NS.swap(0, Ordering::Relaxed),
         allocate_ns: ALLOCATE_NS.swap(0, Ordering::Relaxed),
         transmit_ns: TRANSMIT_NS.swap(0, Ordering::Relaxed),
+        alloc_words_scanned: ALLOC_WORDS.swap(0, Ordering::Relaxed),
+        alloc_bits_processed: ALLOC_BITS.swap(0, Ordering::Relaxed),
+        transmit_words_scanned: TRANSMIT_WORDS.swap(0, Ordering::Relaxed),
+        transmit_bits_processed: TRANSMIT_BITS.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -109,6 +151,10 @@ mod tests {
             arrivals_ns: 10,
             allocate_ns: 20,
             transmit_ns: 30,
+            alloc_words_scanned: 8,
+            alloc_bits_processed: 4,
+            transmit_words_scanned: 16,
+            transmit_bits_processed: 40,
         };
         record(&one);
         record(&one);
@@ -116,11 +162,23 @@ mod tests {
         assert!(snap.cycles_executed >= 200);
         let taken = take();
         assert!(taken.runs >= 2 && taken.ff_jumps >= 10);
+        assert!(taken.alloc_words_scanned >= 16 && taken.transmit_bits_processed >= 80);
         assert!((taken.skipped_fraction() - 1.0 / 3.0).abs() < 0.2);
     }
 
     #[test]
     fn skipped_fraction_handles_empty() {
         assert_eq!(HotStats::default().skipped_fraction(), 0.0);
+        assert_eq!(HotStats::default().transmit_bits_per_word(), 0.0);
+    }
+
+    #[test]
+    fn bits_per_word_density() {
+        let h = HotStats {
+            transmit_words_scanned: 10,
+            transmit_bits_processed: 25,
+            ..HotStats::default()
+        };
+        assert!((h.transmit_bits_per_word() - 2.5).abs() < 1e-12);
     }
 }

@@ -20,6 +20,13 @@
 //! scalar run of the same `(network, config, seed)` — pinned by the
 //! scalar≡lockstep differential suite in `tests/engine_equivalence.rs`
 //! and the replication-count proptest in `tests/compiled_pipeline.rs`.
+//!
+//! The fleet composes with the word-parallel kernels
+//! (`EngineConfig::word_kernels`): each lane runs whichever engine path
+//! the compiled config selects, and since both paths are bit-identical,
+//! the lockstep contract is toggle-invariant — the two accelerations
+//! multiply (kernels speed each lane; the fleet amortizes shared
+//! artifacts across lanes) rather than interact.
 
 use crate::engine::EngineState;
 

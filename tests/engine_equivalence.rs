@@ -204,6 +204,90 @@ fn build_order_transmit_is_bit_identical() {
     assert_identical("TMIN build-order", &opt, &refr);
 }
 
+/// The word-parallel kernels are pure acceleration: with the toggle
+/// forced **on** and forced **off** in the config (independent of the
+/// `MINNET_WORD_KERNELS` environment default), Poisson and scripted
+/// reports must be bit-identical across all four networks and three
+/// seeds — the off path is the scalar oracle the kernels are audited
+/// against, so any divergence in request order, RNG draw count, or
+/// accumulator sequencing lands here. Saturating load (0.55) keeps the
+/// occupancy masks dense so the batched transmit paths actually run.
+#[test]
+fn word_kernel_toggle_is_bit_identical() {
+    let g = Geometry::new(4, 3);
+    let mut st = EngineState::new();
+    for spec in NetworkSpec::paper_lineup() {
+        let net = Arc::new(spec.build(g));
+        let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.55)).unwrap();
+        let compiled = CompiledNet::new(Arc::clone(&net), cfg_for(&spec, 0)).unwrap();
+        let on = compiled.with_word_kernels(true);
+        let off = compiled.with_word_kernels(false);
+        for seed in SEEDS {
+            let a = on.run_poisson(&wl, seed, &mut st).unwrap();
+            let b = off.run_poisson(&wl, seed, &mut st).unwrap();
+            assert_identical(
+                &format!("{} seed {seed:#x} kernels on/off", spec.name()),
+                &a,
+                &b,
+            );
+            assert!(a.delivered_packets > 0, "{}: nothing simulated", spec.name());
+        }
+
+        let mut base = cfg_for(&spec, 0);
+        base.warmup = 0;
+        base.measure = 1_000_000;
+        base.collect_trace = true;
+        let scripted = CompiledNet::new(Arc::clone(&net), base).unwrap();
+        let once = Script::compile(g, &script(g)).unwrap();
+        for seed in SEEDS {
+            let a = scripted
+                .with_word_kernels(true)
+                .run_script(&once, seed, &mut st)
+                .unwrap();
+            let b = scripted
+                .with_word_kernels(false)
+                .run_script(&once, seed, &mut st)
+                .unwrap();
+            assert_identical(
+                &format!("{} seed {seed:#x} scripted kernels on/off", spec.name()),
+                &a,
+                &b,
+            );
+        }
+    }
+}
+
+/// The toggle must also be invisible under the build-order transmit
+/// ablation, which exercises the kernels' re-read (non-patching)
+/// fallback loops instead of the reverse-topological patch loops.
+#[test]
+fn word_kernel_toggle_is_bit_identical_in_build_order() {
+    let g = Geometry::new(4, 3);
+    let mut st = EngineState::new();
+    for spec in NetworkSpec::paper_lineup() {
+        let net = Arc::new(spec.build(g));
+        let wl = Workload::compile(g, &WorkloadSpec::global_uniform(0.5)).unwrap();
+        let mut cfg = cfg_for(&spec, 0);
+        cfg.transmit_order = minnet_sim::TransmitOrder::BuildOrder;
+        let compiled = CompiledNet::new(Arc::clone(&net), cfg).unwrap();
+        for seed in SEEDS {
+            let a = compiled
+                .with_word_kernels(true)
+                .run_poisson(&wl, seed, &mut st)
+                .unwrap();
+            let b = compiled
+                .with_word_kernels(false)
+                .run_poisson(&wl, seed, &mut st)
+                .unwrap();
+            assert_identical(
+                &format!("{} seed {seed:#x} build-order kernels on/off", spec.name()),
+                &a,
+                &b,
+            );
+        }
+    }
+}
+
 /// Crossbar validation exercises the engine's release bookkeeping on a
 /// different path; keep it equivalent as well.
 #[test]

@@ -21,7 +21,7 @@ fn route_candidates(c: &mut Criterion) {
                 // Route every injected header once.
                 for s in 0..64u32 {
                     let d = (s + 17) % 64;
-                    logic.candidates(net, s, d, net.inject[s as usize], &mut out);
+                    logic.candidates(net, s, d, net.inject(s), &mut out);
                     std::hint::black_box(&out);
                 }
             });

@@ -80,6 +80,10 @@ struct Net {
     /// Campaign outcome counts `(ok, partial, failed)`; `None` on
     /// baselines predating the campaign runner.
     counts: Option<(u64, u64, u64)>,
+    /// Resident bytes of the compiled route table / CSR topology arenas;
+    /// `None` on files predating the memory columns.
+    table_bytes: Option<f64>,
+    graph_bytes: Option<f64>,
 }
 
 /// Extract the number following `"key": ` inside a single-line JSON row.
@@ -105,7 +109,17 @@ fn parse_networks(src: &str) -> Vec<Net> {
                 lockstep: Vec::new(),
                 kernels: Vec::new(),
                 counts: None,
+                table_bytes: None,
+                graph_bytes: None,
             });
+        } else if t.starts_with("\"table_bytes\":") {
+            if let Some(net) = out.last_mut() {
+                net.table_bytes = field(t, "table_bytes");
+            }
+        } else if t.starts_with("\"graph_bytes\":") {
+            if let Some(net) = out.last_mut() {
+                net.graph_bytes = field(t, "graph_bytes");
+            }
         } else if t.starts_with("\"ok\":") {
             if let (Some(net), Some(ok), Some(partial), Some(failed)) = (
                 out.last_mut(),
@@ -226,6 +240,48 @@ fn compare_kernels(current: &[Net], summary: &mut String) -> usize {
                 summary,
                 "  {:>16} @ load {load:4}: {on:12.0} vs {off:12.0}  ({speedup:5.2}x){flag}",
                 net.name
+            );
+        }
+    }
+    warned
+}
+
+/// Warn-only diff of the setup-memory columns (`table_bytes` /
+/// `graph_bytes`): unlike wall-clock throughput these are deterministic
+/// functions of the code, so any growth beyond **+5%** is a real memory
+/// regression in the construction pipeline — but the check never gates
+/// (a deliberate capacity change just refreshes the baseline). Files
+/// predating the columns skip silently.
+fn compare_memory(baseline: &[Net], current: &[Net], summary: &mut String) -> usize {
+    let mut warned = 0usize;
+    let mut header = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|n| n.name == base.name) else {
+            continue;
+        };
+        for (what, b, c) in [
+            ("table_bytes", base.table_bytes, cur.table_bytes),
+            ("graph_bytes", base.graph_bytes, cur.graph_bytes),
+        ] {
+            let (Some(b), Some(c)) = (b, c) else { continue };
+            if !header {
+                let _ = writeln!(
+                    summary,
+                    "setup memory: resident bytes vs baseline (deterministic; warn above +5%)"
+                );
+                header = true;
+            }
+            let drift = if b > 0.0 { (c / b - 1.0) * 100.0 } else { 0.0 };
+            let flag = if drift > 5.0 || (b == 0.0 && c > 0.0) {
+                warned += 1;
+                "  <-- WARNING: setup memory grew"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                summary,
+                "  {:>16} {what:>12}: {c:12.0} vs {b:12.0}  ({drift:+6.1}%){flag}",
+                base.name
             );
         }
     }
@@ -592,6 +648,7 @@ fn main() -> Result<(), String> {
     let (sweep_warned, regressed) =
         compare_sweeps(&baseline, &current, fail_pct, &mut summary);
     warned += sweep_warned;
+    warned += compare_memory(&baseline, &current, &mut summary);
     warned += compare_lockstep(&current, &mut summary);
     warned += compare_kernels(&current, &mut summary);
     if let Some((faults_base, faults_cur)) = &faults {
@@ -631,7 +688,45 @@ mod tests {
             lockstep: Vec::new(),
             kernels: Vec::new(),
             counts: None,
+            table_bytes: None,
+            graph_bytes: None,
         }
+    }
+
+    #[test]
+    fn memory_columns_parse_and_warn_on_growth() {
+        let src = r#"{
+  "networks": [
+    {
+      "name": "tmin",
+      "setup_ms": 1.0,
+      "table_bytes": 100000,
+      "graph_bytes": 50000,
+      "cycles_per_sec": 400000.0
+    }
+  ]
+}"#;
+        let base = parse_networks(src);
+        assert_eq!(base[0].table_bytes, Some(100_000.0));
+        assert_eq!(base[0].graph_bytes, Some(50_000.0));
+        // Within +5%: silent row. Table grown 3x: warns.
+        let grown = src
+            .replace("\"table_bytes\": 100000", "\"table_bytes\": 300000")
+            .replace("\"graph_bytes\": 50000", "\"graph_bytes\": 51000");
+        let cur = parse_networks(&grown);
+        let mut summary = String::new();
+        assert_eq!(compare_memory(&base, &cur, &mut summary), 1, "{summary}");
+        assert!(summary.contains("setup memory grew"), "{summary}");
+        assert!(summary.contains("+200.0%"), "{summary}");
+    }
+
+    #[test]
+    fn files_without_memory_columns_stay_silent() {
+        let base = vec![net("tmin", 1.0, &[])];
+        let cur = vec![net("tmin", 1.0, &[])];
+        let mut summary = String::new();
+        assert_eq!(compare_memory(&base, &cur, &mut summary), 0);
+        assert!(summary.is_empty(), "{summary}");
     }
 
     #[test]

@@ -118,6 +118,11 @@ fn smoke_experiment(cli: &Cli, spec: NetworkSpec) -> Experiment {
 struct NetResult {
     name: String,
     run_ms: f64,
+    /// Resident bytes of the compiled route table and the CSR topology
+    /// arenas — the setup-memory companions `bench_compare` diffs
+    /// (warn-only) against the baseline.
+    table_bytes: u64,
+    graph_bytes: u64,
     points: Vec<DegradationCampaignPoint>,
 }
 
@@ -182,6 +187,13 @@ fn main() -> Result<(), String> {
                 .map(|d| d.join(format!("{}.jsonl", spec.name()))),
             require_existing: cli.require_existing,
         };
+        let compiled = exp.compile()?;
+        let table_bytes = compiled
+            .network()
+            .routes()
+            .map_or(0, minnet_routing::RouteTable::approx_bytes);
+        let graph_bytes = compiled.network().network().approx_bytes() as u64;
+        drop(compiled); // the campaign compiles internally
         let t = Instant::now();
         let points =
             campaign_degradation_curve(&exp, LOAD, &FAULTS, REPLICATIONS, threads, &policy)?;
@@ -210,6 +222,8 @@ fn main() -> Result<(), String> {
         results.push(NetResult {
             name: spec.name(),
             run_ms,
+            table_bytes,
+            graph_bytes,
             points,
         });
     }
@@ -235,6 +249,8 @@ fn main() -> Result<(), String> {
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
         let _ = writeln!(json, "      \"run_ms\": {:.3},", r.run_ms);
+        let _ = writeln!(json, "      \"table_bytes\": {},", r.table_bytes);
+        let _ = writeln!(json, "      \"graph_bytes\": {},", r.graph_bytes);
         json.push_str("      \"points\": [\n");
         for (j, p) in r.points.iter().enumerate() {
             point_row(&mut json, p, j + 1 == r.points.len());

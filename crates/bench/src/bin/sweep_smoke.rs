@@ -189,6 +189,12 @@ struct LoadRow {
 struct NetResult {
     name: String,
     setup_ms: f64,
+    /// Resident bytes of the compiled route table (0 when the cell cap
+    /// suppressed it) and of the CSR topology arenas — the memory
+    /// companions to `setup_ms`, so `bench_compare` can flag setup-memory
+    /// regressions alongside time ones.
+    table_bytes: u64,
+    graph_bytes: u64,
     run_ms: f64,
     run_ms_mt: f64,
     one_shot_ms: f64,
@@ -227,6 +233,11 @@ fn bench_network(
     let t = Instant::now();
     let compiled = exp.compile()?;
     let setup_ms = ms(t);
+    let table_bytes = compiled
+        .network()
+        .routes()
+        .map_or(0, minnet_routing::RouteTable::approx_bytes);
+    let graph_bytes = compiled.network().network().approx_bytes() as u64;
     drop(compiled); // the campaign compiles internally; timed apart
 
     // Per-load single-threaded rows: comparable engine throughput,
@@ -362,6 +373,8 @@ fn bench_network(
     Ok(NetResult {
         name,
         setup_ms,
+        table_bytes,
+        graph_bytes,
         run_ms,
         run_ms_mt,
         one_shot_ms,
@@ -430,7 +443,7 @@ fn main() -> Result<(), String> {
     // Lockstep fleets are only meaningful (and only taken) without a
     // run budget; 0 records "comparison skipped" in the artifact.
     let lockstep_threads = if cli.budget_cycles == 0 && cli.budget_ms == 0 {
-        threads.min(REPLICATIONS).max(1)
+        threads.clamp(1, REPLICATIONS)
     } else {
         0
     };
@@ -475,6 +488,8 @@ fn main() -> Result<(), String> {
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
         let _ = writeln!(json, "      \"setup_ms\": {:.3},", r.setup_ms);
+        let _ = writeln!(json, "      \"table_bytes\": {},", r.table_bytes);
+        let _ = writeln!(json, "      \"graph_bytes\": {},", r.graph_bytes);
         let _ = writeln!(json, "      \"run_ms\": {:.3},", r.run_ms);
         let _ = writeln!(json, "      \"run_ms_mt\": {:.3},", r.run_ms_mt);
         let _ = writeln!(json, "      \"one_shot_ms\": {:.3},", r.one_shot_ms);

@@ -44,10 +44,8 @@ pub fn dependency_graph(net: &NetworkGraph, rule: DependencyRule) -> Vec<Vec<Cha
                 ..
             } = net.channel(c).dst
             {
-                let k = net.geometry.k() as usize;
-                for lanes in &net.switch(sw).out_ports[k..2 * k] {
-                    adj[c as usize].extend_from_slice(lanes);
-                }
+                let k = net.geometry.k();
+                adj[c as usize].extend_from_slice(net.out_port_span(sw, k, 2 * k));
             }
         }
     }

@@ -64,25 +64,23 @@ impl RouteLogic {
             RouteLogic::DestinationTag(kind) => {
                 debug_assert_eq!(side, Side::Left, "unidirectional inputs are left-side");
                 let t = kind.tag_digit(g, NodeAddr(dst), swd.stage as u32);
-                out.extend_from_slice(&swd.out_ports[t as usize]);
+                out.extend_from_slice(net.out_port(sw, t));
             }
             RouteLogic::Turnaround => {
-                let k = g.k() as usize;
+                let k = g.k();
                 match turnaround_action(g, swd.stage as u32, side, NodeAddr(src), NodeAddr(dst)) {
                     TurnaroundAction::ForwardAny => {
-                        for lanes in &swd.out_ports[k..2 * k] {
-                            out.extend_from_slice(lanes);
-                        }
+                        out.extend_from_slice(net.out_port_span(sw, k, 2 * k));
                     }
                     TurnaroundAction::Turn(p) => {
                         debug_assert_ne!(
                             p as u8, port,
                             "turnaround may not reuse the arrival port (Def. 4)"
                         );
-                        out.extend_from_slice(&swd.out_ports[p as usize]);
+                        out.extend_from_slice(net.out_port(sw, p));
                     }
                     TurnaroundAction::Backward(p) => {
-                        out.extend_from_slice(&swd.out_ports[p as usize]);
+                        out.extend_from_slice(net.out_port(sw, p));
                     }
                 }
             }
@@ -104,7 +102,7 @@ mod tests {
         dst: NodeId,
         mut pick: usize,
     ) -> Vec<ChannelId> {
-        let mut path = vec![net.inject[src as usize]];
+        let mut path = vec![net.inject(src)];
         let mut cands = Vec::new();
         loop {
             logic.candidates(net, src, dst, *path.last().unwrap(), &mut cands);
@@ -169,7 +167,7 @@ mod tests {
         let mut cands = Vec::new();
         // 0 → 63 has t = 2: at the stage-0 input the header may pick any
         // of the 4 forward channels.
-        logic.candidates(&net, 0, 63, net.inject[0], &mut cands);
+        logic.candidates(&net, 0, 63, net.inject(0), &mut cands);
         assert_eq!(cands.len(), 4);
     }
 
@@ -179,7 +177,7 @@ mod tests {
         let net = build_unidir(g, UnidirKind::Cube, 2);
         let logic = RouteLogic::for_kind(net.kind);
         let mut cands = Vec::new();
-        logic.candidates(&net, 0, 63, net.inject[0], &mut cands);
+        logic.candidates(&net, 0, 63, net.inject(0), &mut cands);
         assert_eq!(cands.len(), 2); // one output port, two lanes
         let a = net.channel(cands[0]);
         let b = net.channel(cands[1]);
@@ -193,7 +191,7 @@ mod tests {
         let net = build_unidir(g, UnidirKind::Cube, 1);
         let logic = RouteLogic::for_kind(net.kind);
         let mut cands = vec![99];
-        logic.candidates(&net, 1, 5, net.eject[5], &mut cands);
+        logic.candidates(&net, 1, 5, net.eject(5), &mut cands);
         assert!(cands.is_empty());
     }
 }

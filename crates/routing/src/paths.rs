@@ -44,7 +44,7 @@ pub fn enumerate_paths(
     if src == dst {
         return results;
     }
-    let mut stack = vec![net.inject[src as usize]];
+    let mut stack = vec![net.inject(src)];
     dfs(net, logic, src, dst, &mut stack, &mut results);
     results
 }
@@ -225,8 +225,8 @@ mod tests {
         let paths = enumerate_paths(&net, RouteLogic::Turnaround, s, d);
         assert_eq!(paths.len(), 4);
         for p in &paths {
-            assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
-            assert_eq!(p[0], net.inject[s as usize]);
+            assert_eq!(*p.last().unwrap(), net.eject(d));
+            assert_eq!(p[0], net.inject(s));
         }
         // The four paths are pairwise distinct.
         for i in 0..paths.len() {

@@ -9,13 +9,29 @@
 //! is a slice lookup instead of re-deriving tag digits or turnaround
 //! actions.
 //!
+//! ## Streaming construction
+//!
 //! The table is built by *walking* [`RouteLogic`] over every reachable
-//! `(channel, destination)` state — a breadth-first traversal from every
-//! source's injection channel, for every destination — rather than by
-//! re-implementing the routing rules. Whatever the logic answers is what
-//! the table stores, so the two cannot disagree on a reachable pair; the
-//! build errors out if two different sources ever induce different
-//! candidate sets at the same cell (self-routing would be violated).
+//! `(channel, destination)` state rather than by re-implementing the
+//! routing rules. Per destination, one breadth-first union walk seeded
+//! from **every** source's injection channel discovers the reachable
+//! channels (recording a representative source per channel — legal because
+//! the networks are self-routing, so any reaching source induces the same
+//! candidates); the table is then filled in two passes — count, prefix-sum,
+//! fill — directly into the final CSR arrays with no intermediate per-cell
+//! allocations. Destinations are independent, so [`RouteTable::build_parallel`]
+//! chunks them into contiguous blocks across threads; each block writes a
+//! disjoint region of `starts`/`cands` at offsets fixed by the count pass,
+//! making the result byte-identical for every thread count.
+//!
+//! [`RouteTable::build_grid`] keeps the original per-(src,dst) walk over an
+//! `Option<Vec>` cell grid as a differential oracle: it cross-checks the
+//! self-routing property between sources (the streaming build trusts it)
+//! and the equivalence tests pin `build ≡ build_grid` on every fixture.
+//!
+//! Cells are laid out **destination-major** (`cell = dst·nch + channel`):
+//! all cells of one destination are contiguous, which is what makes the
+//! per-destination parallel fill expressible as disjoint slice borrows.
 //! Unreachable cells stay empty and are never queried by the engine.
 
 use crate::logic::RouteLogic;
@@ -25,21 +41,255 @@ use minnet_topology::{ChannelId, NetworkGraph, NodeId};
 /// `(arrival channel, destination)` pair, the candidate output channels in
 /// exactly the order [`RouteLogic::candidates`] produces them.
 ///
-/// Storage is CSR-style: `starts` has one `(offset)` entry per cell plus a
-/// terminator, indexing into the shared `cands` pool. For the paper's
-/// 64-node networks the whole table is a few tens of kilobytes and is
-/// immutable after construction — share it freely across sweep threads.
-#[derive(Clone, Debug)]
+/// Storage is CSR-style: `starts` has one offset entry per cell plus a
+/// terminator, indexing into the shared `cands` pool; cells are
+/// destination-major. For the paper's 64-node networks the whole table is
+/// a few tens of kilobytes and is immutable after construction — share it
+/// freely across sweep threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteTable {
     nodes: u32,
+    nch: u32,
     starts: Vec<u32>,
     cands: Vec<ChannelId>,
 }
 
+/// Reusable per-thread scratch for the per-destination union walks: the
+/// visited stamp, the representative source discovered for each channel,
+/// and the BFS frontier. One allocation set per thread for the whole
+/// build, regardless of network size or destination count.
+struct DstWalk {
+    logic: RouteLogic,
+    stamp: Vec<u32>,
+    rep: Vec<NodeId>,
+    gen: u32,
+    frontier: Vec<ChannelId>,
+    scratch: Vec<ChannelId>,
+}
+
+impl DstWalk {
+    fn new(net: &NetworkGraph) -> DstWalk {
+        let nch = net.num_channels();
+        DstWalk {
+            logic: RouteLogic::for_kind(net.kind),
+            stamp: vec![0; nch],
+            rep: vec![0; nch],
+            gen: 0,
+            frontier: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Walk the union of every source's reachable channels toward `dst`,
+    /// stamping each reachable channel with a representative source.
+    /// Returns the total candidate count over all reached cells.
+    fn walk(&mut self, net: &NetworkGraph, dst: NodeId) -> u64 {
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        let gen = self.gen;
+        self.frontier.clear();
+        for src in 0..net.geometry.nodes() {
+            if src == dst {
+                continue;
+            }
+            let inj = net.inject(src);
+            if self.stamp[inj as usize] != gen {
+                self.stamp[inj as usize] = gen;
+                self.rep[inj as usize] = src;
+                self.frontier.push(inj);
+            }
+        }
+        let mut total = 0u64;
+        while let Some(at) = self.frontier.pop() {
+            let rep = self.rep[at as usize];
+            self.logic.candidates(net, rep, dst, at, &mut self.scratch);
+            total += self.scratch.len() as u64;
+            for &c in &self.scratch {
+                if self.stamp[c as usize] != gen {
+                    self.stamp[c as usize] = gen;
+                    self.rep[c as usize] = rep;
+                    self.frontier.push(c);
+                }
+            }
+        }
+        total
+    }
+
+    /// After [`Self::walk`]`(dst)`, re-derive each reached cell's
+    /// candidates in ascending channel order and write them into `dst`'s
+    /// slice of the final arrays. `starts_row` covers the `nch` cells of
+    /// `dst`, `cands_seg` its candidate span, and `base` is the span's
+    /// global offset.
+    fn emit(
+        &mut self,
+        net: &NetworkGraph,
+        dst: NodeId,
+        base: u32,
+        starts_row: &mut [u32],
+        cands_seg: &mut [ChannelId],
+    ) {
+        let mut off = 0usize;
+        for (ch, start) in starts_row.iter_mut().enumerate() {
+            *start = base + off as u32;
+            if self.stamp[ch] == self.gen {
+                self.logic
+                    .candidates(net, self.rep[ch], dst, ch as ChannelId, &mut self.scratch);
+                cands_seg[off..off + self.scratch.len()].copy_from_slice(&self.scratch);
+                off += self.scratch.len();
+            }
+        }
+        debug_assert_eq!(off, cands_seg.len(), "count and fill walks disagree");
+    }
+}
+
+/// Contiguous destination range of block `b` of `blocks`.
+fn block_bounds(nodes: u32, blocks: usize, b: usize) -> (u32, u32) {
+    let lo = (u64::from(nodes) * b as u64 / blocks as u64) as u32;
+    let hi = (u64::from(nodes) * (b as u64 + 1) / blocks as u64) as u32;
+    (lo, hi)
+}
+
 impl RouteTable {
-    /// Precompute the routing table for `net` by exhaustively walking
-    /// [`RouteLogic::for_kind`] from every injection channel to every
-    /// destination.
+    /// Precompute the routing table for `net` with the streaming
+    /// per-destination build (single-threaded). See the module docs; the
+    /// result is byte-identical to [`Self::build_grid`] and to
+    /// [`Self::build_parallel`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Reports a table whose candidate pool would overflow the `u32` CSR
+    /// offsets (only reachable beyond about four billion stored
+    /// candidates — far past any geometry the cell cap admits).
+    pub fn build(net: &NetworkGraph) -> Result<RouteTable, String> {
+        RouteTable::build_parallel(net, 1)
+    }
+
+    /// [`Self::build`] with the count and fill passes chunked over
+    /// contiguous destination blocks on `threads` OS threads (`0` = one
+    /// per available core). Deterministic: every destination's cells are
+    /// computed independently and land at offsets fixed by the serial
+    /// prefix sum, so the output is byte-identical for every `threads`.
+    pub fn build_parallel(net: &NetworkGraph, threads: usize) -> Result<RouteTable, String> {
+        let nodes = net.geometry.nodes();
+        let nch = net.num_channels();
+        let ncells = nch * nodes as usize;
+        let threads = match threads {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            t => t,
+        }
+        .min(nodes as usize)
+        .max(1);
+
+        // Pass 1: per-destination candidate counts.
+        let mut dst_total = vec![0u64; nodes as usize];
+        if threads <= 1 {
+            let mut w = DstWalk::new(net);
+            for (dst, slot) in dst_total.iter_mut().enumerate() {
+                *slot = w.walk(net, dst as NodeId);
+            }
+        } else {
+            std::thread::scope(|s| {
+                let mut rest: &mut [u64] = &mut dst_total;
+                for b in 0..threads {
+                    let (lo, hi) = block_bounds(nodes, threads, b);
+                    let (blk, tail) = rest.split_at_mut((hi - lo) as usize);
+                    rest = tail;
+                    s.spawn(move || {
+                        let mut w = DstWalk::new(net);
+                        for (i, slot) in blk.iter_mut().enumerate() {
+                            *slot = w.walk(net, lo + i as u32);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Prefix-sum into per-destination base offsets.
+        let total: u64 = dst_total.iter().sum();
+        if total > u64::from(u32::MAX) {
+            return Err(format!(
+                "route table needs {total} candidate slots, overflowing u32 offsets"
+            ));
+        }
+        let mut dst_base = vec![0u32; nodes as usize + 1];
+        for (d, &t) in dst_total.iter().enumerate() {
+            dst_base[d + 1] = dst_base[d] + t as u32;
+        }
+
+        // Pass 2: re-walk each destination and fill its disjoint slice of
+        // the final arrays.
+        let mut starts = vec![0u32; ncells + 1];
+        starts[ncells] = total as u32;
+        let mut cands = vec![0 as ChannelId; total as usize];
+        if threads <= 1 {
+            let mut w = DstWalk::new(net);
+            for dst in 0..nodes {
+                let (base, hi) = (dst_base[dst as usize], dst_base[dst as usize + 1]);
+                w.walk(net, dst);
+                w.emit(
+                    net,
+                    dst,
+                    base,
+                    &mut starts[dst as usize * nch..(dst as usize + 1) * nch],
+                    &mut cands[base as usize..hi as usize],
+                );
+            }
+        } else {
+            std::thread::scope(|s| {
+                let mut starts_rest: &mut [u32] = &mut starts[..ncells];
+                let mut cands_rest: &mut [ChannelId] = &mut cands;
+                for b in 0..threads {
+                    let (lo, hi) = block_bounds(nodes, threads, b);
+                    let (rows, stail) = starts_rest.split_at_mut((hi - lo) as usize * nch);
+                    starts_rest = stail;
+                    let seg_len = dst_base[hi as usize] - dst_base[lo as usize];
+                    let (seg, ctail) = cands_rest.split_at_mut(seg_len as usize);
+                    cands_rest = ctail;
+                    let dst_base = &dst_base;
+                    s.spawn(move || {
+                        let mut w = DstWalk::new(net);
+                        let block_base = dst_base[lo as usize];
+                        for dst in lo..hi {
+                            let (base, top) =
+                                (dst_base[dst as usize], dst_base[dst as usize + 1]);
+                            let i = (dst - lo) as usize;
+                            w.walk(net, dst);
+                            w.emit(
+                                net,
+                                dst,
+                                base,
+                                &mut rows[i * nch..(i + 1) * nch],
+                                &mut seg[(base - block_base) as usize
+                                    ..(top - block_base) as usize],
+                            );
+                        }
+                    });
+                }
+            });
+        }
+
+        Ok(RouteTable {
+            nodes,
+            nch: nch as u32,
+            starts,
+            cands,
+        })
+    }
+
+    /// The original cell-grid build: one walk per `(src, dst)` pair into a
+    /// `Vec<Option<Vec<ChannelId>>>` grid, flattened to CSR at the end.
+    /// O(channels × destinations) `Option<Vec>` cells and one heap
+    /// allocation per reachable cell — kept as the differential oracle for
+    /// the streaming build (and as the *self-routing cross-check*: it
+    /// errors if two sources ever disagree about a cell, which the
+    /// streaming build takes on trust). Returns the table plus an estimate
+    /// of the build's peak heap footprint in bytes, for before/after
+    /// accounting in the scale bench.
     ///
     /// # Errors
     ///
@@ -48,13 +298,14 @@ impl RouteTable {
     /// for the self-routing networks this crate models, but checked so a
     /// future routing function that violates the assumption fails loudly
     /// at build time instead of silently mis-simulating.
-    pub fn build(net: &NetworkGraph) -> Result<RouteTable, String> {
+    pub fn build_grid(net: &NetworkGraph) -> Result<(RouteTable, u64), String> {
         let logic = RouteLogic::for_kind(net.kind);
         let nodes = net.geometry.nodes();
         let nch = net.num_channels();
         let ncells = nch * nodes as usize;
 
         // Per-cell candidate lists, filled lazily as the walks reach them.
+        // Destination-major, like the final layout.
         let mut cells: Vec<Option<Vec<ChannelId>>> = vec![None; ncells];
         // Visited stamp per channel, regenerated per (src, dst) walk.
         let mut stamp = vec![u32::MAX; nch];
@@ -68,10 +319,10 @@ impl RouteTable {
                     continue;
                 }
                 frontier.clear();
-                frontier.push(net.inject[src as usize]);
-                stamp[net.inject[src as usize] as usize] = generation;
+                frontier.push(net.inject(src));
+                stamp[net.inject(src) as usize] = generation;
                 while let Some(at) = frontier.pop() {
-                    let cell = at as usize * nodes as usize + dst as usize;
+                    let cell = dst as usize * nch + at as usize;
                     match &cells[cell] {
                         Some(prev) => {
                             // Already filled by an earlier source: the
@@ -102,7 +353,7 @@ impl RouteTable {
             }
         }
 
-        // Flatten to CSR.
+        // Flatten to CSR (destination-major cell order is the vec order).
         let mut starts = Vec::with_capacity(ncells + 1);
         let total: usize = cells.iter().flatten().map(Vec::len).sum();
         let mut cands = Vec::with_capacity(total);
@@ -113,11 +364,18 @@ impl RouteTable {
             }
         }
         starts.push(cands.len() as u32);
-        Ok(RouteTable {
+        // Peak footprint: the cell grid (control + per-cell heap) and the
+        // final CSR coexist during the flatten.
+        let grid_bytes = ncells as u64 * std::mem::size_of::<Option<Vec<ChannelId>>>() as u64
+            + total as u64 * 4;
+        let csr_bytes = (starts.len() as u64 + cands.len() as u64) * 4;
+        let table = RouteTable {
             nodes,
+            nch: nch as u32,
             starts,
             cands,
-        })
+        };
+        Ok((table, grid_bytes + csr_bytes))
     }
 
     /// The output channels a header arriving over `at` may request next on
@@ -139,7 +397,7 @@ impl RouteTable {
     /// [`Self::resolve_range`] instead.
     #[inline]
     pub fn candidate_range(&self, at: ChannelId, dst: NodeId) -> (u32, u32) {
-        let cell = at as usize * self.nodes as usize + dst as usize;
+        let cell = dst as usize * self.nch as usize + at as usize;
         (self.starts[cell], self.starts[cell + 1])
     }
 
@@ -163,7 +421,11 @@ impl RouteTable {
     ///
     /// Candidate order is preserved (the mask only deletes entries), so a
     /// masked table under an all-live mask is candidate-for-candidate the
-    /// original — the engine's no-fault RNG stream is untouched.
+    /// original — the engine's no-fault RNG stream is untouched. An
+    /// all-live mask short-circuits to a plain clone (every candidate of
+    /// an unmasked table is deliverable by construction); a faulted mask
+    /// pre-counts the surviving candidates so both CSR arrays are
+    /// allocated at exactly their final size.
     ///
     /// Deliverability is computed per destination in one transmit-order
     /// pass: the engine's downstream-first channel order visits every
@@ -184,43 +446,63 @@ impl RouteTable {
                 dead_channel.len()
             ));
         }
+        if !dead_channel.contains(&true) {
+            // Empty-fault fast path: nothing can be masked out.
+            return Ok(self.clone());
+        }
         let nodes = self.nodes as usize;
         let order = net.transmit_order();
-        // deliver[ch * nodes + dst] — `dst` can still be reached from the
+        // deliver[dst * nch + ch] — `dst` can still be reached from the
         // head of `ch`.
         let mut deliver = vec![false; nch * nodes];
         for dst in 0..nodes {
-            for &ch in &order {
+            let drow = &mut deliver[dst * nch..(dst + 1) * nch];
+            for &ch in order {
                 let chi = ch as usize;
                 if dead_channel[chi] {
                     continue;
                 }
-                let ok = net.eject[dst] == ch
+                let ok = net.eject(dst as NodeId) == ch
                     || self.candidates(ch, dst as NodeId).iter().any(|&c| {
                         debug_assert!(
                             net.channel(c).topo_rank < net.channel(ch).topo_rank,
                             "candidate {c} not downstream of {ch}"
                         );
-                        deliver[c as usize * nodes + dst]
+                        drow[c as usize]
                     });
-                deliver[chi * nodes + dst] = ok;
+                drow[chi] = ok;
+            }
+        }
+        // Count the survivors, then fill exactly-sized arrays.
+        let mut total = 0usize;
+        for dst in 0..nodes {
+            let drow = &deliver[dst * nch..(dst + 1) * nch];
+            for ch in 0..nch {
+                total += self
+                    .candidates(ch as ChannelId, dst as NodeId)
+                    .iter()
+                    .filter(|&&c| drow[c as usize])
+                    .count();
             }
         }
         let mut starts = Vec::with_capacity(self.starts.len());
-        let mut cands = Vec::with_capacity(self.cands.len());
-        for ch in 0..nch {
-            for dst in 0..nodes {
+        let mut cands = Vec::with_capacity(total);
+        for dst in 0..nodes {
+            let drow = &deliver[dst * nch..(dst + 1) * nch];
+            for ch in 0..nch {
                 starts.push(cands.len() as u32);
                 cands.extend(
                     self.candidates(ch as ChannelId, dst as NodeId)
                         .iter()
-                        .filter(|&&c| deliver[c as usize * nodes + dst]),
+                        .filter(|&&c| drow[c as usize]),
                 );
             }
         }
         starts.push(cands.len() as u32);
+        debug_assert_eq!(cands.len(), total);
         Ok(RouteTable {
             nodes: self.nodes,
+            nch: self.nch,
             starts,
             cands,
         })
@@ -239,6 +521,13 @@ impl RouteTable {
     /// Whether the table stores no candidates at all (degenerate network).
     pub fn is_empty(&self) -> bool {
         self.cands.is_empty()
+    }
+
+    /// Approximate resident size of the table in bytes (both CSR arrays) —
+    /// a memory-accounting metric for benches.
+    pub fn approx_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+            + (self.starts.len() as u64 + self.cands.len() as u64) * 4
     }
 }
 
@@ -272,9 +561,9 @@ mod tests {
                         continue;
                     }
                     frontier.clear();
-                    frontier.push(net.inject[src as usize]);
+                    frontier.push(net.inject(src));
                     let mut seen = vec![false; net.num_channels()];
-                    seen[net.inject[src as usize] as usize] = true;
+                    seen[net.inject(src) as usize] = true;
                     while let Some(at) = frontier.pop() {
                         logic.candidates(&net, src, dst, at, &mut expect);
                         assert_eq!(
@@ -294,12 +583,40 @@ mod tests {
         }
     }
 
+    /// The streaming build and the Option<Vec>-grid oracle agree byte for
+    /// byte on every fixture — the tentpole's bit-identity pin.
+    #[test]
+    fn streaming_build_equals_grid_oracle() {
+        for net in nets() {
+            let stream = RouteTable::build(&net).unwrap();
+            let (grid, peak) = RouteTable::build_grid(&net).unwrap();
+            assert_eq!(stream, grid, "{:?}", net.kind);
+            assert!(peak >= stream.approx_bytes(), "grid peak under-estimated");
+        }
+    }
+
+    /// Thread-chunked builds are byte-identical to the serial build for
+    /// every thread count, including counts that don't divide the
+    /// destination count.
+    #[test]
+    fn parallel_build_is_thread_invariant() {
+        for net in nets() {
+            let serial = RouteTable::build(&net).unwrap();
+            for threads in [2usize, 3, 7, 64, 200] {
+                let par = RouteTable::build_parallel(&net, threads).unwrap();
+                assert_eq!(serial, par, "{:?} threads={threads}", net.kind);
+            }
+            let auto = RouteTable::build_parallel(&net, 0).unwrap();
+            assert_eq!(serial, auto);
+        }
+    }
+
     #[test]
     fn ejection_cells_are_empty() {
         for net in nets() {
             let table = RouteTable::build(&net).unwrap();
             for dst in 0..net.geometry.nodes() {
-                assert!(table.candidates(net.eject[dst as usize], dst).is_empty());
+                assert!(table.candidates(net.eject(dst), dst).is_empty());
             }
         }
     }
@@ -323,6 +640,19 @@ mod tests {
         }
     }
 
+    /// The empty-fault fast path returns a structural clone: both CSR
+    /// arrays byte-identical to the original, with no shrunken rebuild.
+    #[test]
+    fn masked_empty_fault_fast_path_is_a_clone() {
+        let net = build_bmin(Geometry::new(4, 3));
+        let table = RouteTable::build(&net).unwrap();
+        let masked = table
+            .masked(&net, &vec![false; net.num_channels()])
+            .unwrap();
+        assert_eq!(table, masked);
+        assert_eq!(table.approx_bytes(), masked.approx_bytes());
+    }
+
     #[test]
     fn masked_rejects_wrong_mask_length() {
         let net = &nets()[0];
@@ -338,7 +668,7 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                let mut frontier = vec![net.inject[src as usize]];
+                let mut frontier = vec![net.inject(src)];
                 let mut seen = vec![false; net.num_channels()];
                 while let Some(at) = frontier.pop() {
                     for &c in masked.candidates(at, dst) {
@@ -347,7 +677,7 @@ mod tests {
                         }
                         seen[c as usize] = true;
                         assert!(
-                            c == net.eject[dst as usize]
+                            c == net.eject(dst)
                                 || !masked.candidates(c, dst).is_empty(),
                             "masked route {src}→{dst} dead-ends at channel {c}"
                         );
@@ -377,7 +707,7 @@ mod tests {
             for dst in 0..net.geometry.nodes() {
                 if src != dst {
                     assert!(
-                        !masked.candidates(net.inject[src as usize], dst).is_empty(),
+                        !masked.candidates(net.inject(src), dst).is_empty(),
                         "{src} → {dst} lost deliverability"
                     );
                 }
@@ -407,7 +737,7 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                let inj = net.inject[src as usize];
+                let inj = net.inject(src);
                 let uses_victim = {
                     let mut at = inj;
                     let mut hit = false;
@@ -460,7 +790,7 @@ mod tests {
             for dst in 0..net.geometry.nodes() {
                 if src != dst {
                     assert!(
-                        !masked.candidates(net.inject[src as usize], dst).is_empty(),
+                        !masked.candidates(net.inject(src), dst).is_empty(),
                         "dilation must tolerate a single link fault"
                     );
                 }

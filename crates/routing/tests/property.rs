@@ -1,9 +1,11 @@
 //! Property tests for the routing layer across random geometries.
 
 use minnet_routing::{
-    enumerate_paths, shortest_path_count, shortest_path_length, RouteLogic,
+    enumerate_paths, shortest_path_count, shortest_path_length, RouteLogic, RouteTable,
 };
-use minnet_topology::{build_bmin, build_unidir, Direction, Geometry, NodeAddr, UnidirKind};
+use minnet_topology::{
+    build_bmin, build_unidir, Direction, Geometry, NetworkGraph, NodeAddr, UnidirKind,
+};
 use proptest::prelude::*;
 
 fn geometry() -> impl Strategy<Value = Geometry> {
@@ -39,7 +41,7 @@ proptest! {
         let want_len = shortest_path_length(&g, true, NodeAddr(s), NodeAddr(d)).unwrap();
         for p in &paths {
             prop_assert_eq!(p.len() as u32, want_len);
-            prop_assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
+            prop_assert_eq!(*p.last().unwrap(), net.eject(d));
             // Forward prefix then backward suffix: directions never go
             // back to forward.
             let dirs: Vec<Direction> = p.iter().map(|&c| net.channel(c).dir).collect();
@@ -83,7 +85,35 @@ proptest! {
         prop_assert_eq!(paths.len() as u32, u32::from(dilation).pow(g.n() - 1));
         for p in &paths {
             prop_assert_eq!(p.len() as u32, g.n() + 1);
-            prop_assert_eq!(*p.last().unwrap(), net.eject[d as usize]);
+            prop_assert_eq!(*p.last().unwrap(), net.eject(d));
         }
+    }
+
+    // The thread-chunked table build is bitwise-identical to the serial
+    // build across random network instances and thread counts — including
+    // thread counts that exceed or don't divide the destination count.
+    #[test]
+    fn parallel_table_build_equals_serial(
+        g in geometry(),
+        which in 0usize..6,
+        dilation in 1u8..3,
+        threads in 1usize..5,
+        ragged in 0usize..3,
+    ) {
+        let net: NetworkGraph = match which {
+            0 => build_unidir(g, UnidirKind::Cube, dilation),
+            1 => build_unidir(g, UnidirKind::Butterfly, dilation),
+            2 => build_unidir(g, UnidirKind::Omega, dilation),
+            3 => build_unidir(g, UnidirKind::Baseline, dilation),
+            _ => build_bmin(g),
+        };
+        let serial = RouteTable::build(&net).unwrap();
+        // A small thread count and a deliberately ragged one (odd, larger
+        // than most block sizes) to exercise uneven block boundaries.
+        let par = RouteTable::build_parallel(&net, threads).unwrap();
+        prop_assert_eq!(&serial, &par);
+        let ragged_threads = [3usize, 7, g.nodes() as usize + 1][ragged];
+        let par = RouteTable::build_parallel(&net, ragged_threads).unwrap();
+        prop_assert_eq!(&serial, &par);
     }
 }

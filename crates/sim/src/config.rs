@@ -146,6 +146,20 @@ pub struct EngineConfig {
     /// Per-run resource limits (simulated cycles / wall-clock time); see
     /// [`RunBudget`]. Default: unlimited.
     pub budget: RunBudget,
+    /// Route-table cell cap: when `channels × nodes` exceeds this, the
+    /// compiled network skips the precomputed [`minnet_routing::RouteTable`]
+    /// and routes every hop through [`minnet_routing::RouteLogic`] directly
+    /// — bit-identical results (the table is a memoized logic, pinned by
+    /// the differential tests), trading per-hop lookup speed for O(1)
+    /// setup memory. This is what admits 16k-terminal networks whose
+    /// dense table would need tens of gigabytes. `0` = unlimited (always
+    /// build the table). Default: `1 << 25` (32 Mi cells ≈ 128 MB of
+    /// offsets — the 1024-node BMIN fits, 4096 nodes and up fall back).
+    pub route_table_max_cells: u64,
+    /// OS threads for the route-table build (`0` = one per available
+    /// core). The parallel build is byte-identical to the serial build at
+    /// every thread count — it only changes setup wall-time. Default: 1.
+    pub table_build_threads: u32,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +182,8 @@ impl Default for EngineConfig {
             watchdog_window: 10_000,
             fault_abort: true,
             budget: RunBudget::UNLIMITED,
+            route_table_max_cells: 1 << 25,
+            table_build_threads: 1,
         }
     }
 }
@@ -350,15 +366,21 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = EngineConfig::default();
-        c.vcs = 0;
+        let c = EngineConfig {
+            vcs: 0,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.measure = 0;
+        let c = EngineConfig {
+            measure: 0,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.validate_crossbars = true;
-        c.vcs = 2;
+        let mut c = EngineConfig {
+            validate_crossbars: true,
+            vcs: 2,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
         c.vcs = 1;
         assert!(c.validate().is_ok());

@@ -434,7 +434,11 @@ enum Router<'a> {
 pub struct CompiledNet {
     net: Arc<NetworkGraph>,
     cfg: EngineConfig,
-    routes: RouteTable,
+    /// Precomputed routing table, or `None` when `channels × nodes`
+    /// exceeds [`EngineConfig::route_table_max_cells`] — runs then route
+    /// every hop through [`RouteLogic`] directly (bit-identical results;
+    /// the table is a memoized logic).
+    routes: Option<RouteTable>,
     order: Vec<ChannelId>,
     order_pos: Vec<u32>,
     dst_is_node: Vec<bool>,
@@ -449,7 +453,7 @@ fn order_parts(
 ) -> (Vec<ChannelId>, Vec<u32>, Vec<bool>) {
     let nch = net.num_channels();
     let order = match cfg.transmit_order {
-        TransmitOrder::ReverseTopo => net.transmit_order(),
+        TransmitOrder::ReverseTopo => net.transmit_order().to_vec(),
         TransmitOrder::BuildOrder => (0..nch as u32).collect(),
     };
     let mut order_pos = vec![0u32; nch];
@@ -466,14 +470,25 @@ fn order_parts(
 
 impl CompiledNet {
     /// Compile `net` under `cfg`: validate the configuration, fix the
-    /// transmit order, and build the routing table.
+    /// transmit order, and build the routing table — unless the network
+    /// exceeds [`EngineConfig::route_table_max_cells`], in which case the
+    /// compiled network routes through [`RouteLogic`] per hop instead
+    /// (bit-identical, table-free; what admits 16k-terminal networks).
     ///
     /// # Errors
     ///
     /// Reports invalid configurations and routing-table inconsistencies.
     pub fn new(net: Arc<NetworkGraph>, cfg: EngineConfig) -> Result<CompiledNet, SimError> {
         cfg.validate()?;
-        let routes = RouteTable::build(&net).map_err(SimError::Routing)?;
+        let ncells = net.num_channels() as u64 * u64::from(net.geometry.nodes());
+        let routes = if cfg.route_table_max_cells == 0 || ncells <= cfg.route_table_max_cells {
+            Some(
+                RouteTable::build_parallel(&net, cfg.table_build_threads as usize)
+                    .map_err(SimError::Routing)?,
+            )
+        } else {
+            None
+        };
         let (order, order_pos, dst_is_node) = order_parts(&net, &cfg);
         Ok(CompiledNet {
             net,
@@ -507,9 +522,19 @@ impl CompiledNet {
         c
     }
 
-    /// The precomputed routing table.
-    pub fn routes(&self) -> &RouteTable {
-        &self.routes
+    /// The precomputed routing table, or `None` when the network exceeds
+    /// the cell cap and runs route through [`RouteLogic`] instead.
+    pub fn routes(&self) -> Option<&RouteTable> {
+        self.routes.as_ref()
+    }
+
+    /// The per-hop router runs use: the table when one was built, the
+    /// routing logic otherwise. Both produce bit-identical reports.
+    fn router(&self) -> Router<'_> {
+        match &self.routes {
+            Some(t) => Router::Table(t),
+            None => Router::Logic(RouteLogic::for_kind(self.net.kind)),
+        }
     }
 
     /// Compile a [`FaultPlan`] against this network: per-epoch dead-lane
@@ -519,10 +544,21 @@ impl CompiledNet {
     ///
     /// # Errors
     ///
-    /// Reports out-of-range fault targets, inverted repair windows, and
-    /// (defensively) a masked CDG cycle.
+    /// Reports out-of-range fault targets, inverted repair windows, a
+    /// (defensive) masked CDG cycle, and a network too large for a route
+    /// table — fault epochs are precompiled as *masked tables*, so fault
+    /// runs need the table the cell cap suppressed.
     pub fn compile_faults(&self, plan: &FaultPlan) -> Result<CompiledFaults, SimError> {
-        CompiledFaults::compile(&self.net, &self.routes, plan, self.cfg.vcs)
+        let Some(routes) = &self.routes else {
+            return Err(SimError::Routing(format!(
+                "fault compilation needs a route table, but {} channels × {} nodes \
+                 exceeds route_table_max_cells ({}); raise the cap to run faults",
+                self.net.num_channels(),
+                self.net.geometry.nodes(),
+                self.cfg.route_table_max_cells,
+            )));
+        };
+        CompiledFaults::compile(&self.net, routes, plan, self.cfg.vcs)
     }
 
     /// Run a stochastic (Poisson-workload) simulation with the given seed,
@@ -674,7 +710,7 @@ impl CompiledNet {
         run_prepared(
             &self.net,
             &self.cfg,
-            Router::Table(&self.routes),
+            self.router(),
             &self.order,
             &self.order_pos,
             &self.dst_is_node,
@@ -835,7 +871,7 @@ impl CompiledNet {
                 Some(prepare_engine(
                     &self.net,
                     &self.cfg,
-                    Router::Table(&self.routes),
+                    self.router(),
                     &self.order,
                     &self.order_pos,
                     &self.dst_is_node,
@@ -1172,8 +1208,7 @@ impl EngineState {
             let k = net.geometry.k() as u8;
             let d = net.kind.dilation();
             Some(
-                net.switches
-                    .iter()
+                (0..net.num_switches())
                     .map(|_| {
                         if net.kind.is_bidirectional() {
                             Crossbar::new(k, true)
@@ -1928,7 +1963,7 @@ impl<'a> Engine<'a> {
     }
 
     fn try_inject(&mut self, node: u32) -> Result<(), SimError> {
-        let inj = self.net.inject[node as usize];
+        let inj = self.net.inject(node);
         if !self.refuse_undeliverable(node, inj) {
             return Ok(());
         }

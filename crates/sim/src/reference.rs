@@ -175,8 +175,7 @@ impl<'a> Engine<'a> {
             let k = net.geometry.k() as u8;
             let d = net.kind.dilation();
             Some(
-                net.switches
-                    .iter()
+                (0..net.num_switches())
                     .map(|_| {
                         if net.kind.is_bidirectional() {
                             Crossbar::new(k, true)
@@ -191,7 +190,7 @@ impl<'a> Engine<'a> {
         };
 
         let order = match cfg.transmit_order {
-            TransmitOrder::ReverseTopo => net.transmit_order(),
+            TransmitOrder::ReverseTopo => net.transmit_order().to_vec(),
             TransmitOrder::BuildOrder => (0..nch as u32).collect(),
         };
         let deterministic = !matches!(traffic, Traffic::Poisson(_));
@@ -465,7 +464,7 @@ impl<'a> Engine<'a> {
 
     fn try_inject(&mut self, node: u32) {
         self.cand.clear();
-        self.cand.push(self.net.inject[node as usize]);
+        self.cand.push(self.net.inject(node));
         let Some(lane) = self.claim_lane(NONE - 1) else {
             return;
         };

@@ -54,14 +54,12 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
     let nodes = g.nodes();
     let per_stage = nodes / k; // k^{n-1}
 
-    let mut channels: Vec<ChannelDesc> = Vec::new();
-    let mut switches: Vec<SwitchDesc> = (0..n)
+    let mut channels: Vec<ChannelDesc> = Vec::with_capacity(2 * n as usize * nodes as usize);
+    let switches: Vec<SwitchDesc> = (0..n)
         .flat_map(|stage| {
             (0..per_stage).map(move |index| SwitchDesc {
                 stage: stage as u8,
                 index,
-                inputs: Vec::with_capacity(2 * k as usize),
-                out_ports: vec![Vec::new(); 2 * k as usize],
             })
         })
         .collect();
@@ -93,7 +91,6 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
             dir: Direction::Forward,
             topo_rank: up_rank(0),
         });
-        switches[sw as usize].inputs.push(up);
         inject[a as usize] = up;
         // Down: switch left output → node.
         let down = channels.len() as ChannelId;
@@ -109,7 +106,6 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
             dir: Direction::Backward,
             topo_rank: down_rank(0),
         });
-        switches[sw as usize].out_ports[port as usize].push(down);
         eject[a as usize] = down;
     }
 
@@ -121,10 +117,8 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
             for c in 0..k {
                 let lo_label = label_with_digit(&g, s, j - 1, c);
                 let lo = sw_id(j - 1, lo_label);
-                let lo_port = (k as usize + label_digit(&g, s, j - 1) as usize) as u8; // right port s_{j-1}, coded k + idx
-                let lo_port_idx = label_digit(&g, s, j - 1) as u8;
+                let lo_port_idx = label_digit(&g, s, j - 1) as u8; // right port s_{j-1}
                 // Up: lower right output s_{j-1} → upper left input c.
-                let up = channels.len() as ChannelId;
                 channels.push(ChannelDesc {
                     src: Endpoint::Switch {
                         sw: lo,
@@ -141,10 +135,7 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
                     dir: Direction::Forward,
                     topo_rank: up_rank(j),
                 });
-                switches[lo as usize].out_ports[lo_port as usize].push(up);
-                switches[hi as usize].inputs.push(up);
                 // Down: upper left output c → lower right input s_{j-1}.
-                let down = channels.len() as ChannelId;
                 channels.push(ChannelDesc {
                     src: Endpoint::Switch {
                         sw: hi,
@@ -161,20 +152,11 @@ pub fn build_bmin(g: Geometry) -> NetworkGraph {
                     dir: Direction::Backward,
                     topo_rank: down_rank(j),
                 });
-                switches[hi as usize].out_ports[c as usize].push(down);
-                switches[lo as usize].inputs.push(down);
             }
         }
     }
 
-    let graph = NetworkGraph {
-        geometry: g,
-        kind: NetworkKind::Bmin,
-        channels,
-        switches,
-        inject,
-        eject,
-    };
+    let graph = NetworkGraph::assemble(g, NetworkKind::Bmin, channels, switches, inject, eject);
     graph
         .validate()
         .expect("BMIN builder produced an invalid graph");
@@ -352,13 +334,13 @@ mod tests {
     fn stage_last_has_no_forward_outputs() {
         let g = Geometry::new(4, 3);
         let net = build_bmin(g);
-        for sw in &net.switches {
-            let k = g.k() as usize;
-            let fwd_lanes: usize = sw.out_ports[k..2 * k].iter().map(Vec::len).sum();
-            if sw.stage as u32 == g.n() - 1 {
+        let k = g.k();
+        for s in 0..net.num_switches() as u32 {
+            let fwd_lanes = net.out_port_span(s, k, 2 * k).len();
+            if net.switch(s).stage as u32 == g.n() - 1 {
                 assert_eq!(fwd_lanes, 0);
             } else {
-                assert_eq!(fwd_lanes, k);
+                assert_eq!(fwd_lanes, k as usize);
             }
         }
     }

@@ -27,29 +27,21 @@ pub fn legal_successors(net: &NetworkGraph, c: ChannelId, out: &mut Vec<ChannelI
         Endpoint::Node(_) => return,
         Endpoint::Switch { sw, side, port } => (sw, side, port),
     };
-    let k = net.geometry.k() as usize;
-    let swd = net.switch(sw);
+    let k = net.geometry.k();
     if !net.kind.is_bidirectional() {
-        for lanes in &swd.out_ports {
-            out.extend_from_slice(lanes);
-        }
+        out.extend_from_slice(net.out_all(sw));
         return;
     }
     match side {
         Side::Left => {
             // Arrived moving forward: may continue forward on any right
             // output, or turn around to a *different* left output.
-            for (code, lanes) in swd.out_ports.iter().enumerate() {
-                if code >= k || code != port as usize {
-                    out.extend_from_slice(lanes);
-                }
-            }
+            out.extend_from_slice(net.out_port_span(sw, 0, u32::from(port)));
+            out.extend_from_slice(net.out_port_span(sw, u32::from(port) + 1, 2 * k));
         }
         Side::Right => {
             // Arrived moving backward: left outputs only.
-            for lanes in &swd.out_ports[..k] {
-                out.extend_from_slice(lanes);
-            }
+            out.extend_from_slice(net.out_port_span(sw, 0, k));
         }
     }
 }
@@ -83,8 +75,8 @@ pub fn count_shortest_paths_spliced(
     let nch = net.num_channels();
     let mut dist = vec![u32::MAX; nch];
     let mut count = vec![0u64; nch];
-    let start = resolve(net.inject[s as usize]);
-    let target = net.eject[d as usize];
+    let start = resolve(net.inject(s));
+    let target = net.eject(d);
     dist[start as usize] = 1;
     count[start as usize] = 1;
     let mut queue = VecDeque::new();
@@ -176,8 +168,8 @@ pub fn bmin_rightmost_stage_splice(net: &NetworkGraph) -> Vec<Option<ChannelId>>
             Endpoint::Switch { sw, port, .. } => (sw, port),
             _ => unreachable!("forward inter-stage channels end at switches"),
         };
-        let other = 1 - port as usize;
-        let lanes = &net.switch(sw).out_ports[other];
+        let other = 1 - u32::from(port);
+        let lanes = net.out_port(sw, other);
         assert_eq!(lanes.len(), 1, "BMIN ports carry a single lane");
         map[idx] = Some(lanes[0]);
     }

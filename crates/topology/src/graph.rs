@@ -17,12 +17,24 @@
 //! traffic toward the nodes) and `k..2k` are the right-side outputs
 //! `r_0..r_{k-1}` (*forward*, away from the nodes). Unidirectional switches
 //! only use codes `0..k` (their right-side outputs).
+//!
+//! ## Storage
+//!
+//! The graph is stored CSR-style: besides the flat channel table, a single
+//! shared id arena holds every per-switch output-port lane list, every
+//! per-switch input list, the per-node injection and ejection channels, and
+//! the memoized transmit order, with `starts`-style offset tables indexing
+//! into it. No per-switch (or other per-entity) `Vec`s exist, so a
+//! multi-thousand-switch network costs a handful of large allocations
+//! instead of `O(switches × ports)` small ones. Builders create the
+//! channel table and hand it to [`NetworkGraph::assemble`], which derives
+//! all adjacency in two counted passes.
 
 use crate::address::Geometry;
 
 /// Index of a node (terminal). Equals the node's address value.
 pub type NodeId = u32;
-/// Index of a switch within [`NetworkGraph::switches`].
+/// Index of a switch within the graph's switch table.
 pub type SwitchId = u32;
 /// Index of a channel within [`NetworkGraph::channels`].
 pub type ChannelId = u32;
@@ -105,20 +117,15 @@ pub struct ChannelDesc {
     pub topo_rank: u16,
 }
 
-/// A switch (one crossbar) in the network.
-#[derive(Clone, Debug)]
+/// A switch (one crossbar) in the network. Pure metadata — the input and
+/// output-port adjacency lives in the graph's shared CSR arena, reached
+/// through [`NetworkGraph::switch_inputs`] and [`NetworkGraph::out_port`].
+#[derive(Clone, Copy, Debug)]
 pub struct SwitchDesc {
     /// Stage index `G_stage`.
     pub stage: u8,
     /// Index of the switch within its stage.
     pub index: u32,
-    /// All channels whose destination is an input port of this switch.
-    pub inputs: Vec<ChannelId>,
-    /// Output lookup: `out_ports[code]` lists the lane channels of output
-    /// port `code`. For unidirectional switches, `code` in `0..k` addresses
-    /// the right-side outputs. For bidirectional switches, `0..k` are the
-    /// left-side outputs `l_i` and `k..2k` the right-side outputs `r_i`.
-    pub out_ports: Vec<Vec<ChannelId>>,
 }
 
 /// Which of the paper's network families a graph instantiates.
@@ -160,6 +167,10 @@ impl NetworkKind {
 }
 
 /// A complete static network: switches, channels and terminal attachments.
+///
+/// All adjacency (switch inputs, output-port lane lists, per-node
+/// inject/eject channels, the transmit order) is stored in one shared id
+/// arena with CSR offset tables — see the module docs.
 #[derive(Clone, Debug)]
 pub struct NetworkGraph {
     /// The geometry (`k`, `n`).
@@ -168,15 +179,143 @@ pub struct NetworkGraph {
     pub kind: NetworkKind,
     /// All channels, indexed by [`ChannelId`].
     pub channels: Vec<ChannelDesc>,
-    /// All switches, indexed by [`SwitchId`].
-    pub switches: Vec<SwitchDesc>,
-    /// Per node: the injection channel (node → network).
-    pub inject: Vec<ChannelId>,
-    /// Per node: the ejection channel (network → node).
-    pub eject: Vec<ChannelId>,
+    /// Switch metadata, indexed by [`SwitchId`].
+    switches: Vec<SwitchDesc>,
+    /// Output-port codes per switch: `k` for unidirectional switches,
+    /// `2k` for bidirectional ones.
+    out_codes: u32,
+    /// `ids[port_starts[s * out_codes + c] .. port_starts[s * out_codes + c + 1]]`
+    /// are the lane channels of switch `s`'s output port `c`.
+    port_starts: Vec<u32>,
+    /// `ids[input_starts[s] .. input_starts[s + 1]]` are the channels
+    /// terminating at switch `s`.
+    input_starts: Vec<u32>,
+    /// The shared id arena: output-port lanes, then switch inputs, then
+    /// per-node inject and eject channels, then the transmit order.
+    ids: Vec<ChannelId>,
+    /// Offset of the per-node injection section within `ids`.
+    inject_at: u32,
+    /// Offset of the per-node ejection section within `ids`.
+    eject_at: u32,
+    /// Offset of the memoized transmit order within `ids`.
+    order_at: u32,
+}
+
+/// The output-port code of a channel originating at `(side, port)` of a
+/// switch: unidirectional switches use `0..k` (right-side outputs); on
+/// bidirectional switches `0..k` are left-side outputs, `k..2k` right-side.
+#[inline]
+fn out_code(kind: NetworkKind, k: u32, side: Side, port: u8) -> u32 {
+    match (kind.is_bidirectional(), side) {
+        (false, _) | (true, Side::Left) => u32::from(port),
+        (true, Side::Right) => k + u32::from(port),
+    }
 }
 
 impl NetworkGraph {
+    /// Assemble a graph from its channel table: derive every switch's
+    /// input list and output-port lane lists, the inject/eject sections,
+    /// and the transmit order, in two counted passes into the shared CSR
+    /// arena (no per-switch allocations).
+    ///
+    /// Within each per-switch list, channels appear in ascending
+    /// [`ChannelId`] order — the order the builders create them in, which
+    /// every routing-candidate enumeration (and therefore the engine's
+    /// RNG stream) depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inject`/`eject` don't have one entry per node, or a
+    /// channel references a switch out of range. Structural soundness
+    /// beyond that is [`NetworkGraph::validate`]'s job.
+    pub fn assemble(
+        geometry: Geometry,
+        kind: NetworkKind,
+        channels: Vec<ChannelDesc>,
+        switches: Vec<SwitchDesc>,
+        inject: Vec<ChannelId>,
+        eject: Vec<ChannelId>,
+    ) -> NetworkGraph {
+        let nodes = geometry.nodes() as usize;
+        assert_eq!(inject.len(), nodes, "one injection channel per node");
+        assert_eq!(eject.len(), nodes, "one ejection channel per node");
+        let nsw = switches.len();
+        let nch = channels.len();
+        let k = geometry.k();
+        let out_codes = if kind.is_bidirectional() { 2 * k } else { k };
+        let nports = nsw * out_codes as usize;
+
+        // Pass 1: count lanes per (switch, code) and inputs per switch.
+        let mut port_starts = vec![0u32; nports + 1];
+        let mut input_starts = vec![0u32; nsw + 1];
+        for ch in &channels {
+            if let Endpoint::Switch { sw, .. } = ch.dst {
+                assert!((sw as usize) < nsw, "channel dst switch out of range");
+                input_starts[sw as usize + 1] += 1;
+            }
+            if let Endpoint::Switch { sw, side, port } = ch.src {
+                assert!((sw as usize) < nsw, "channel src switch out of range");
+                let code = out_code(kind, k, side, port);
+                port_starts[sw as usize * out_codes as usize + code as usize + 1] += 1;
+            }
+        }
+        for i in 1..port_starts.len() {
+            port_starts[i] += port_starts[i - 1];
+        }
+        let ports_len = port_starts[nports];
+        input_starts[0] = ports_len;
+        for i in 1..input_starts.len() {
+            input_starts[i] += input_starts[i - 1];
+        }
+        let inputs_end = input_starts[nsw];
+        let inject_at = inputs_end;
+        let eject_at = inject_at + nodes as u32;
+        let order_at = eject_at + nodes as u32;
+        let total = order_at as usize + nch;
+
+        // Pass 2: fill the arena, scanning channels in id order so every
+        // list comes out id-sorted.
+        let mut ids = vec![0 as ChannelId; total];
+        let mut pcur = port_starts.clone();
+        let mut icur = input_starts.clone();
+        for (id, ch) in channels.iter().enumerate() {
+            if let Endpoint::Switch { sw, .. } = ch.dst {
+                let cur = &mut icur[sw as usize];
+                ids[*cur as usize] = id as ChannelId;
+                *cur += 1;
+            }
+            if let Endpoint::Switch { sw, side, port } = ch.src {
+                let code = out_code(kind, k, side, port);
+                let cur = &mut pcur[sw as usize * out_codes as usize + code as usize];
+                ids[*cur as usize] = id as ChannelId;
+                *cur += 1;
+            }
+        }
+        ids[inject_at as usize..eject_at as usize].copy_from_slice(&inject);
+        ids[eject_at as usize..order_at as usize].copy_from_slice(&eject);
+        // Memoized transmit order: channel ids sorted by topo_rank
+        // (stable, so equal ranks stay in id order).
+        let order = &mut ids[order_at as usize..];
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i as ChannelId;
+        }
+        order.sort_by_key(|&c| channels[c as usize].topo_rank);
+
+        NetworkGraph {
+            geometry,
+            kind,
+            channels,
+            switches,
+            out_codes,
+            port_starts,
+            input_starts,
+            ids,
+            inject_at,
+            eject_at,
+            order_at,
+        }
+    }
+
     /// Channel descriptor by id.
     #[inline]
     pub fn channel(&self, c: ChannelId) -> &ChannelDesc {
@@ -189,6 +328,12 @@ impl NetworkGraph {
         &self.switches[s as usize]
     }
 
+    /// All switch descriptors, indexed by [`SwitchId`].
+    #[inline]
+    pub fn switches(&self) -> &[SwitchDesc] {
+        &self.switches
+    }
+
     /// Number of channels.
     pub fn num_channels(&self) -> usize {
         self.channels.len()
@@ -199,27 +344,106 @@ impl NetworkGraph {
         self.switches.len()
     }
 
+    /// Output-port codes per switch: `k` for unidirectional switches,
+    /// `2k` for bidirectional ones (see the module docs for the coding).
+    #[inline]
+    pub fn out_port_codes(&self) -> u32 {
+        self.out_codes
+    }
+
+    /// The lane channels of switch `s`'s output port `code`, in ascending
+    /// channel-id (= lane) order.
+    #[inline]
+    pub fn out_port(&self, s: SwitchId, code: u32) -> &[ChannelId] {
+        let base = s as usize * self.out_codes as usize + code as usize;
+        let (lo, hi) = (self.port_starts[base], self.port_starts[base + 1]);
+        &self.ids[lo as usize..hi as usize]
+    }
+
+    /// The concatenated lane lists of output ports `code_lo..code_hi` of
+    /// switch `s` — contiguous in the arena, so a multi-port candidate
+    /// fan-out (e.g. the BMIN's forward ports `k..2k`) is one slice.
+    #[inline]
+    pub fn out_port_span(&self, s: SwitchId, code_lo: u32, code_hi: u32) -> &[ChannelId] {
+        debug_assert!(code_lo <= code_hi && code_hi <= self.out_codes);
+        let base = s as usize * self.out_codes as usize;
+        let lo = self.port_starts[base + code_lo as usize];
+        let hi = self.port_starts[base + code_hi as usize];
+        &self.ids[lo as usize..hi as usize]
+    }
+
+    /// Every channel originating at switch `s`, across all output ports.
+    #[inline]
+    pub fn out_all(&self, s: SwitchId) -> &[ChannelId] {
+        self.out_port_span(s, 0, self.out_codes)
+    }
+
+    /// All channels whose destination is an input port of switch `s`, in
+    /// ascending channel-id order.
+    #[inline]
+    pub fn switch_inputs(&self, s: SwitchId) -> &[ChannelId] {
+        let (lo, hi) = (
+            self.input_starts[s as usize],
+            self.input_starts[s as usize + 1],
+        );
+        &self.ids[lo as usize..hi as usize]
+    }
+
+    /// The injection channel (node → network) of `node`.
+    #[inline]
+    pub fn inject(&self, node: NodeId) -> ChannelId {
+        self.ids[self.inject_at as usize + node as usize]
+    }
+
+    /// The ejection channel (network → node) of `node`.
+    #[inline]
+    pub fn eject(&self, node: NodeId) -> ChannelId {
+        self.ids[self.eject_at as usize + node as usize]
+    }
+
+    /// Per-node injection channels, indexed by [`NodeId`].
+    #[inline]
+    pub fn injects(&self) -> &[ChannelId] {
+        &self.ids[self.inject_at as usize..self.eject_at as usize]
+    }
+
+    /// Per-node ejection channels, indexed by [`NodeId`].
+    #[inline]
+    pub fn ejects(&self) -> &[ChannelId] {
+        &self.ids[self.eject_at as usize..self.order_at as usize]
+    }
+
     /// Channel ids sorted by `topo_rank` ascending — the order in which the
     /// simulation engine performs per-cycle transmissions so that a worm
-    /// advances as a unit (see [`ChannelDesc::topo_rank`]).
-    pub fn transmit_order(&self) -> Vec<ChannelId> {
-        let mut ids: Vec<ChannelId> = (0..self.channels.len() as u32).collect();
-        ids.sort_by_key(|&c| self.channels[c as usize].topo_rank);
-        ids
+    /// advances as a unit (see [`ChannelDesc::topo_rank`]). Memoized at
+    /// assembly; this is a slice view into the shared arena, not a fresh
+    /// allocation.
+    #[inline]
+    pub fn transmit_order(&self) -> &[ChannelId] {
+        &self.ids[self.order_at as usize..]
+    }
+
+    /// Approximate resident size of the graph in bytes (channel table,
+    /// switch table, CSR offset tables and the shared id arena) — a
+    /// memory-accounting metric for benches.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.channels.len() * std::mem::size_of::<ChannelDesc>()
+            + self.switches.len() * std::mem::size_of::<SwitchDesc>()
+            + self.port_starts.len() * 4
+            + self.input_starts.len() * 4
+            + self.ids.len() * 4
     }
 
     /// Sanity-check structural invariants; used by builders and tests.
     ///
     /// Verifies: endpoint switch/node indices are in range; every channel
-    /// listed in a switch's `inputs`/`out_ports` actually terminates /
-    /// originates there; every node has exactly one injection and one
-    /// ejection channel; and each switch input port receives at most the
-    /// declared number of channels.
+    /// in a switch's input / output-port lists actually terminates /
+    /// originates there (and at the claimed port code); every node has
+    /// exactly one injection and one ejection channel; the transmit order
+    /// is a rank-sorted permutation of all channels.
     pub fn validate(&self) -> Result<(), String> {
         let n_nodes = self.geometry.nodes();
-        if self.inject.len() != n_nodes as usize || self.eject.len() != n_nodes as usize {
-            return Err("inject/eject tables must have one entry per node".into());
-        }
         for (i, ch) in self.channels.iter().enumerate() {
             for ep in [ch.src, ch.dst] {
                 match ep {
@@ -238,32 +462,53 @@ impl NetworkGraph {
                 }
             }
         }
-        for (sid, sw) in self.switches.iter().enumerate() {
-            for &c in &sw.inputs {
+        for sid in 0..self.switches.len() {
+            for &c in self.switch_inputs(sid as SwitchId) {
                 match self.channels.get(c as usize).map(|ch| ch.dst) {
                     Some(Endpoint::Switch { sw: s2, .. }) if s2 as usize == sid => {}
                     _ => return Err(format!("switch {sid}: input {c} does not terminate here")),
                 }
             }
-            for lanes in &sw.out_ports {
-                for &c in lanes {
-                    match self.channels.get(c as usize).map(|ch| ch.src) {
-                        Some(Endpoint::Switch { sw: s2, .. }) if s2 as usize == sid => {}
-                        _ => {
-                            return Err(format!("switch {sid}: output {c} does not originate here"))
+            for code in 0..self.out_codes {
+                for &c in self.out_port(sid as SwitchId, code) {
+                    let originates_here = match self.channels.get(c as usize).map(|ch| ch.src) {
+                        Some(Endpoint::Switch { sw: s2, side, port }) if s2 as usize == sid => {
+                            out_code(self.kind, self.geometry.k(), side, port) == code
                         }
+                        _ => false,
+                    };
+                    if !originates_here {
+                        return Err(format!(
+                            "switch {sid}: output {c} does not originate at port code {code}"
+                        ));
                     }
                 }
             }
         }
         for nd in 0..n_nodes {
-            let inj = self.channels[self.inject[nd as usize] as usize];
+            let inj = self.channels[self.inject(nd) as usize];
             if inj.src != Endpoint::Node(nd) {
                 return Err(format!("node {nd}: inject channel has wrong source"));
             }
-            let ej = self.channels[self.eject[nd as usize] as usize];
+            let ej = self.channels[self.eject(nd) as usize];
             if ej.dst != Endpoint::Node(nd) {
                 return Err(format!("node {nd}: eject channel has wrong destination"));
+            }
+        }
+        let order = self.transmit_order();
+        if order.len() != self.channels.len() {
+            return Err("transmit order must cover every channel".into());
+        }
+        let mut seen = vec![false; self.channels.len()];
+        let mut prev = 0u16;
+        for &c in order {
+            let rank = self.channels[c as usize].topo_rank;
+            if rank < prev {
+                return Err(format!("transmit order not rank-sorted at channel {c}"));
+            }
+            prev = rank;
+            if std::mem::replace(&mut seen[c as usize], true) {
+                return Err(format!("transmit order repeats channel {c}"));
             }
         }
         Ok(())
@@ -316,5 +561,47 @@ mod tests {
             dilation: 1,
         };
         assert!(!bf1.is_bidirectional());
+    }
+
+    #[test]
+    fn assembled_lists_are_id_sorted_and_exhaustive() {
+        use crate::unidir::{build_unidir, UnidirKind};
+        let net = build_unidir(Geometry::new(4, 3), UnidirKind::Cube, 2);
+        let mut seen_out = 0usize;
+        let mut seen_in = 0usize;
+        for s in 0..net.num_switches() as SwitchId {
+            let inputs = net.switch_inputs(s);
+            assert!(inputs.windows(2).all(|w| w[0] < w[1]));
+            seen_in += inputs.len();
+            for code in 0..net.out_port_codes() {
+                let lanes = net.out_port(s, code);
+                assert!(lanes.windows(2).all(|w| w[0] < w[1]));
+                seen_out += lanes.len();
+            }
+            assert_eq!(net.out_all(s).len(), net.out_port_span(s, 0, net.out_port_codes()).len());
+        }
+        // Every channel not touching a node appears exactly once per side.
+        let switch_src = net
+            .channels
+            .iter()
+            .filter(|c| c.src.switch().is_some())
+            .count();
+        let switch_dst = net
+            .channels
+            .iter()
+            .filter(|c| c.dst.switch().is_some())
+            .count();
+        assert_eq!(seen_out, switch_src);
+        assert_eq!(seen_in, switch_dst);
+    }
+
+    #[test]
+    fn transmit_order_is_memoized_slice() {
+        use crate::bmin::build_bmin;
+        let net = build_bmin(Geometry::new(2, 3));
+        let a = net.transmit_order().as_ptr();
+        let b = net.transmit_order().as_ptr();
+        assert_eq!(a, b, "memoized order must not be rebuilt per call");
+        assert_eq!(net.transmit_order().len(), net.num_channels());
     }
 }

@@ -129,14 +129,13 @@ pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph
     let nodes = g.nodes();
     let per_stage = nodes / k;
 
-    let mut channels: Vec<ChannelDesc> = Vec::new();
-    let mut switches: Vec<SwitchDesc> = (0..n)
+    let nch = (2 * nodes + (n - 1) * nodes * dilation as u32) as usize;
+    let mut channels: Vec<ChannelDesc> = Vec::with_capacity(nch);
+    let switches: Vec<SwitchDesc> = (0..n)
         .flat_map(|stage| {
             (0..per_stage).map(move |index| SwitchDesc {
                 stage: stage as u8,
                 index,
-                inputs: Vec::with_capacity((k * dilation as u32) as usize),
-                out_ports: vec![Vec::with_capacity(dilation as usize); k as usize],
             })
         })
         .collect();
@@ -165,7 +164,6 @@ pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph
             dir: Direction::Forward,
             topo_rank: rank(0),
         });
-        switches[sw_id(0, pos / k) as usize].inputs.push(id);
         inject[a as usize] = id;
     }
 
@@ -180,7 +178,6 @@ pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph
             let dst_sw = sw_id(level, v / k);
             let dst_port = (v % k) as u8;
             for lane in 0..dilation {
-                let id = channels.len() as ChannelId;
                 channels.push(ChannelDesc {
                     src: Endpoint::Switch {
                         sw: src_sw,
@@ -197,8 +194,6 @@ pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph
                     dir: Direction::Forward,
                     topo_rank: rank(level),
                 });
-                switches[src_sw as usize].out_ports[src_port as usize].push(id);
-                switches[dst_sw as usize].inputs.push(id);
             }
         }
     }
@@ -222,18 +217,17 @@ pub fn build_unidir(g: Geometry, kind: UnidirKind, dilation: u8) -> NetworkGraph
             dir: Direction::Forward,
             topo_rank: rank(n),
         });
-        switches[src_sw as usize].out_ports[src_port as usize].push(id);
         eject[node as usize] = id;
     }
 
-    let graph = NetworkGraph {
-        geometry: g,
-        kind: kind.network_kind(dilation),
+    let graph = NetworkGraph::assemble(
+        g,
+        kind.network_kind(dilation),
         channels,
         switches,
         inject,
         eject,
-    };
+    );
     graph
         .validate()
         .expect("unidirectional MIN builder produced an invalid graph");
@@ -319,10 +313,11 @@ mod tests {
         assert_eq!(net.channels_at_level(2, Direction::Forward).len(), 128);
         assert_eq!(net.channels_at_level(3, Direction::Forward).len(), 64);
         // Every inter-stage output port has exactly 2 lanes.
-        for sw in &net.switches {
-            for lanes in &sw.out_ports {
-                let expect = if sw.stage as u32 == g.n() - 1 { 1 } else { 2 };
-                assert_eq!(lanes.len(), expect);
+        for s in 0..net.num_switches() as u32 {
+            let stage = net.switch(s).stage;
+            for code in 0..net.out_port_codes() {
+                let expect = if stage as u32 == g.n() - 1 { 1 } else { 2 };
+                assert_eq!(net.out_port(s, code).len(), expect);
             }
         }
     }
@@ -460,7 +455,7 @@ mod tests {
         assert_eq!(net.channel(order[0]).level as u32, g.n());
         assert_eq!(net.channel(*order.last().unwrap()).level, 0);
         let mut prev = 0u16;
-        for c in order {
+        for &c in order {
             let r = net.channel(c).topo_rank;
             assert!(r >= prev);
             prev = r;
@@ -473,10 +468,10 @@ mod tests {
         let net = build_unidir(g, UnidirKind::Butterfly, 2);
         // Exactly one inject and one eject channel per node.
         for a in 0..g.nodes() {
-            let inj = net.channel(net.inject[a as usize]);
+            let inj = net.channel(net.inject(a));
             assert_eq!(inj.src, Endpoint::Node(a));
             assert_eq!(inj.level, 0);
-            let ej = net.channel(net.eject[a as usize]);
+            let ej = net.channel(net.eject(a));
             assert_eq!(ej.dst, Endpoint::Node(a));
             assert_eq!(ej.level as u32, g.n());
         }
@@ -510,7 +505,7 @@ mod tests {
             // levels are non-increasing along the order.
             let order = net.transmit_order();
             let mut prev = u8::MAX;
-            for c in order {
+            for &c in order {
                 let lvl = net.channel(c).level;
                 prop_assert!(lvl <= prev);
                 prev = lvl;

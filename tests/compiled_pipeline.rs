@@ -309,9 +309,9 @@ proptest! {
         let logic = RouteLogic::for_kind(net.kind);
         let table = RouteTable::build(&net).unwrap();
         // Breadth-first over every channel the route may visit.
-        let mut frontier = vec![net.inject[src as usize]];
+        let mut frontier = vec![net.inject(src)];
         let mut seen = vec![false; net.num_channels()];
-        seen[net.inject[src as usize] as usize] = true;
+        seen[net.inject(src) as usize] = true;
         let mut expect = Vec::new();
         let mut hops = 0usize;
         while let Some(at) = frontier.pop() {
@@ -333,5 +333,79 @@ proptest! {
             }
         }
         prop_assert!(hops > 1, "route must traverse at least one switch");
+    }
+
+    // Random (network, load, seed): a compiled network whose cell cap
+    // suppressed the route table — forcing the per-hop `RouteLogic`
+    // router — produces bit-identical reports to the default table mode.
+    // This pins the extreme-scale fallback path: 16k-terminal runs route
+    // exactly like a table-backed run would.
+    #[test]
+    fn logic_fallback_equals_table_mode(
+        which in 0usize..4,
+        load_pct in 5u32..65,
+        seed in 0u64..u64::MAX,
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = Arc::new(spec.build(g));
+        let load = f64::from(load_pct) / 100.0;
+        let mut wspec = WorkloadSpec::global_uniform(load);
+        wspec.sizes = MessageSizeDist::Fixed(16);
+        let wl = Workload::compile(g, &wspec).unwrap();
+        let cfg = EngineConfig {
+            vcs: spec.vcs(),
+            warmup: 300,
+            measure: 1_500,
+            ..EngineConfig::default()
+        };
+        let tiny_cap = EngineConfig { route_table_max_cells: 1, ..cfg.clone() };
+        let tabled = CompiledNet::new(Arc::clone(&net), cfg).unwrap();
+        let logic = CompiledNet::new(Arc::clone(&net), tiny_cap).unwrap();
+        prop_assert!(tabled.routes().is_some());
+        prop_assert!(logic.routes().is_none(), "cap of 1 cell must suppress the table");
+        let (a, b) = with_pooled_state(|st| {
+            let a = tabled.run_poisson(&wl, seed, st).unwrap();
+            let b = logic.run_poisson(&wl, seed, st).unwrap();
+            (a, b)
+        });
+        prop_assert!(
+            a.bitwise_eq(&b),
+            "{} load {load} seed {seed:#x}: logic fallback diverged from the table",
+            spec.name()
+        );
+    }
+
+    // The parallel table build slots transparently into compilation:
+    // a multi-threaded `table_build_threads` yields a compiled network
+    // whose runs are bit-identical to the serial default.
+    #[test]
+    fn threaded_table_build_is_invisible(
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+        threads in 2u32..5,
+    ) {
+        let g = Geometry::new(4, 3);
+        let spec = lineup_spec(which);
+        let net = Arc::new(spec.build(g));
+        let mut wspec = WorkloadSpec::global_uniform(0.2);
+        wspec.sizes = MessageSizeDist::Fixed(16);
+        let wl = Workload::compile(g, &wspec).unwrap();
+        let cfg = EngineConfig {
+            vcs: spec.vcs(),
+            warmup: 300,
+            measure: 1_000,
+            ..EngineConfig::default()
+        };
+        let par_cfg = EngineConfig { table_build_threads: threads, ..cfg.clone() };
+        let serial = CompiledNet::new(Arc::clone(&net), cfg).unwrap();
+        let par = CompiledNet::new(Arc::clone(&net), par_cfg).unwrap();
+        prop_assert_eq!(serial.routes().unwrap(), par.routes().unwrap());
+        let (a, b) = with_pooled_state(|st| {
+            let a = serial.run_poisson(&wl, seed, st).unwrap();
+            let b = par.run_poisson(&wl, seed, st).unwrap();
+            (a, b)
+        });
+        prop_assert!(a.bitwise_eq(&b), "{} seed {seed:#x}", spec.name());
     }
 }

@@ -53,6 +53,16 @@
 //! a noisy runner shouldn't gate merges — the counts in the artifact
 //! are the record).
 //!
+//! `--scale SCALE_BASELINE SCALE_CURRENT` diffs a pair of `scale_smoke`
+//! files by size row (`tmin_k4_n5`, `bmin_k4_n7`, …): wall-clock
+//! `cycles_per_sec` in the usual noisy ±20% band, the deterministic
+//! `graph_bytes` / `table_bytes` construction footprints in the +5%
+//! memory band, and two behavioural flags — a routing `mode` flip
+//! (`table` ↔ `logic` means the table-size policy moved a row across
+//! the fallback threshold) and an `ncells` change (the route-table
+//! geometry itself changed). Always warn-only, same reasoning as
+//! `--faults`.
+//!
 //! The parser is deliberately minimal: this offline workspace has no
 //! serde, and both files are produced by `sweep_smoke`'s /
 //! `faults_smoke`'s known line-oriented writers. It keys on trimmed
@@ -483,6 +493,141 @@ fn compare_faults(
     Ok(warned)
 }
 
+/// One size row from a `scale_smoke` JSON file.
+struct ScaleRow {
+    name: String,
+    /// Routing mode: `"table"` (dense route table) or `"logic"`
+    /// (on-the-fly fallback above the cell cap).
+    mode: String,
+    /// Route-table cells the topology implies (deterministic geometry).
+    ncells: f64,
+    graph_bytes: f64,
+    table_bytes: f64,
+    cycles_per_sec: f64,
+}
+
+/// Parse every size row from `scale_smoke` JSON. The rows are
+/// single-line `{...}` objects under `"sizes"`, recognised by carrying
+/// both a `"mode"` string and an `"ncells"` number (sweep/fault rows
+/// have neither).
+fn parse_scale_rows(src: &str) -> Vec<ScaleRow> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let t = line.trim();
+        if !t.starts_with('{') {
+            continue;
+        }
+        let (Some(name), Some(mode), Some(ncells)) = (
+            str_field(t, "name"),
+            str_field(t, "mode"),
+            field(t, "ncells"),
+        ) else {
+            continue;
+        };
+        out.push(ScaleRow {
+            name,
+            mode,
+            ncells,
+            graph_bytes: field(t, "graph_bytes").unwrap_or(f64::NAN),
+            table_bytes: field(t, "table_bytes").unwrap_or(f64::NAN),
+            cycles_per_sec: field(t, "cycles_per_sec").unwrap_or(f64::NAN),
+        });
+    }
+    out
+}
+
+/// Diff two `scale_smoke` files row by row; returns the warning count.
+/// Wall-clock throughput warns in the noisy ±20% band; the
+/// deterministic construction footprints warn above +5%; a mode flip or
+/// an `ncells` change flags a behavioural difference in the
+/// construction pipeline. Always warn-only.
+fn compare_scale(
+    baseline_path: &str,
+    current_path: &str,
+    summary: &mut String,
+) -> Result<usize, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let baseline = parse_scale_rows(&read(baseline_path)?);
+    let current = parse_scale_rows(&read(current_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no scale rows parsed"));
+    }
+    if current.is_empty() {
+        return Err(format!("{current_path}: no scale rows parsed"));
+    }
+
+    let mut warned = 0usize;
+    let _ = writeln!(
+        summary,
+        "scale sweep: {current_path} vs baseline {baseline_path} \
+         (throughput warn at ±20%, memory at +5%, mode/ncells on change)"
+    );
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|r| r.name == base.name) else {
+            // The budgeted CI invocation legitimately truncates the size
+            // list (--max-nodes); note the hole without warning.
+            let _ = writeln!(
+                summary,
+                "  {:>16}: not in current run (size capped or removed)",
+                base.name
+            );
+            continue;
+        };
+        let mut flags = String::new();
+        if cur.mode != base.mode {
+            warned += 1;
+            let _ = write!(
+                flags,
+                "  <-- WARNING: routing mode flipped {} -> {}",
+                base.mode, cur.mode
+            );
+        }
+        if cur.ncells != base.ncells {
+            warned += 1;
+            let _ = write!(
+                flags,
+                "  <-- WARNING: ncells changed {:.0} -> {:.0} (topology/geometry drift)",
+                base.ncells, cur.ncells
+            );
+        }
+        for (what, b, c) in [
+            ("graph_bytes", base.graph_bytes, cur.graph_bytes),
+            ("table_bytes", base.table_bytes, cur.table_bytes),
+        ] {
+            if !b.is_finite() || !c.is_finite() {
+                continue;
+            }
+            // Zero vs zero (logic-mode rows carry no table) is clean.
+            let grew = if b == 0.0 { c > 0.0 } else { c / b - 1.0 > 0.05 };
+            if grew {
+                warned += 1;
+                let _ = write!(flags, "  <-- WARNING: {what} grew {b:.0} -> {c:.0}");
+            }
+        }
+        let cps = if usable_baseline(base.cycles_per_sec) && cur.cycles_per_sec.is_finite() {
+            let ratio = cur.cycles_per_sec / base.cycles_per_sec;
+            if ratio < 0.8 {
+                warned += 1;
+                let _ = write!(flags, "  <-- WARNING: slower than baseline");
+            }
+            format!("({:+6.1}%)", (ratio - 1.0) * 100.0)
+        } else {
+            "(no usable throughput baseline)".to_string()
+        };
+        let _ = writeln!(
+            summary,
+            "  {:>16}: {:12.0} vs {:12.0}  {cps}{flags}",
+            base.name, cur.cycles_per_sec, base.cycles_per_sec
+        );
+    }
+    for cur in &current {
+        if !baseline.iter().any(|r| r.name == cur.name) {
+            let _ = writeln!(summary, "  {:>16}: new size (no baseline)", cur.name);
+        }
+    }
+    Ok(warned)
+}
+
 /// A baseline number a percent diff can safely divide by. Zero (or a
 /// non-finite value from a malformed row) means the baseline carries no
 /// usable magnitude — a placeholder entry, a truncated file, or a
@@ -599,16 +744,22 @@ fn compare_sweeps(
 
 fn main() -> Result<(), String> {
     const USAGE: &str = "usage: bench_compare BASELINE CURRENT [OUT] \
-         [--fail-on-regress <pct>] [--faults FAULTS_BASELINE FAULTS_CURRENT]";
+         [--fail-on-regress <pct>] [--faults FAULTS_BASELINE FAULTS_CURRENT] \
+         [--scale SCALE_BASELINE SCALE_CURRENT]";
     let mut positional: Vec<String> = Vec::new();
     let mut fail_pct: Option<f64> = None;
     let mut faults: Option<(String, String)> = None;
+    let mut scale: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--faults" {
             let base = args.next().ok_or(USAGE)?;
             let cur = args.next().ok_or(USAGE)?;
             faults = Some((base, cur));
+        } else if a == "--scale" {
+            let base = args.next().ok_or(USAGE)?;
+            let cur = args.next().ok_or(USAGE)?;
+            scale = Some((base, cur));
         } else if a == "--fail-on-regress" {
             let pct = args.next().ok_or(USAGE)?;
             let pct: f64 = pct
@@ -653,6 +804,9 @@ fn main() -> Result<(), String> {
     warned += compare_kernels(&current, &mut summary);
     if let Some((faults_base, faults_cur)) = &faults {
         warned += compare_faults(faults_base, faults_cur, &mut summary)?;
+    }
+    if let Some((scale_base, scale_cur)) = &scale {
+        warned += compare_scale(scale_base, scale_cur, &mut summary)?;
     }
     if let Some(pct) = fail_pct {
         let _ = writeln!(summary, "{warned} warning(s); gate at -{pct}%");
@@ -831,6 +985,81 @@ mod tests {
         let mut summary = String::new();
         assert_eq!(compare_lockstep(&nets, &mut summary), 0);
         assert!(summary.is_empty(), "{summary}");
+    }
+
+    const SCALE_SRC: &str = r#"{
+  "sizes": [
+    {"name": "tmin_k4_n5", "nodes": 1024, "channels": 6144, "graph_bytes": 257184, "ncells": 6291456, "mode": "table", "table_bytes": 30748732, "cycles_per_sec": 48043.7},
+    {"name": "bmin_k4_n7", "nodes": 16384, "channels": 229376, "graph_bytes": 9519264, "ncells": 3758096384, "mode": "logic", "table_bytes": 0, "cycles_per_sec": 712.2}
+  ]
+}"#;
+
+    #[test]
+    fn scale_rows_parse_with_mode_and_ncells() {
+        let rows = parse_scale_rows(SCALE_SRC);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "tmin_k4_n5");
+        assert_eq!(rows[0].mode, "table");
+        assert_eq!(rows[0].ncells, 6_291_456.0);
+        assert_eq!(rows[1].mode, "logic");
+        assert_eq!(rows[1].table_bytes, 0.0);
+    }
+
+    #[test]
+    fn scale_identical_files_warn_nothing_and_drift_flags_fire() {
+        let dir = std::env::temp_dir().join(format!("bc_scale_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SCALE_SRC).unwrap();
+        std::fs::write(&cur, SCALE_SRC).unwrap();
+        let mut summary = String::new();
+        let warned =
+            compare_scale(base.to_str().unwrap(), cur.to_str().unwrap(), &mut summary).unwrap();
+        assert_eq!(warned, 0, "{summary}");
+
+        // Flip a row to logic mode, grow its graph arena past +5%, and
+        // slow it below the 0.8x band: three distinct warnings.
+        let drifted = SCALE_SRC
+            .replace(
+                "\"ncells\": 6291456, \"mode\": \"table\"",
+                "\"ncells\": 6291456, \"mode\": \"logic\"",
+            )
+            .replace("\"graph_bytes\": 257184", "\"graph_bytes\": 300000")
+            .replace("\"cycles_per_sec\": 48043.7", "\"cycles_per_sec\": 20000.0");
+        std::fs::write(&cur, drifted).unwrap();
+        let mut summary = String::new();
+        let warned =
+            compare_scale(base.to_str().unwrap(), cur.to_str().unwrap(), &mut summary).unwrap();
+        assert_eq!(warned, 3, "{summary}");
+        assert!(summary.contains("mode flipped table -> logic"), "{summary}");
+        assert!(summary.contains("graph_bytes grew"), "{summary}");
+        assert!(summary.contains("slower than baseline"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_truncated_current_notes_missing_rows_without_warning() {
+        // The budgeted CI run caps --max-nodes, so the 16k row is
+        // legitimately absent: a note, not a warning.
+        let dir = std::env::temp_dir().join(format!("bc_scale_trunc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SCALE_SRC).unwrap();
+        let truncated: String = SCALE_SRC
+            .lines()
+            .filter(|l| !l.contains("bmin_k4_n7"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("cycles_per_sec\": 48043.7},", "cycles_per_sec\": 48043.7}");
+        std::fs::write(&cur, truncated).unwrap();
+        let mut summary = String::new();
+        let warned =
+            compare_scale(base.to_str().unwrap(), cur.to_str().unwrap(), &mut summary).unwrap();
+        assert_eq!(warned, 0, "{summary}");
+        assert!(summary.contains("not in current run"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

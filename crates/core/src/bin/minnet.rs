@@ -32,7 +32,20 @@ COMMANDS
   sweep       latency-throughput curve over several loads
   saturate    bisection search for the maximum sustainable load
   partition   static partitionability analysis (contention / balance)
+  scenario    run|list|validate declarative .scn scenario files
   help        this text
+
+SCENARIOS
+  minnet scenario run scenarios/ [--chaos] [--json PATH]
+                 [--threads N] [--retries N] [--checkpoint-dir DIR]
+  minnet scenario list scenarios/
+  minnet scenario validate scenarios/
+Each .scn file declares a network, workload, fault/chaos schedule and
+expectations; `run` judges them into pass/partial/fail verdicts and
+exits 0 only if every scenario ends as its file declares (a
+watchdog-trip fixture *expects* fail). Chaos-gated scenarios are
+skipped unless --chaos. --json writes the deterministic verdict
+report (byte-identical across repeat runs and thread counts).
 
 COMMON OPTIONS
   --network tmin|dmin|vmin|bmin     network design           [tmin]
@@ -66,24 +79,35 @@ curve always completes with per-point outcomes."
 struct Args {
     cmd: String,
     opts: BTreeMap<String, String>,
+    /// Positional arguments (the `scenario` family takes an action and
+    /// scenario files/directories).
+    free: Vec<String>,
 }
+
+/// Options that are bare flags — present or absent, no value.
+const BOOL_FLAGS: &[&str] = &["chaos"];
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let cmd = it.next().unwrap_or_else(|| "help".into());
     let mut opts = BTreeMap::new();
+    let mut free = Vec::new();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
-            eprintln!("unexpected argument {key:?}");
-            usage();
+            free.push(key);
+            continue;
         };
+        if BOOL_FLAGS.contains(&name) {
+            opts.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("--{name} needs a value");
             usage();
         };
         opts.insert(name.to_string(), value);
     }
-    Args { cmd, opts }
+    Args { cmd, opts, free }
 }
 
 fn parse_f64(a: &Args, key: &str, default: f64) -> f64 {
@@ -425,14 +449,120 @@ fn cmd_partition(a: &Args) {
     }
 }
 
+/// The scenario files named by the positional arguments (after the
+/// action), defaulting to the `scenarios/` library directory.
+fn scenario_paths(a: &Args) -> Vec<std::path::PathBuf> {
+    let roots: Vec<&str> = if a.free.len() > 1 {
+        a.free[1..].iter().map(String::as_str).collect()
+    } else {
+        vec!["scenarios"]
+    };
+    let mut files = Vec::new();
+    for root in roots {
+        files.extend(
+            minnet::scenario_files(std::path::Path::new(root)).unwrap_or_else(|e| die(&e)),
+        );
+    }
+    files
+}
+
+fn cmd_scenario(a: &Args) {
+    let action = a.free.first().map(String::as_str).unwrap_or_else(|| {
+        eprintln!("scenario needs an action: run, list, or validate");
+        usage();
+    });
+    let files = scenario_paths(a);
+    match action {
+        "list" | "validate" => {
+            let mut bad = 0usize;
+            for path in &files {
+                match minnet::Scenario::load(path) {
+                    Ok(s) => {
+                        let mut tags = Vec::new();
+                        if s.expected_verdict() != minnet::VerdictStatus::Pass {
+                            tags.push(format!("expects {}", s.expected_verdict().as_str()));
+                        }
+                        if s.is_chaos_opt_in() {
+                            tags.push("chaos-gated".to_string());
+                        }
+                        let tags = if tags.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" [{}]", tags.join(", "))
+                        };
+                        println!("{:30} {}{tags}", s.name(), s.description());
+                    }
+                    Err(e) => {
+                        bad += 1;
+                        eprintln!("INVALID {}: {e}", path.display());
+                    }
+                }
+            }
+            if bad > 0 {
+                die(&format!("{bad} invalid scenario file(s)"));
+            }
+            if action == "validate" {
+                println!("{} scenario file(s) valid", files.len());
+            }
+        }
+        "run" => {
+            let include_chaos = a.opts.contains_key("chaos");
+            let retries = parse_u64(a, "retries", 0) as u32;
+            let ckpt_dir = a.opts.get("checkpoint-dir").map(std::path::PathBuf::from);
+            if let Some(d) = &ckpt_dir {
+                std::fs::create_dir_all(d)
+                    .unwrap_or_else(|e| die(&format!("creating {}: {e}", d.display())));
+            }
+            let set = minnet::run_scenario_files(
+                &files,
+                threads(a),
+                retries,
+                include_chaos,
+                ckpt_dir.as_deref(),
+            )
+            .unwrap_or_else(|e| die(&e));
+            for v in &set.verdicts {
+                println!("{v}");
+            }
+            for name in &set.skipped {
+                println!("SKIP {name} (chaos-gated; rerun with --chaos)");
+            }
+            let as_expected = set.all_as_expected();
+            println!(
+                "{} scenario(s): {} as declared, {} surprising, {} skipped",
+                set.verdicts.len(),
+                set.verdicts.iter().filter(|v| v.as_expected()).count(),
+                set.verdicts.iter().filter(|v| !v.as_expected()).count(),
+                set.skipped.len()
+            );
+            if let Some(path) = a.opts.get("json") {
+                std::fs::write(path, minnet::verdict_report_json(&set))
+                    .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+                println!("wrote {path}");
+            }
+            if !as_expected {
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("unknown scenario action {other:?} (run, list, validate)");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.cmd != "scenario" && !args.free.is_empty() {
+        die(&format!("unexpected argument {:?}", args.free[0]));
+    }
     match args.cmd.as_str() {
         "info" => cmd_info(&args),
         "simulate" => cmd_simulate(&args),
         "sweep" => cmd_sweep(&args),
         "saturate" => cmd_saturate(&args),
         "partition" => cmd_partition(&args),
+        "scenario" => cmd_scenario(&args),
         _ => usage(),
     }
 }

@@ -774,7 +774,7 @@ pub fn campaign_saturation_load(points: &[CampaignPoint]) -> Option<&CampaignPoi
 /// `EngineConfig` including seed and budget), the point grid, and the
 /// retry policy. Threads are deliberately excluded: values are
 /// thread-count invariant.
-fn config_hash(kind: &str, exp: &Experiment, params: &str, retries: u32) -> u64 {
+pub(crate) fn config_hash(kind: &str, exp: &Experiment, params: &str, retries: u32) -> u64 {
     let s = format!("{kind}|{exp:?}|{params}|retries={retries}");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
@@ -792,7 +792,7 @@ const CKPT_VERSION: u64 = 1;
 /// An open campaign checkpoint: previously completed tasks plus an
 /// append handle. `file == None` means checkpointing is off and every
 /// method is a no-op.
-struct Checkpoint {
+pub(crate) struct Checkpoint {
     file: Option<std::fs::File>,
     loaded: BTreeMap<usize, (PointOutcome, u32)>,
 }
@@ -800,7 +800,7 @@ struct Checkpoint {
 impl Checkpoint {
     /// Open (or create) the policy's checkpoint for a campaign of
     /// `total` tasks, validating version, kind, and config hash.
-    fn open(
+    pub(crate) fn open(
         policy: &CampaignPolicy,
         kind: &str,
         hash: u64,
@@ -920,7 +920,7 @@ impl Checkpoint {
 
     /// The pre-filled result vector [`run_outcomes`] starts from:
     /// checkpointed tasks as `Some`, everything else as holes to run.
-    fn preloaded(&mut self, total: usize) -> Vec<Option<(PointOutcome, u32)>> {
+    pub(crate) fn preloaded(&mut self, total: usize) -> Vec<Option<(PointOutcome, u32)>> {
         let mut v: Vec<Option<(PointOutcome, u32)>> = (0..total).map(|_| None).collect();
         for (task, entry) in std::mem::take(&mut self.loaded) {
             v[task] = Some(entry);
@@ -931,7 +931,7 @@ impl Checkpoint {
     /// Append one finished task — one line, written and flushed whole,
     /// so a kill between tasks never tears more than the line in
     /// flight.
-    fn append(&mut self, task: usize, attempts: u32, outcome: &PointOutcome) -> Result<(), String> {
+    pub(crate) fn append(&mut self, task: usize, attempts: u32, outcome: &PointOutcome) -> Result<(), String> {
         let Some(f) = &mut self.file else {
             return Ok(());
         };
@@ -1070,7 +1070,7 @@ fn report_from_json(line: &str) -> Option<SimReport> {
 }
 
 /// Escape a string for a JSON line.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -43,6 +43,7 @@
 pub mod campaign;
 pub mod experiment;
 pub mod model;
+pub mod scenario;
 pub mod spec;
 pub mod sweep;
 pub mod table;
@@ -53,6 +54,10 @@ pub use campaign::{
     DegradationCampaignPoint, PointOutcome, ReplicatedCampaignPoint,
 };
 pub use experiment::{CompiledExperiment, Experiment};
+pub use scenario::{
+    run_scenario_files, scenario_files, verdict_report_json, CheckResult, CheckStatus,
+    Expectations, Scenario, ScenarioBuilder, ScenarioPoint, ScenarioSet, Verdict, VerdictStatus,
+};
 pub use spec::NetworkSpec;
 pub use sweep::{
     compiled_curve, degradation_curve, find_saturation, latency_throughput_curve,

@@ -142,6 +142,49 @@ fn partition_detects_reduced_butterfly() {
 }
 
 #[test]
+fn scenario_subcommand_lists_runs_and_judges_the_library() {
+    let lib = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let (ok, stdout, _) = minnet(&["scenario", "validate", lib]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("scenario file(s) valid"), "{stdout}");
+    assert!(stdout.contains("watchdog-trip"), "{stdout}");
+    assert!(stdout.contains("[expects fail]"), "{stdout}");
+
+    // Run just the fixture that must FAIL as declared: exit 0 (the
+    // verdict matches the declaration) with the stall in the output.
+    let trip = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/watchdog_trip.scn"
+    );
+    let dir = std::env::temp_dir().join(format!("minnet_cli_scn_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("verdicts.json");
+    let (ok, stdout, _) = minnet(&["scenario", "run", trip, "--json", json.to_str().unwrap()]);
+    assert!(ok, "declared-fail fixture exits 0: {stdout}");
+    assert!(stdout.contains("FAIL watchdog-trip (expected fail)"), "{stdout}");
+    assert!(stdout.contains("no progress"), "{stdout}");
+    let report = std::fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"status\":\"fail\""), "{report}");
+    assert!(report.contains("\"as_expected\":true"), "{report}");
+    assert!(report.contains("\"stall\":"), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A scenario that ends *unlike* its declaration exits nonzero.
+    let bad = dir.join("impossible.scn");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        &bad,
+        "name = impossible\nloads = 0.1\nsizes = fixed:32\nwarmup = 500\n\
+         measure = 3000\nexpect.p99_latency = 1\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = minnet(&["scenario", "run", bad.to_str().unwrap()]);
+    assert!(!ok, "surprising verdict must exit nonzero: {stdout}");
+    assert!(stdout.contains("FAIL impossible"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let (ok, _, stderr) = minnet(&["simulate", "--network", "warp"]);
     assert!(!ok);

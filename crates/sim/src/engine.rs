@@ -561,6 +561,23 @@ impl CompiledNet {
         CompiledFaults::compile(&self.net, routes, plan, self.cfg.vcs)
     }
 
+    /// Expand a [`crate::chaos::ChaosSchedule`] against this network with
+    /// `seed` and compile the resulting plan — the one-call chaos hook:
+    /// `schedule → FaultPlan → CompiledFaults`.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`crate::chaos::ChaosSchedule::compile_plan`] or
+    /// [`CompiledNet::compile_faults`] reports.
+    pub fn compile_chaos(
+        &self,
+        chaos: &crate::chaos::ChaosSchedule,
+        seed: u64,
+    ) -> Result<CompiledFaults, SimError> {
+        let plan = chaos.compile_plan(&self.net, self.cfg.vcs, seed)?;
+        self.compile_faults(&plan)
+    }
+
     /// Run a stochastic (Poisson-workload) simulation with the given seed,
     /// reusing `st`'s allocations.
     ///

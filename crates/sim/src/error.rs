@@ -77,7 +77,19 @@ impl std::fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    /// Watchdog trips and budget cuts chain to their structured payloads
+    /// ([`StallDiagnostic`] / [`PartialReport`], both `Error` themselves),
+    /// so `anyhow`-style cause walks reach the diagnostic without
+    /// matching on the enum.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::NoProgress(d) => Some(&**d),
+            SimError::BudgetExceeded(p) => Some(&**p),
+            _ => None,
+        }
+    }
+}
 
 impl From<String> for SimError {
     fn from(msg: String) -> SimError {
@@ -128,6 +140,8 @@ pub struct PartialReport {
     /// Statistics accumulated up to the cut.
     pub report: SimReport,
 }
+
+impl std::error::Error for PartialReport {}
 
 impl std::fmt::Display for PartialReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -185,6 +199,42 @@ pub struct StallDiagnostic {
     pub suspected_cycle: Option<Vec<u32>>,
 }
 
+impl StallDiagnostic {
+    /// A multi-line rendering for terminals and verdict reports — one
+    /// line per stalled packet, the held channels, and the suspected
+    /// wait cycle — where the single-line [`std::fmt::Display`] form
+    /// would wrap unreadably.
+    pub fn detail(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "no progress for {} cycles at cycle {}: {} stalled packet(s) \
+             holding {} channel(s)",
+            self.window,
+            self.cycle,
+            self.stalled.len(),
+            self.held_channels.len()
+        );
+        for (i, p) in self.stalled.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\n  packet {i}: {}→{} at channel {} ({} of {} flits sent, {} delivered)",
+                p.src, p.dst, p.head_channel, p.sent, p.len, p.delivered
+            );
+        }
+        if !self.held_channels.is_empty() {
+            let _ = write!(out, "\n  held channels: {:?}", self.held_channels);
+        }
+        if let Some(cycle) = &self.suspected_cycle {
+            let _ = write!(out, "\n  suspected wait cycle among packets {cycle:?}");
+        } else {
+            let _ = write!(out, "\n  no wait cycle found (acyclic blockage, e.g. a dead channel)");
+        }
+        out
+    }
+}
+
+impl std::error::Error for StallDiagnostic {}
+
 impl std::fmt::Display for StallDiagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -222,6 +272,80 @@ mod tests {
         assert_eq!(s, "bad config");
         let e: SimError = String::from("also bad").into();
         assert_eq!(String::from(e), "also bad");
+    }
+
+    fn sample_diag() -> StallDiagnostic {
+        StallDiagnostic {
+            cycle: 500,
+            window: 100,
+            stalled: vec![StalledPacket {
+                src: 1,
+                dst: 9,
+                head_channel: 42,
+                sent: 3,
+                len: 8,
+                delivered: 0,
+            }],
+            held_channels: vec![40, 42],
+            suspected_cycle: None,
+        }
+    }
+
+    #[test]
+    fn source_chains_to_structured_payloads() {
+        use std::error::Error;
+        let e = SimError::NoProgress(Box::new(sample_diag()));
+        let src = e.source().expect("NoProgress chains to its diagnostic");
+        assert!(src.downcast_ref::<StallDiagnostic>().is_some());
+        assert!(src.to_string().contains("no progress"));
+
+        let e = SimError::BudgetExceeded(Box::new(PartialReport {
+            kind: BudgetKind::Cycles,
+            limit: 1_000,
+            spent_cycles: 1_000,
+            report: SimReport {
+                cycles: 1_000,
+                measured_cycles: 500,
+                generated_packets: 10,
+                delivered_packets: 4,
+                offered_flits_per_node_cycle: 0.0,
+                accepted_flits_per_node_cycle: 0.0,
+                mean_latency_cycles: 0.0,
+                latency_ci95_cycles: 0.0,
+                p50_latency_cycles: 0,
+                p95_latency_cycles: 0,
+                p99_latency_cycles: 0,
+                max_latency_cycles: 0,
+                mean_queue: 0.0,
+                max_queue: 0,
+                sustainable: true,
+                steady: true,
+                in_flight_at_end: 6,
+                aborted_packets: 0,
+                undeliverable_packets: 0,
+                channel_utilization: None,
+                deliveries: None,
+                trace: None,
+            },
+        }));
+        let src = e.source().expect("BudgetExceeded chains to its partial");
+        assert!(src.downcast_ref::<PartialReport>().is_some());
+
+        assert!(SimError::Config("x".into()).source().is_none());
+        assert!(SimError::Internal { what: "y" }.source().is_none());
+    }
+
+    #[test]
+    fn detail_is_multiline_and_names_packets() {
+        let d = sample_diag();
+        let detail = d.detail();
+        assert!(detail.contains("no progress for 100 cycles at cycle 500"));
+        assert!(detail.contains("\n  packet 0: 1→9 at channel 42"));
+        assert!(detail.contains("\n  held channels: [40, 42]"));
+        assert!(detail.contains("acyclic blockage"));
+        let mut cyclic = sample_diag();
+        cyclic.suspected_cycle = Some(vec![0]);
+        assert!(cyclic.detail().contains("suspected wait cycle among packets [0]"));
     }
 
     #[test]

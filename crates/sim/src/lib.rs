@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod reference;
 pub mod stats;
 pub mod trace;
 
+pub use chaos::{ChaosSchedule, ChaosTarget};
 pub use config::{Delivery, EngineConfig, RunBudget, SimReport, TransmitOrder, CYCLE_US};
 pub use engine::{
     run_chained, run_scripted, run_simulation, with_pooled_state, Chain, ChainedMsg, CompiledNet,

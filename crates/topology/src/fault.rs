@@ -83,9 +83,113 @@ pub struct FaultPlan {
     faults: Vec<Fault>,
 }
 
-/// SplitMix64 step — the plan generator's only source of randomness, so
-/// plans are reproducible from a bare `u64` without an RNG dependency.
-fn splitmix64(state: &mut u64) -> u64 {
+/// Everything [`FaultPlan::check`] can reject: targets outside the
+/// network, degenerate fault windows, and duplicated targets whose
+/// windows overlap. Each variant names the offending fault by its index
+/// in the plan, so scenario layers can point at the exact declaration.
+///
+/// A degenerate window (`repair ≤ onset`) or an overlapping duplicate
+/// used to compile into a silent no-op / redundant mask; both are almost
+/// certainly authoring mistakes, so they are typed errors instead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPlanError {
+    /// A channel target beyond the network's channel count.
+    ChannelOutOfRange {
+        /// Index of the offending fault in the plan.
+        fault: usize,
+        /// The out-of-range channel.
+        channel: ChannelId,
+        /// Channels the network actually has.
+        num_channels: u32,
+    },
+    /// A lane target whose virtual-channel index is beyond the lane count.
+    LaneOutOfRange {
+        /// Index of the offending fault in the plan.
+        fault: usize,
+        /// The out-of-range virtual-channel index.
+        vc: u8,
+        /// Lanes each channel actually has.
+        vcs: u8,
+    },
+    /// A switch target beyond the network's switch count.
+    SwitchOutOfRange {
+        /// Index of the offending fault in the plan.
+        fault: usize,
+        /// The out-of-range switch.
+        switch: SwitchId,
+        /// Switches the network actually has.
+        num_switches: u32,
+    },
+    /// A transient whose window `[onset, repair)` is empty — a
+    /// zero-duration fault, or a repair at/before its onset. Compiling
+    /// it would silently mask nothing.
+    EmptyWindow {
+        /// Index of the offending fault in the plan.
+        fault: usize,
+        /// First dead cycle.
+        onset: u64,
+        /// Scheduled repair cycle (≤ onset).
+        repair: u64,
+    },
+    /// Two faults hit the *same* target over overlapping windows — a
+    /// duplicated declaration whose second entry changes nothing.
+    DuplicateTarget {
+        /// Index of the earlier overlapping fault.
+        first: usize,
+        /// Index of the later overlapping fault.
+        second: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::ChannelOutOfRange {
+                fault,
+                channel,
+                num_channels,
+            } => write!(
+                f,
+                "fault {fault}: channel {channel} out of range \
+                 (network has {num_channels} channels)"
+            ),
+            FaultPlanError::LaneOutOfRange { fault, vc, vcs } => write!(
+                f,
+                "fault {fault}: lane {vc} out of range (channels have {vcs} lanes)"
+            ),
+            FaultPlanError::SwitchOutOfRange {
+                fault,
+                switch,
+                num_switches,
+            } => write!(
+                f,
+                "fault {fault}: switch {switch} out of range \
+                 (network has {num_switches} switches)"
+            ),
+            FaultPlanError::EmptyWindow {
+                fault,
+                onset,
+                repair,
+            } => write!(
+                f,
+                "fault {fault}: repair cycle {repair} is not after onset {onset} \
+                 (the fault window is empty and would mask nothing)"
+            ),
+            FaultPlanError::DuplicateTarget { first, second } => write!(
+                f,
+                "faults {first} and {second} hit the same target over overlapping \
+                 windows; merge them into one fault"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// SplitMix64 step — the workspace's standard seed-expansion primitive,
+/// public so fault/chaos plan generators in other crates derive their
+/// randomness from a bare `u64` without an RNG dependency.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -140,12 +244,7 @@ impl FaultPlan {
         count: usize,
         seed: u64,
     ) -> Result<FaultPlan, String> {
-        let mut pool: Vec<ChannelId> = (0..net.num_channels() as u32)
-            .filter(|&c| {
-                let ch = net.channel(c);
-                ch.src.switch().is_some() && ch.dst.switch().is_some()
-            })
-            .collect();
+        let mut pool = inter_stage_channels(net);
         if count > pool.len() {
             return Err(format!(
                 "requested {count} faulted links but the network has only {} \
@@ -165,49 +264,89 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// Check every fault against `net` and the lane count `vcs` — the
+    /// string-typed form of [`FaultPlan::check`], kept for the older
+    /// `Result<_, String>` call sites.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`FaultPlan::check`] reports, as its display form.
+    pub fn validate(&self, net: &NetworkGraph, vcs: u8) -> Result<(), String> {
+        self.check(net, vcs).map_err(|e| e.to_string())
+    }
+
     /// Check every fault against `net` and the lane count `vcs`.
     ///
     /// # Errors
     ///
-    /// Reports out-of-range channels/switches/lanes and repairs not after
-    /// their onsets, naming the offending fault.
-    pub fn validate(&self, net: &NetworkGraph, vcs: u8) -> Result<(), String> {
+    /// Reports out-of-range channels/switches/lanes, degenerate windows
+    /// (repair at/before onset — a silent no-op mask), and duplicated
+    /// targets with overlapping windows, naming the offending fault(s).
+    pub fn check(&self, net: &NetworkGraph, vcs: u8) -> Result<(), FaultPlanError> {
         let nch = net.num_channels() as u32;
         let nsw = net.num_switches() as u32;
         for (i, f) in self.faults.iter().enumerate() {
             match f.target {
                 FaultTarget::Channel(c) if c >= nch => {
-                    return Err(format!(
-                        "fault {i}: channel {c} out of range (network has {nch} channels)"
-                    ));
+                    return Err(FaultPlanError::ChannelOutOfRange {
+                        fault: i,
+                        channel: c,
+                        num_channels: nch,
+                    });
                 }
                 FaultTarget::Lane { channel, vc } => {
                     if channel >= nch {
-                        return Err(format!(
-                            "fault {i}: channel {channel} out of range \
-                             (network has {nch} channels)"
-                        ));
+                        return Err(FaultPlanError::ChannelOutOfRange {
+                            fault: i,
+                            channel,
+                            num_channels: nch,
+                        });
                     }
                     if vc >= vcs {
-                        return Err(format!(
-                            "fault {i}: lane {vc} out of range (channels have {vcs} lanes)"
-                        ));
+                        return Err(FaultPlanError::LaneOutOfRange { fault: i, vc, vcs });
                     }
                 }
                 FaultTarget::Switch(s) if s >= nsw => {
-                    return Err(format!(
-                        "fault {i}: switch {s} out of range (network has {nsw} switches)"
-                    ));
+                    return Err(FaultPlanError::SwitchOutOfRange {
+                        fault: i,
+                        switch: s,
+                        num_switches: nsw,
+                    });
                 }
                 _ => {}
             }
             if let Some(r) = f.repair {
                 if r <= f.onset {
-                    return Err(format!(
-                        "fault {i}: repair cycle {r} is not after onset {}",
-                        f.onset
-                    ));
+                    return Err(FaultPlanError::EmptyWindow {
+                        fault: i,
+                        onset: f.onset,
+                        repair: r,
+                    });
                 }
+            }
+        }
+        // Duplicate detection: sort fault indices by (target, onset) so
+        // overlap on the same target is a same-neighbour property —
+        // window ends are monotone within a target because each window
+        // must start at or after the previous one's onset. Back-to-back
+        // windows (one's repair == the next's onset) are legal; only a
+        // true overlap is a duplicate.
+        let key = |t: FaultTarget| -> (u8, u32, u32) {
+            match t {
+                FaultTarget::Channel(c) => (0, c, 0),
+                FaultTarget::Lane { channel, vc } => (1, channel, u32::from(vc)),
+                FaultTarget::Switch(s) => (2, s, 0),
+            }
+        };
+        let mut order: Vec<usize> = (0..self.faults.len()).collect();
+        order.sort_by_key(|&i| (key(self.faults[i].target), self.faults[i].onset, i));
+        for w in order.windows(2) {
+            let (a, b) = (self.faults[w[0]], self.faults[w[1]]);
+            if key(a.target) == key(b.target) && a.repair.is_none_or(|r| b.onset < r) {
+                return Err(FaultPlanError::DuplicateTarget {
+                    first: w[0].min(w[1]),
+                    second: w[0].max(w[1]),
+                });
             }
         }
         Ok(())
@@ -301,6 +440,19 @@ pub struct FaultEpoch {
 #[derive(Clone, Debug)]
 pub struct FaultSchedule {
     epochs: Vec<FaultEpoch>,
+}
+
+/// Every channel connecting two switches, ascending — the standard
+/// fault-target pool. Injection/ejection channels are excluded: they are
+/// single-attached by construction, so killing one disconnects a node
+/// trivially rather than exercising path diversity.
+pub fn inter_stage_channels(net: &NetworkGraph) -> Vec<ChannelId> {
+    (0..net.num_channels() as u32)
+        .filter(|&c| {
+            let ch = net.channel(c);
+            ch.src.switch().is_some() && ch.dst.switch().is_some()
+        })
+        .collect()
 }
 
 impl FaultSchedule {
@@ -441,5 +593,136 @@ mod tests {
     fn random_links_reject_oversized_requests() {
         let net = tmin();
         assert!(FaultPlan::random_inter_stage_links(&net, 100_000, 1).is_err());
+    }
+
+    #[test]
+    fn check_types_degenerate_windows() {
+        let net = tmin();
+        // Zero-duration transient: repair == onset.
+        let bad = FaultPlan::new().with(Fault {
+            target: FaultTarget::Channel(0),
+            onset: 10,
+            repair: Some(10),
+        });
+        assert_eq!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::EmptyWindow {
+                fault: 0,
+                onset: 10,
+                repair: 10
+            })
+        );
+        // Repair before onset.
+        let bad = FaultPlan::new().with(Fault {
+            target: FaultTarget::Channel(0),
+            onset: 10,
+            repair: Some(3),
+        });
+        assert!(matches!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::EmptyWindow { repair: 3, .. })
+        ));
+        // The string form still mentions "repair" for legacy matching.
+        assert!(bad.validate(&net, 1).unwrap_err().contains("repair"));
+    }
+
+    #[test]
+    fn check_types_out_of_range_targets() {
+        let net = tmin();
+        let nch = net.num_channels() as u32;
+        let bad = FaultPlan::new().with(Fault::permanent(FaultTarget::Channel(nch)));
+        assert!(matches!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::ChannelOutOfRange { channel, .. }) if channel == nch
+        ));
+        let bad =
+            FaultPlan::new().with(Fault::permanent(FaultTarget::Lane { channel: 0, vc: 2 }));
+        assert_eq!(
+            bad.check(&net, 2),
+            Err(FaultPlanError::LaneOutOfRange {
+                fault: 0,
+                vc: 2,
+                vcs: 2
+            })
+        );
+        let bad = FaultPlan::new().with(Fault::permanent(FaultTarget::Switch(10_000)));
+        assert!(matches!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::SwitchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_overlapping_duplicate_targets() {
+        let net = tmin();
+        // Same channel, overlapping windows — a duplicate.
+        let bad = FaultPlan::new()
+            .with(Fault::transient(FaultTarget::Channel(3), 0, 100))
+            .with(Fault::transient(FaultTarget::Channel(3), 50, 150));
+        assert_eq!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::DuplicateTarget {
+                first: 0,
+                second: 1
+            })
+        );
+        // Two permanents on the same switch overlap by definition.
+        let bad = FaultPlan::new()
+            .with(Fault::permanent(FaultTarget::Switch(1)))
+            .with(Fault::permanent(FaultTarget::Switch(1)));
+        assert!(matches!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::DuplicateTarget { .. })
+        ));
+        // Insertion order does not hide the overlap.
+        let bad = FaultPlan::new()
+            .with(Fault::transient(FaultTarget::Channel(3), 50, 150))
+            .with(Fault::transient(FaultTarget::Channel(3), 0, 100));
+        assert!(matches!(
+            bad.check(&net, 1),
+            Err(FaultPlanError::DuplicateTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn check_allows_back_to_back_and_distinct_targets() {
+        let net = tmin();
+        // Adjacent windows on one channel (repair == next onset) are a
+        // legal restart pattern, not a duplicate.
+        let ok = FaultPlan::new()
+            .with(Fault::transient(FaultTarget::Channel(3), 0, 100))
+            .with(Fault::transient(FaultTarget::Channel(3), 100, 200))
+            .with(Fault::transient(FaultTarget::Channel(3), 250, 300));
+        assert_eq!(ok.check(&net, 1), Ok(()));
+        assert_eq!(ok.compile(&net, 1).unwrap().epochs().len(), 5);
+        // Overlapping windows on *different* target classes are fine even
+        // when they touch the same channel.
+        let ok = FaultPlan::new()
+            .with(Fault::transient(FaultTarget::Channel(3), 0, 100))
+            .with(Fault::transient(FaultTarget::Lane { channel: 3, vc: 0 }, 50, 150));
+        assert_eq!(ok.check(&net, 2), Ok(()));
+    }
+
+    #[test]
+    fn fault_plan_error_displays_and_chains() {
+        let e = FaultPlanError::DuplicateTarget { first: 1, second: 4 };
+        assert!(e.to_string().contains("faults 1 and 4"));
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn inter_stage_pool_excludes_terminal_channels() {
+        for net in [tmin(), build_bmin(Geometry::new(4, 3))] {
+            let pool = inter_stage_channels(&net);
+            assert!(!pool.is_empty());
+            assert!(pool.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
+            for &c in &pool {
+                let d = net.channel(c);
+                assert!(d.src.switch().is_some() && d.dst.switch().is_some());
+            }
+            let terminals = net.num_channels() - pool.len();
+            // Every node has exactly one injection and one ejection channel.
+            assert_eq!(terminals, 2 * net.geometry.nodes() as usize);
+        }
     }
 }

@@ -41,7 +41,10 @@ pub mod unidir;
 
 pub use address::{Geometry, NodeAddr};
 pub use bmin::build_bmin;
-pub use fault::{Fault, FaultEpoch, FaultPlan, FaultSchedule, FaultTarget};
+pub use fault::{
+    inter_stage_channels, splitmix64, Fault, FaultEpoch, FaultPlan, FaultPlanError,
+    FaultSchedule, FaultTarget,
+};
 pub use cube::{BitCube, CubeSpec, DigitSpec};
 pub use graph::{
     ChannelDesc, ChannelId, Direction, Endpoint, NetworkGraph, NetworkKind, NodeId, Side,

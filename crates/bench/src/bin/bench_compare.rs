@@ -63,6 +63,15 @@
 //! geometry itself changed). Always warn-only, same reasoning as
 //! `--faults`.
 //!
+//! `--service SERVICE_BASELINE SERVICE_CURRENT` diffs a pair of
+//! `service_smoke` files: daemon jobs/sec and cold-request latency in
+//! the noisy ±20% band, a warning whenever a cache hit fails to beat
+//! its cold run, and the flood admission counts (accepted /
+//! rejected-per-client-cap / rejected-queue-full) on *any* change —
+//! those are deterministic functions of the configured bounds, so
+//! drift is an admission-control behavior change, not noise. Always
+//! warn-only.
+//!
 //! The parser is deliberately minimal: this offline workspace has no
 //! serde, and both files are produced by `sweep_smoke`'s /
 //! `faults_smoke`'s known line-oriented writers. It keys on trimmed
@@ -628,6 +637,99 @@ fn compare_scale(
     Ok(warned)
 }
 
+/// The service numbers of a `service_smoke` file: wall-clock figures
+/// (noisy) plus the deterministic admission-control flood counts.
+struct ServiceNums {
+    jobs_per_sec: f64,
+    cold_ms: f64,
+    cache_hit_ms: f64,
+    flood_accepted: f64,
+    flood_rejected_cap: f64,
+    flood_rejected_queue: f64,
+}
+
+fn parse_service(src: &str, path: &str) -> Result<ServiceNums, String> {
+    let find = |key: &str| {
+        src.lines()
+            .find_map(|l| field(l.trim(), key))
+            .ok_or_else(|| format!("{path}: missing \"{key}\""))
+    };
+    Ok(ServiceNums {
+        jobs_per_sec: find("jobs_per_sec")?,
+        cold_ms: find("cold_ms")?,
+        cache_hit_ms: find("cache_hit_ms")?,
+        flood_accepted: find("flood_accepted")?,
+        flood_rejected_cap: find("flood_rejected_client_cap")?,
+        flood_rejected_queue: find("flood_rejected_queue_full")?,
+    })
+}
+
+/// `--service`: diff a pair of `service_smoke` files. Wall-clock
+/// figures (jobs/sec, cold latency) warn in the usual noisy ±20% band;
+/// a cache hit slower than its cold run warns at any magnitude (the
+/// cache must pay for itself); the flood admission counts are
+/// deterministic functions of the configured bounds, so *any* drift
+/// warns — that is an admission-control behavior change, not noise.
+/// Always warn-only, same reasoning as `--faults`.
+fn compare_service(
+    baseline_path: &str,
+    current_path: &str,
+    summary: &mut String,
+) -> Result<usize, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let base = parse_service(&read(baseline_path)?, baseline_path)?;
+    let cur = parse_service(&read(current_path)?, current_path)?;
+
+    let mut warned = 0usize;
+    let _ = writeln!(
+        summary,
+        "service: {current_path} vs baseline {baseline_path} \
+         (wall-clock warn at ±20%, flood counts on any change)"
+    );
+    let jps = if usable_baseline(base.jobs_per_sec) {
+        let ratio = cur.jobs_per_sec / base.jobs_per_sec;
+        let mut flag = "";
+        if ratio < 0.8 {
+            warned += 1;
+            flag = "  <-- WARNING: service throughput dropped";
+        }
+        format!("({:+6.1}%){flag}", (ratio - 1.0) * 100.0)
+    } else {
+        "(no usable baseline)".to_string()
+    };
+    let _ = writeln!(
+        summary,
+        "  {:>24}: {:8.1} vs {:8.1}  {jps}",
+        "jobs_per_sec", cur.jobs_per_sec, base.jobs_per_sec
+    );
+    let mut cache_flag = "";
+    if cur.cache_hit_ms >= cur.cold_ms {
+        warned += 1;
+        cache_flag = "  <-- WARNING: cache hit no faster than cold run";
+    }
+    let _ = writeln!(
+        summary,
+        "  {:>24}: cold {:7.2} ms, cache hit {:7.2} ms ({:.1}x){cache_flag}",
+        "cache latency",
+        cur.cold_ms,
+        cur.cache_hit_ms,
+        cur.cold_ms / cur.cache_hit_ms.max(1e-9)
+    );
+    for (what, b, c) in [
+        ("flood_accepted", base.flood_accepted, cur.flood_accepted),
+        ("flood_rejected_client_cap", base.flood_rejected_cap, cur.flood_rejected_cap),
+        ("flood_rejected_queue_full", base.flood_rejected_queue, cur.flood_rejected_queue),
+    ] {
+        let mut flag = "";
+        if b != c {
+            warned += 1;
+            flag = "  <-- WARNING: admission-control counts changed (behavioural)";
+        }
+        let _ = writeln!(summary, "  {what:>24}: {c:4.0} vs {b:4.0}{flag}");
+    }
+    Ok(warned)
+}
+
 /// A baseline number a percent diff can safely divide by. Zero (or a
 /// non-finite value from a malformed row) means the baseline carries no
 /// usable magnitude — a placeholder entry, a truncated file, or a
@@ -745,11 +847,13 @@ fn compare_sweeps(
 fn main() -> Result<(), String> {
     const USAGE: &str = "usage: bench_compare BASELINE CURRENT [OUT] \
          [--fail-on-regress <pct>] [--faults FAULTS_BASELINE FAULTS_CURRENT] \
-         [--scale SCALE_BASELINE SCALE_CURRENT]";
+         [--scale SCALE_BASELINE SCALE_CURRENT] \
+         [--service SERVICE_BASELINE SERVICE_CURRENT]";
     let mut positional: Vec<String> = Vec::new();
     let mut fail_pct: Option<f64> = None;
     let mut faults: Option<(String, String)> = None;
     let mut scale: Option<(String, String)> = None;
+    let mut service: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--faults" {
@@ -760,6 +864,10 @@ fn main() -> Result<(), String> {
             let base = args.next().ok_or(USAGE)?;
             let cur = args.next().ok_or(USAGE)?;
             scale = Some((base, cur));
+        } else if a == "--service" {
+            let base = args.next().ok_or(USAGE)?;
+            let cur = args.next().ok_or(USAGE)?;
+            service = Some((base, cur));
         } else if a == "--fail-on-regress" {
             let pct = args.next().ok_or(USAGE)?;
             let pct: f64 = pct
@@ -807,6 +915,9 @@ fn main() -> Result<(), String> {
     }
     if let Some((scale_base, scale_cur)) = &scale {
         warned += compare_scale(scale_base, scale_cur, &mut summary)?;
+    }
+    if let Some((service_base, service_cur)) = &service {
+        warned += compare_service(service_base, service_cur, &mut summary)?;
     }
     if let Some(pct) = fail_pct {
         let _ = writeln!(summary, "{warned} warning(s); gate at -{pct}%");
@@ -1118,5 +1229,49 @@ mod tests {
         assert_eq!(regressed.len(), 1);
         assert!(!summary.contains("inf%") && !summary.contains("NaN"), "{summary}");
         assert!(summary.contains("abs diff +90000"), "{summary}");
+    }
+
+    fn service_src(jobs: f64, cold: f64, hit: f64, acc: u64, cap: u64, full: u64) -> String {
+        format!(
+            "{{\n  \"service\": {{\n    \"jobs_per_sec\": {jobs},\n    \"cold_ms\": {cold},\n\
+             \x20   \"cache_hit_ms\": {hit},\n    \"flood_accepted\": {acc},\n\
+             \x20   \"flood_rejected_client_cap\": {cap},\n\
+             \x20   \"flood_rejected_queue_full\": {full}\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn service_flood_counts_warn_on_any_drift_wallclock_only_beyond_band() {
+        let dir = std::env::temp_dir();
+        let base_path = dir.join(format!("svc_base_{}.json", std::process::id()));
+        let cur_path = dir.join(format!("svc_cur_{}.json", std::process::id()));
+        // Wall-clock within the band, one admission count changed: one
+        // behavioral warning, no throughput warning.
+        std::fs::write(&base_path, service_src(100.0, 12.0, 2.0, 4, 5, 7)).unwrap();
+        std::fs::write(&cur_path, service_src(90.0, 13.0, 2.5, 4, 6, 6)).unwrap();
+        let mut summary = String::new();
+        let warned = compare_service(
+            base_path.to_str().unwrap(),
+            cur_path.to_str().unwrap(),
+            &mut summary,
+        )
+        .unwrap();
+        assert_eq!(warned, 2, "{summary}");
+        assert!(summary.contains("admission-control counts changed"), "{summary}");
+        assert!(!summary.contains("throughput dropped"), "{summary}");
+
+        // A cache hit slower than cold warns regardless of magnitude.
+        std::fs::write(&cur_path, service_src(100.0, 12.0, 12.5, 4, 5, 7)).unwrap();
+        let mut summary = String::new();
+        let warned = compare_service(
+            base_path.to_str().unwrap(),
+            cur_path.to_str().unwrap(),
+            &mut summary,
+        )
+        .unwrap();
+        assert_eq!(warned, 1, "{summary}");
+        assert!(summary.contains("cache hit no faster"), "{summary}");
+        let _ = std::fs::remove_file(&base_path);
+        let _ = std::fs::remove_file(&cur_path);
     }
 }

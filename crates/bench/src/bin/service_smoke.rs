@@ -1,0 +1,194 @@
+//! Service smoke benchmark: run the `minnetd` daemon in-process and
+//! write machine-readable service numbers to `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release -p minnet-bench --bin service_smoke        # ./BENCH_service.json
+//! cargo run --release -p minnet-bench --bin service_smoke -- out.json
+//! ```
+//!
+//! Three sections, mirroring the daemon's contracts:
+//!
+//! * **throughput** — a batch of distinct small sweep jobs submitted
+//!   over TCP and drained through the worker pool: `jobs_per_sec` is
+//!   wall-clock and therefore compared in the usual noisy ±20% band.
+//! * **cache** — one cold job (submit → result, simulated) vs the same
+//!   spec resubmitted (served from the FNV-config-hash result cache):
+//!   `cold_ms`, `cache_hit_ms`, and the speedup. The bytes of both
+//!   results are compared here too; a mismatch is a **hard error**, not
+//!   a statistic — cache hits are contractually bitwise identical.
+//! * **flood** — an admission-only daemon (`workers = 0`) flooded past
+//!   its bounds: the accepted / rejected-per-client-cap /
+//!   rejected-queue-full counts are exact, deterministic functions of
+//!   the configured limits, so `bench_compare --service` warns on *any*
+//!   drift (an admission-control behavior change, not noise).
+//!
+//! The JSON is written by hand (no serde in this offline workspace);
+//! see EXPERIMENTS.md for the schema.
+
+use minnet::{JobSpec, Response, ServiceClient};
+use minnet_daemon::{Daemon, DaemonConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const BATCH_JOBS: u64 = 6;
+const FLOOD_QUEUE_DEPTH: usize = 4;
+const FLOOD_CLIENT_CAP: usize = 3;
+const FLOOD_SUBMITS_ONE_CLIENT: u64 = 8;
+const FLOOD_SUBMITS_MANY_CLIENTS: u64 = 8;
+
+/// A small job: 64-terminal paper geometry, two loads, short windows.
+fn job(seed: u64) -> JobSpec {
+    JobSpec {
+        sizes: "fixed:32".into(),
+        loads: vec![0.15, 0.3],
+        warmup: 300,
+        measure: 2_000,
+        seed,
+        budget_cycles: 200_000,
+        ..JobSpec::default()
+    }
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "minnet_service_smoke_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(tag: &str, workers: usize, queue_depth: usize, cap: usize) -> (Daemon, PathBuf) {
+    let dir = state_dir(tag);
+    let daemon = Daemon::start(DaemonConfig {
+        workers,
+        queue_depth,
+        per_client_inflight: cap,
+        state_dir: dir.clone(),
+        ..DaemonConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("service_smoke: starting daemon: {e}");
+        std::process::exit(1);
+    });
+    (daemon, dir)
+}
+
+fn accept(resp: Response, what: &str) -> String {
+    match resp {
+        Response::Accepted { job_id, .. } => job_id,
+        other => {
+            eprintln!("service_smoke: {what}: unexpected response {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_service.json".into());
+    let wait = Duration::from_secs(300);
+
+    // ---- throughput: a batch of distinct jobs through the pool ----
+    let (daemon, dir) = start("batch", 2, 64, 64);
+    let client = ServiceClient::new(daemon.addr().to_string());
+    let t0 = Instant::now();
+    let ids: Vec<String> = (0..BATCH_JOBS)
+        .map(|i| accept(client.submit("bench", &job(1_000 + i)).unwrap(), "batch submit"))
+        .collect();
+    for id in &ids {
+        client.wait_result(id, wait).unwrap_or_else(|e| {
+            eprintln!("service_smoke: waiting for {id}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let jobs_per_sec = BATCH_JOBS as f64 / batch_secs;
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- cache: cold simulate vs cache-hit serve, same bytes ----
+    let (daemon, dir) = start("cache", 1, 16, 16);
+    let client = ServiceClient::new(daemon.addr().to_string());
+    let spec = job(7_777);
+    let t0 = Instant::now();
+    let cold_id = accept(client.submit("bench", &spec).unwrap(), "cold submit");
+    let cold_bytes = client.wait_result(&cold_id, wait).unwrap();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let warm_id = accept(client.submit("bench", &spec).unwrap(), "warm submit");
+    let warm = client.result(&warm_id).unwrap();
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let Response::JobResult { result: warm_bytes, .. } = warm else {
+        eprintln!("service_smoke: cache hit did not serve a result: {warm:?}");
+        std::process::exit(1);
+    };
+    if warm_id != cold_id || warm_bytes != cold_bytes {
+        eprintln!("service_smoke: cache-hit bytes differ from the cold run — contract broken");
+        std::process::exit(1);
+    }
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- flood: deterministic admission-control counts ----
+    let (daemon, dir) = start("flood", 0, FLOOD_QUEUE_DEPTH, FLOOD_CLIENT_CAP);
+    let client = ServiceClient::new(daemon.addr().to_string());
+    let mut accepted = 0u64;
+    let mut rejected_cap = 0u64;
+    let mut rejected_queue = 0u64;
+    let mut count = |resp: Response| match resp {
+        Response::Accepted { .. } => accepted += 1,
+        Response::Rejected { reason, .. } if reason.contains("in-flight cap") => rejected_cap += 1,
+        Response::Rejected { reason, .. } if reason.contains("queue full") => rejected_queue += 1,
+        other => {
+            eprintln!("service_smoke: flood: unexpected response {other:?}");
+            std::process::exit(1);
+        }
+    };
+    for i in 0..FLOOD_SUBMITS_ONE_CLIENT {
+        count(client.submit("flooder", &job(2_000 + i)).unwrap());
+    }
+    for i in 0..FLOOD_SUBMITS_MANY_CLIENTS {
+        count(client.submit(&format!("c{i}"), &job(3_000 + i)).unwrap());
+    }
+    client.ping().unwrap_or_else(|e| {
+        eprintln!("service_smoke: daemon unresponsive after flood: {e}");
+        std::process::exit(1);
+    });
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"meta\": {{");
+    let _ = writeln!(json, "    \"batch_jobs\": {BATCH_JOBS},");
+    let _ = writeln!(json, "    \"flood_queue_depth\": {FLOOD_QUEUE_DEPTH},");
+    let _ = writeln!(json, "    \"flood_client_inflight\": {FLOOD_CLIENT_CAP},");
+    let _ = writeln!(
+        json,
+        "    \"flood_submits\": {},",
+        FLOOD_SUBMITS_ONE_CLIENT + FLOOD_SUBMITS_MANY_CLIENTS
+    );
+    let _ = writeln!(json, "{}", minnet_bench::host::host_meta_json("    "));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"service\": {{");
+    let _ = writeln!(json, "    \"jobs_per_sec\": {jobs_per_sec:.3},");
+    let _ = writeln!(json, "    \"cold_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "    \"cache_hit_ms\": {warm_ms:.3},");
+    let _ = writeln!(json, "    \"cache_speedup\": {:.1},", cold_ms / warm_ms.max(1e-6));
+    let _ = writeln!(json, "    \"cache_bitwise_equal\": true,");
+    let _ = writeln!(json, "    \"flood_accepted\": {accepted},");
+    let _ = writeln!(json, "    \"flood_rejected_client_cap\": {rejected_cap},");
+    let _ = writeln!(json, "    \"flood_rejected_queue_full\": {rejected_queue}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("service_smoke: writing {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "service_smoke: {jobs_per_sec:.1} jobs/s, cold {cold_ms:.1} ms vs cache hit \
+         {warm_ms:.2} ms, flood {accepted} accepted / {rejected_cap}+{rejected_queue} \
+         rejected -> {out_path}"
+    );
+}

@@ -15,7 +15,8 @@ use minnet::partition::UnidirPartitionAnalysis;
 use minnet::traffic::{Clustering, MessageSizeDist, TrafficPattern};
 use minnet::{
     campaign_curve, campaign_saturation_load, curve_csv, curve_table, find_saturation,
-    outcome_counts, CampaignPolicy, Experiment, NetworkSpec, PointOutcome, SweepPoint,
+    outcome_counts, CampaignPolicy, Experiment, JobSpec, NetworkSpec, PointOutcome, Response,
+    ServiceClient, SweepPoint,
 };
 use minnet_topology::{BitCube, Geometry, UnidirKind};
 use std::collections::BTreeMap;
@@ -33,11 +34,27 @@ COMMANDS
   saturate    bisection search for the maximum sustainable load
   partition   static partitionability analysis (contention / balance)
   scenario    run|list|validate declarative .scn scenario files
+  submit      send a sweep job to a minnetd service daemon
+  status      ask the daemon for a job's state (queued|running|done|failed)
+  result      fetch a finished job's result JSON from the daemon
+  drain       ask the daemon to close admissions and finish its backlog
   help        this text
+
+SERVICE (minnetd client; see `minnetd --help` to run the daemon)
+  minnet submit [experiment options] [--daemon HOST:PORT] [--client NAME]
+                [--wait] [--timeout-ms N] [--json PATH]
+  minnet status <job-id> [--daemon HOST:PORT]
+  minnet result <job-id> [--daemon HOST:PORT] [--json PATH]
+  minnet drain            [--daemon HOST:PORT]
+The daemon address defaults to 127.0.0.1:7117. `submit` prints the
+job id (the FNV hash of the full job config — identical submissions
+share one id and are served from the result cache, byte-identical).
+--wait polls until the job finishes and prints the result JSON.
 
 SCENARIOS
   minnet scenario run scenarios/ [--chaos] [--json PATH]
                  [--threads N] [--retries N] [--checkpoint-dir DIR]
+                 [--budget-cycles N] [--budget-ms N]
   minnet scenario list scenarios/
   minnet scenario validate scenarios/
 Each .scn file declares a network, workload, fault/chaos schedule and
@@ -85,7 +102,7 @@ struct Args {
 }
 
 /// Options that are bare flags — present or absent, no value.
-const BOOL_FLAGS: &[&str] = &["chaos"];
+const BOOL_FLAGS: &[&str] = &["chaos", "wait"];
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
@@ -513,12 +530,17 @@ fn cmd_scenario(a: &Args) {
                 std::fs::create_dir_all(d)
                     .unwrap_or_else(|e| die(&format!("creating {}: {e}", d.display())));
             }
-            let set = minnet::run_scenario_files(
+            let budget = minnet_sim::RunBudget {
+                max_cycles: parse_u64(a, "budget-cycles", 0),
+                max_wall_ms: parse_u64(a, "budget-ms", 0),
+            };
+            let set = minnet::run_scenario_files_with_budget(
                 &files,
                 threads(a),
                 retries,
                 include_chaos,
                 ckpt_dir.as_deref(),
+                (!budget.is_unlimited()).then_some(budget),
             )
             .unwrap_or_else(|e| die(&e));
             for v in &set.verdicts {
@@ -551,9 +573,139 @@ fn cmd_scenario(a: &Args) {
     }
 }
 
+/// The service client for `--daemon` (default: minnetd's well-known
+/// local port).
+fn service_client(a: &Args) -> ServiceClient {
+    let addr = a
+        .opts
+        .get("daemon")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    ServiceClient::new(addr)
+}
+
+/// A [`JobSpec`] from the same experiment options the local commands
+/// take; unset options keep the paper defaults. Validation happens on
+/// the daemon, which answers structured `config` errors.
+fn job_spec(a: &Args) -> JobSpec {
+    let mut spec = JobSpec::default();
+    if let Some(v) = a.opts.get("network") {
+        spec.network = v.clone();
+    }
+    if let Some(v) = a.opts.get("wiring") {
+        spec.wiring = v.clone();
+    }
+    spec.dilation = parse_u64(a, "dilation", u64::from(spec.dilation)) as u8;
+    spec.vcs = parse_u64(a, "vcs", u64::from(spec.vcs)) as u8;
+    spec.k = parse_u64(a, "k", u64::from(spec.k)) as u32;
+    spec.n = parse_u64(a, "n", u64::from(spec.n)) as u32;
+    if let Some(v) = a.opts.get("pattern") {
+        spec.pattern = v.clone();
+    }
+    if let Some(v) = a.opts.get("sizes") {
+        spec.sizes = v.clone();
+    }
+    if let Some(l) = a.opts.get("loads") {
+        spec.loads = l
+            .split(',')
+            .map(|x| x.parse().unwrap_or_else(|e| die(&format!("loads: {e}"))))
+            .collect();
+    }
+    spec.warmup = parse_u64(a, "warmup", spec.warmup);
+    spec.measure = parse_u64(a, "measure", spec.measure);
+    spec.seed = parse_u64(a, "seed", spec.seed);
+    spec.budget_cycles = parse_u64(a, "budget-cycles", 0);
+    spec.budget_ms = parse_u64(a, "budget-ms", 0);
+    spec.retries = parse_u64(a, "retries", 0) as u32;
+    spec
+}
+
+/// The job id for `status`/`result`: positional or `--job`.
+fn job_id_arg(a: &Args) -> String {
+    a.opts
+        .get("job")
+        .cloned()
+        .or_else(|| a.free.first().cloned())
+        .unwrap_or_else(|| die("give a job id (positional, or --job ID)"))
+}
+
+/// Print a result JSON to stdout, or to `--json PATH` when given.
+fn emit_result(a: &Args, result: &str) {
+    if let Some(path) = a.opts.get("json") {
+        std::fs::write(path, format!("{result}\n"))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    } else {
+        println!("{result}");
+    }
+}
+
+fn cmd_submit(a: &Args) {
+    let client = service_client(a);
+    let name = a
+        .opts
+        .get("client")
+        .cloned()
+        .unwrap_or_else(|| "minnet-cli".to_string());
+    match client.submit(&name, &job_spec(a)).unwrap_or_else(|e| die(&e)) {
+        Response::Accepted { job_id, cached } => {
+            eprintln!(
+                "accepted {job_id}{}",
+                if cached { " (cached)" } else { "" }
+            );
+            if a.opts.contains_key("wait") {
+                let deadline =
+                    std::time::Duration::from_millis(parse_u64(a, "timeout-ms", 300_000));
+                let result = client.wait_result(&job_id, deadline).unwrap_or_else(|e| die(&e));
+                emit_result(a, &result);
+            } else {
+                println!("{job_id}");
+            }
+        }
+        Response::Rejected {
+            reason,
+            retry_after_ms,
+        } => die(&format!("rejected: {reason} (retry after {retry_after_ms} ms)")),
+        Response::Error { kind, message } => die(&format!("[{kind}] {message}")),
+        other => die(&format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_status(a: &Args) {
+    let client = service_client(a);
+    match client.status(&job_id_arg(a)).unwrap_or_else(|e| die(&e)) {
+        Response::JobStatus { job_id, state } => println!("{job_id}: {state}"),
+        Response::Error { kind, message } => die(&format!("[{kind}] {message}")),
+        other => die(&format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_result(a: &Args) {
+    let client = service_client(a);
+    match client.result(&job_id_arg(a)).unwrap_or_else(|e| die(&e)) {
+        Response::JobResult { result, .. } => emit_result(a, &result),
+        Response::JobStatus { job_id, state } => {
+            die(&format!("{job_id} is not finished (state: {state})"))
+        }
+        Response::Error { kind, message } => die(&format!("[{kind}] {message}")),
+        other => die(&format!("unexpected response: {other:?}")),
+    }
+}
+
+fn cmd_drain(a: &Args) {
+    let client = service_client(a);
+    match client.drain().unwrap_or_else(|e| die(&e)) {
+        Response::Draining => {
+            println!("draining: admissions closed, accepted backlog finishing")
+        }
+        other => die(&format!("unexpected response: {other:?}")),
+    }
+}
+
 fn main() {
     let args = parse_args();
-    if args.cmd != "scenario" && !args.free.is_empty() {
+    let takes_free = matches!(args.cmd.as_str(), "scenario" | "status" | "result");
+    if !takes_free && !args.free.is_empty() {
         die(&format!("unexpected argument {:?}", args.free[0]));
     }
     match args.cmd.as_str() {
@@ -563,6 +715,10 @@ fn main() {
         "saturate" => cmd_saturate(&args),
         "partition" => cmd_partition(&args),
         "scenario" => cmd_scenario(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
+        "result" => cmd_result(&args),
+        "drain" => cmd_drain(&args),
         _ => usage(),
     }
 }

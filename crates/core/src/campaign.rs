@@ -50,6 +50,7 @@
 //! truncated sample).
 
 use crate::experiment::{CompiledExperiment, Experiment};
+use crate::lockfile::LockFile;
 use crate::sweep::{
     aggregate_degradation, aggregate_replicated, mix, DegradationPoint, ReplicatedPoint,
 };
@@ -791,10 +792,14 @@ const CKPT_VERSION: u64 = 1;
 
 /// An open campaign checkpoint: previously completed tasks plus an
 /// append handle. `file == None` means checkpointing is off and every
-/// method is a no-op.
+/// method is a no-op. A live checkpoint holds the advisory
+/// [`LockFile`] guarding its path — the JSONL appender assumes a
+/// single writer, and the lock turns a misconfigured second process
+/// into a fast, explicit error instead of interleaved lines.
 pub(crate) struct Checkpoint {
     file: Option<std::fs::File>,
     loaded: BTreeMap<usize, (PointOutcome, u32)>,
+    _lock: Option<LockFile>,
 }
 
 impl Checkpoint {
@@ -810,8 +815,10 @@ impl Checkpoint {
             return Ok(Checkpoint {
                 file: None,
                 loaded: BTreeMap::new(),
+                _lock: None,
             });
         };
+        let lock = LockFile::acquire(path)?;
         let hash_hex = format!("{hash:016x}");
         let shown = path.display();
         if !path.exists() {
@@ -836,6 +843,7 @@ impl Checkpoint {
             return Ok(Checkpoint {
                 file: Some(f),
                 loaded: BTreeMap::new(),
+                _lock: Some(lock),
             });
         }
 
@@ -915,6 +923,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             file: Some(f),
             loaded,
+            _lock: Some(lock),
         })
     }
 
@@ -943,7 +952,7 @@ impl Checkpoint {
 }
 
 /// Serialize one finished task as a checkpoint line (newline included).
-fn task_line(task: usize, attempts: u32, outcome: &PointOutcome) -> Result<String, String> {
+pub(crate) fn task_line(task: usize, attempts: u32, outcome: &PointOutcome) -> Result<String, String> {
     let tag = outcome.tag();
     Ok(match outcome {
         PointOutcome::Ok(report) => format!(
@@ -964,7 +973,7 @@ fn task_line(task: usize, attempts: u32, outcome: &PointOutcome) -> Result<Strin
 }
 
 /// Parse one checkpoint task line; `None` marks a torn/alien line.
-fn parse_task_line(line: &str) -> Option<(usize, PointOutcome, u32)> {
+pub(crate) fn parse_task_line(line: &str) -> Option<(usize, PointOutcome, u32)> {
     let task = json_u64(line, "task")? as usize;
     let attempts = json_u64(line, "attempts")? as u32;
     let outcome = match json_str(line, "outcome")?.as_str() {
@@ -1099,7 +1108,7 @@ fn after_key(line: &str, key: &str) -> Option<usize> {
 }
 
 /// Extract the unsigned integer value of `"key"`.
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let rest = &line[after_key(line, key)?..];
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
@@ -1108,7 +1117,7 @@ fn json_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Extract the boolean value of `"key"`.
-fn json_bool(line: &str, key: &str) -> Option<bool> {
+pub(crate) fn json_bool(line: &str, key: &str) -> Option<bool> {
     let rest = &line[after_key(line, key)?..];
     if rest.starts_with("true") {
         Some(true)
@@ -1120,7 +1129,7 @@ fn json_bool(line: &str, key: &str) -> Option<bool> {
 }
 
 /// Extract and unescape the string value of `"key"`.
-fn json_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str(line: &str, key: &str) -> Option<String> {
     let rest = &line[after_key(line, key)?..];
     let rest = rest.strip_prefix('"')?;
     let mut out = String::new();
@@ -1148,7 +1157,7 @@ fn json_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extract a float checkpointed as a quoted `f64::to_bits` decimal.
-fn json_bits(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_bits(line: &str, key: &str) -> Option<f64> {
     let rest = &line[after_key(line, key)?..];
     let rest = rest.strip_prefix('"')?;
     let end = rest.find('"')?;
@@ -1157,7 +1166,7 @@ fn json_bits(line: &str, key: &str) -> Option<f64> {
 
 /// Extract an optional array of bit-pattern floats (`None` when the
 /// key is absent — the report had no `channel_utilization`).
-fn json_bits_array(line: &str, key: &str) -> Option<Vec<f64>> {
+pub(crate) fn json_bits_array(line: &str, key: &str) -> Option<Vec<f64>> {
     let rest = &line[after_key(line, key)?..];
     let rest = rest.strip_prefix('[')?;
     let end = rest.find(']')?;
@@ -1438,6 +1447,32 @@ mod tests {
         // A different load grid is likewise refused.
         let err = campaign_curve(&exp, &[0.1, 0.35], 1, &policy).unwrap_err();
         assert!(err.contains("config hash"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_checkpoint_writer_is_refused() {
+        // Regression: the JSONL appender assumes a single process. A
+        // second open of a live checkpoint must fail fast on the
+        // advisory lock, not interleave writes; releasing the first
+        // owner unblocks the second.
+        let path = temp_ckpt("lock");
+        let _cleanup = Cleanup(path.clone());
+        let policy = CampaignPolicy {
+            checkpoint: Some(path.clone()),
+            ..CampaignPolicy::default()
+        };
+        let first = Checkpoint::open(&policy, "curve", 7, 2).unwrap();
+        let Err(err) = Checkpoint::open(&policy, "curve", 7, 2) else {
+            panic!("second writer must be refused");
+        };
+        assert!(err.contains("locked by live process"), "{err}");
+        drop(first);
+        let again = Checkpoint::open(&policy, "curve", 7, 2).unwrap();
+        drop(again);
+        assert!(
+            !crate::lockfile::LockFile::path_for(&path).exists(),
+            "lock must be released on drop"
+        );
     }
 
     #[test]

@@ -42,8 +42,10 @@
 
 pub mod campaign;
 pub mod experiment;
+pub mod lockfile;
 pub mod model;
 pub mod scenario;
+pub mod service;
 pub mod spec;
 pub mod sweep;
 pub mod table;
@@ -54,8 +56,11 @@ pub use campaign::{
     DegradationCampaignPoint, PointOutcome, ReplicatedCampaignPoint,
 };
 pub use experiment::{CompiledExperiment, Experiment};
+pub use lockfile::LockFile;
+pub use service::{run_job, JobSpec, Request, Response, ServiceClient, ServiceStats};
 pub use scenario::{
-    run_scenario_files, scenario_files, verdict_report_json, CheckResult, CheckStatus,
+    run_scenario_files, run_scenario_files_with_budget, scenario_files, verdict_report_json,
+    CheckResult, CheckStatus,
     Expectations, Scenario, ScenarioBuilder, ScenarioPoint, ScenarioSet, Verdict, VerdictStatus,
 };
 pub use spec::NetworkSpec;

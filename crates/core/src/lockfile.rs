@@ -1,0 +1,166 @@
+//! Advisory lock files for JSONL journals and checkpoints.
+//!
+//! The campaign checkpoint writer (and the `minnetd` job journal built
+//! on the same discipline) appends one flushed line per finished task.
+//! That is torn-tail safe against a SIGKILL of *one* process, but two
+//! live processes appending to the same file interleave partial lines
+//! and corrupt everything after the first collision. The writers were
+//! designed single-process; this module makes that assumption explicit
+//! and enforced: every journal owner takes a `<file>.lock` sibling
+//! before touching the journal, and a second acquirer fails fast with
+//! an error naming the holder instead of silently interleaving.
+//!
+//! The lock is *advisory* (nothing stops a rogue `cat >>`), which is
+//! the right strength here: the threat model is a misconfigured second
+//! daemon or a concurrent CLI resume pointed at the same checkpoint,
+//! not an adversary. The lock file holds the owner's PID; a leftover
+//! lock whose owner is no longer alive (the previous daemon was
+//! SIGKILLed — exactly the crash this PR's recovery path exists for)
+//! is stolen rather than wedging every restart behind a manual `rm`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A held advisory lock. Dropping it releases the lock (removes the
+/// file); a SIGKILL leaves it behind for the next acquirer's staleness
+/// check.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+/// Whether `pid` names a live process. On Linux this is a `/proc/<pid>`
+/// probe; elsewhere liveness cannot be checked cheaply without unsafe
+/// code, so every holder is presumed alive (fail fast, never steal).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+impl LockFile {
+    /// The lock sibling guarding `file`: `<file>.lock`.
+    pub fn path_for(file: &Path) -> PathBuf {
+        let mut name = file.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        file.with_file_name(name)
+    }
+
+    /// Acquire the advisory lock guarding `file`, failing fast when a
+    /// live process already holds it.
+    ///
+    /// The lock file is created with `create_new` (atomic on every
+    /// filesystem that matters) and holds the owner's PID. When the
+    /// file already exists: a live owner is a hard error naming the
+    /// PID; a dead owner's stale lock is removed and acquisition
+    /// retried (bounded — two stealers racing resolve by `create_new`
+    /// atomicity, the loser re-reads the winner's fresh PID).
+    ///
+    /// # Errors
+    ///
+    /// A live holder, an unreadable/malformed lock file, or I/O
+    /// failure creating the lock — all as human-readable strings
+    /// naming the lock path.
+    pub fn acquire(file: &Path) -> Result<LockFile, String> {
+        let path = LockFile::path_for(file);
+        let shown = path.display();
+        let me = std::process::id();
+        for _ in 0..4 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(format!("{me}\n").as_bytes())
+                        .and_then(|()| f.flush())
+                        .map_err(|e| format!("writing lock {shown}: {e}"))?;
+                    return Ok(LockFile { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let held = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("reading lock {shown}: {e}"))?;
+                    match held.trim().parse::<u32>() {
+                        // Our own pid counts as live: a second acquire
+                        // within one process is still a double-acquire.
+                        Ok(pid) if pid_alive(pid) => {
+                            return Err(format!(
+                                "journal is locked by live process {pid} ({shown}); \
+                                 a second writer would interleave appends — stop the \
+                                 other process or point this one at a different file"
+                            ));
+                        }
+                        Ok(_) => {
+                            // Dead owner (or our own pid recycled into a
+                            // stale file): steal and retry create_new.
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        Err(_) => {
+                            return Err(format!(
+                                "lock {shown} exists but holds no PID; \
+                                 remove it manually if no writer is running"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(format!("creating lock {shown}: {e}")),
+            }
+        }
+        Err(format!(
+            "could not acquire lock {shown}: repeatedly raced other acquirers"
+        ))
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("minnet_lock_{}_{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn second_acquire_fails_fast_with_holder_pid() {
+        let file = temp("double");
+        let lock = LockFile::acquire(&file).unwrap();
+        let err = LockFile::acquire(&file).unwrap_err();
+        assert!(err.contains("locked by live process"), "{err}");
+        assert!(err.contains(&std::process::id().to_string()), "{err}");
+        drop(lock);
+        // Released: a fresh acquire succeeds.
+        let lock = LockFile::acquire(&file).unwrap();
+        drop(lock);
+        assert!(!LockFile::path_for(&file).exists());
+    }
+
+    #[test]
+    fn stale_lock_of_dead_process_is_stolen() {
+        let file = temp("stale");
+        let lock_path = LockFile::path_for(&file);
+        // No PID this large exists (PID_MAX_LIMIT is 2^22 on Linux).
+        std::fs::write(&lock_path, "4194304000\n").unwrap();
+        let lock = LockFile::acquire(&file).unwrap();
+        let held = std::fs::read_to_string(&lock_path).unwrap();
+        assert_eq!(held.trim(), std::process::id().to_string());
+        drop(lock);
+    }
+
+    #[test]
+    fn garbage_lock_is_refused_not_stolen() {
+        let file = temp("garbage");
+        let lock_path = LockFile::path_for(&file);
+        std::fs::write(&lock_path, "not a pid\n").unwrap();
+        let err = LockFile::acquire(&file).unwrap_err();
+        assert!(err.contains("holds no PID"), "{err}");
+        std::fs::remove_file(&lock_path).unwrap();
+    }
+}

@@ -45,8 +45,8 @@ use crate::experiment::Experiment;
 use crate::spec::NetworkSpec;
 use crate::sweep::mix;
 use minnet_sim::{
-    ChaosSchedule, ChaosTarget, EngineConfig, Script, ScriptedMsg, SimError, SimReport,
-    StallDiagnostic,
+    ChaosSchedule, ChaosTarget, EngineConfig, RunBudget, Script, ScriptedMsg, SimError,
+    SimReport, StallDiagnostic,
 };
 use minnet_topology::{Fault, FaultPlan, FaultTarget, Geometry, UnidirKind};
 use minnet_traffic::{Clustering, MessageSizeDist, TrafficPattern};
@@ -283,6 +283,20 @@ impl Scenario {
         &self.expect
     }
 
+    /// Override the scenario's declared run budget from outside — the
+    /// CLI's `--budget-cycles` / `--budget-ms` passthrough. A nonzero
+    /// field replaces the declared value; a zero field keeps it, so a
+    /// caller can cap cycles without disturbing a wall budget (or vice
+    /// versa).
+    pub fn override_budget(&mut self, budget: RunBudget) {
+        if budget.max_cycles > 0 {
+            self.exp.sim.budget.max_cycles = budget.max_cycles;
+        }
+        if budget.max_wall_ms > 0 {
+            self.exp.sim.budget.max_wall_ms = budget.max_wall_ms;
+        }
+    }
+
     /// Run the scenario and judge it into a [`Verdict`].
     ///
     /// Each Poisson load (or the script) is one campaign task: panics
@@ -340,7 +354,7 @@ impl Scenario {
         let script = if self.script.is_empty() {
             None
         } else {
-            Some(Script::compile(self.exp.geometry, &self.script).map_err(&fail)?)
+            Some(Script::compile(self.exp.geometry, &self.script).map_err(|e| fail(e.to_string()))?)
         };
         let tasks = if script.is_some() { 1 } else { self.loads.len() };
 
@@ -1284,10 +1298,34 @@ pub fn run_scenario_files(
     include_chaos: bool,
     checkpoint_dir: Option<&Path>,
 ) -> Result<ScenarioSet, String> {
+    run_scenario_files_with_budget(paths, threads, retries, include_chaos, checkpoint_dir, None)
+}
+
+/// [`run_scenario_files`] with an externally imposed run budget: when
+/// `budget_override` is `Some`, each scenario's declared budget is
+/// tightened via [`Scenario::override_budget`] before it runs (nonzero
+/// fields replace, zero fields keep the declared value). This is the
+/// CLI's `minnet scenario run --budget-cycles/--budget-ms` passthrough:
+/// a whole library can be bounded without editing any `.scn` file.
+///
+/// # Errors
+///
+/// Same as [`run_scenario_files`].
+pub fn run_scenario_files_with_budget(
+    paths: &[PathBuf],
+    threads: usize,
+    retries: u32,
+    include_chaos: bool,
+    checkpoint_dir: Option<&Path>,
+    budget_override: Option<RunBudget>,
+) -> Result<ScenarioSet, String> {
     let mut verdicts = Vec::new();
     let mut skipped = Vec::new();
     for path in paths {
-        let scenario = Scenario::load(path)?;
+        let mut scenario = Scenario::load(path)?;
+        if let Some(budget) = budget_override {
+            scenario.override_budget(budget);
+        }
         if scenario.is_chaos_opt_in() && !include_chaos {
             skipped.push(scenario.name().to_string());
             continue;

@@ -64,7 +64,7 @@ fn run_tasks(
         0,
         (0..total).map(|_| None).collect(),
         |_, _, _| Ok(()),
-        |i, _attempt, st| run(i, st).map_err(SimError::from),
+        |i, _attempt, st| run(i, st).map_err(SimError::Config),
     )?;
     strict_reports(results)
 }

@@ -11,8 +11,10 @@
 //!    finished tasks.
 
 use minnet::{
-    run_scenario_files, scenario_files, verdict_report_json, CheckStatus, VerdictStatus,
+    run_scenario_files, run_scenario_files_with_budget, scenario_files, verdict_report_json,
+    CheckStatus, VerdictStatus,
 };
+use minnet_sim::RunBudget;
 use std::path::{Path, PathBuf};
 
 /// The `scenarios/` library at the repository root.
@@ -104,6 +106,41 @@ fn chaos_scenarios_are_gated_behind_opt_in() {
     assert_eq!(set.skipped, vec!["transient-storm-recovery".to_string()]);
     assert_eq!(set.verdicts.len(), 1);
     assert_eq!(set.verdicts[0].scenario, "baseline-tmin-curve");
+}
+
+#[test]
+fn cli_budget_override_cuts_scenarios_without_editing_files() {
+    // The `minnet scenario run --budget-cycles/--budget-ms` passthrough:
+    // a cycle cap far below the scenario's horizon truncates every task
+    // to a partial outcome, without touching the `.scn` file.
+    let files: Vec<PathBuf> = library()
+        .into_iter()
+        .filter(|p| p.to_string_lossy().contains("baseline_tmin"))
+        .collect();
+    let tight = RunBudget {
+        max_cycles: 500,
+        max_wall_ms: 0,
+    };
+    let cut = run_scenario_files_with_budget(&files, 2, 0, true, None, Some(tight)).unwrap();
+    assert_eq!(cut.verdicts.len(), 1);
+    assert!(
+        cut.verdicts[0]
+            .points
+            .iter()
+            .all(|p| p.outcome.tag() == "partial"),
+        "a 500-cycle cap must truncate every task: {:?}",
+        cut.verdicts[0]
+            .points
+            .iter()
+            .map(|p| p.outcome.tag())
+            .collect::<Vec<_>>()
+    );
+    // No override (or an all-zero one, which `minnet` maps to None)
+    // leaves the declared behavior untouched, bit for bit.
+    let plain = run_scenario_files(&files, 2, 0, true, None).unwrap();
+    let none = run_scenario_files_with_budget(&files, 2, 0, true, None, None).unwrap();
+    assert_eq!(verdict_report_json(&plain), verdict_report_json(&none));
+    assert_eq!(plain.verdicts[0].status, VerdictStatus::Pass);
 }
 
 #[test]

@@ -1,0 +1,765 @@
+//! `minnetd` — the crash-safe simulation service over the minnet
+//! engine.
+//!
+//! The wire protocol, job model, and deterministic job executor live in
+//! [`minnet::service`]; this crate is the *server*: the bounded queue
+//! with admission control, the worker pool with per-job isolation, the
+//! FNV-config-hash result cache, the durable job journal, and the
+//! recovery and drain machinery around them. The daemon is built from
+//! `std` only — threads, `Mutex`/`Condvar`, blocking sockets — per the
+//! workspace's vendored-crate policy.
+//!
+//! ## Robustness model
+//!
+//! * **Admission control.** `queue_depth` bounds accepted-but-unstarted
+//!   jobs; `per_client_inflight` bounds one client's queued+running
+//!   jobs. Beyond either bound a submission gets a typed
+//!   `Rejected{reason, retry_after_ms}` — the daemon never buffers
+//!   unboundedly, so a flood degrades service for the flooder, not the
+//!   process.
+//! * **Per-job isolation.** Workers run jobs through
+//!   [`minnet::service::run_job`], which executes every curve point
+//!   under `catch_unwind` on a fresh worker-owned `EngineState` with
+//!   derived-seed retries; the worker wraps the whole job in another
+//!   `catch_unwind` so even a bug outside the point loop downgrades to
+//!   a `failed` job instead of a dead worker. Every job carries a
+//!   mandatory [`RunBudget`] — specs that request none get the daemon's
+//!   default — so no request can hold a worker forever.
+//! * **Result cache.** Results are cached by the job's FNV config
+//!   hash; a repeat submission is answered `cached:true` without
+//!   re-simulation, and the cached bytes are the original bytes (the
+//!   determinism contract makes `==` the correctness check).
+//! * **Durable journal.** `journal.jsonl` in the state directory
+//!   records `accepted` (with the full spec) and `done`/`failed`
+//!   events, one flushed line each, behind an advisory
+//!   [`minnet::LockFile`] (a second daemon on the same state directory
+//!   fails fast). Recovery replays the journal with the campaign's
+//!   torn-tail-truncation discipline: `accepted` without `done`
+//!   re-enqueues, and the job's per-point checkpoint in `jobs/` resumes
+//!   the curve — producing byte-identical results after a SIGKILL.
+//! * **Graceful drain.** A drain request (or SIGTERM in the binary)
+//!   stops admissions; workers finish the accepted backlog — each job
+//!   bounded by its budget, so "finish" means *at worst* budget-cut
+//!   `partial` points — and the journal ends flushed and complete.
+
+use minnet::service::{run_job, JobSpec, Request, Response, ServiceStats};
+use minnet::LockFile;
+use minnet_sim::RunBudget;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Journal format version (the header's `"v"`).
+const JOURNAL_VERSION: u64 = 1;
+
+/// Whole-job retries after a panic that escaped the per-point
+/// isolation (or a transient I/O failure), with linear backoff.
+const JOB_RETRIES: u32 = 2;
+
+/// How the daemon is shaped. `Default` gives a loopback daemon on an
+/// ephemeral port with small, test-friendly bounds.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Worker threads. 0 = admission-only: jobs queue (and journal, and
+    /// recover) but never execute — used by the flood benchmarks to
+    /// measure rejection behavior deterministically.
+    pub workers: usize,
+    /// Maximum accepted-but-unstarted jobs before submissions bounce.
+    pub queue_depth: usize,
+    /// Maximum queued+running jobs per client identity.
+    pub per_client_inflight: usize,
+    /// State directory: `journal.jsonl` + per-job checkpoints under
+    /// `jobs/`.
+    pub state_dir: PathBuf,
+    /// The mandatory budget substituted into specs that request none.
+    pub default_budget: RunBudget,
+    /// Threads each worker gives one job's point grid.
+    pub job_threads: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            per_client_inflight: 8,
+            state_dir: PathBuf::from("minnetd-state"),
+            default_budget: RunBudget {
+                max_cycles: 0,
+                max_wall_ms: 30_000,
+            },
+            job_threads: 1,
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl JobState {
+    fn tag(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    spec: JobSpec,
+    client: String,
+    state: JobState,
+}
+
+/// The append-only job journal: versioned JSONL behind an advisory
+/// lock, flushed line-whole like the campaign checkpoints.
+struct Journal {
+    file: std::fs::File,
+    _lock: LockFile,
+}
+
+/// What a journal replay recovered.
+struct Recovered {
+    /// `accepted` events in order, minus those with a `done`/`failed`.
+    pending: Vec<(String, String, JobSpec)>,
+    /// Finished jobs: id → (client, result JSON or error).
+    finished: Vec<(String, String, Result<String, String>)>,
+}
+
+impl Journal {
+    /// Open (or create) `journal.jsonl` under `dir`, acquire its lock,
+    /// replay existing events, and truncate any torn tail.
+    fn open(dir: &PathBuf) -> Result<(Journal, Recovered), String> {
+        std::fs::create_dir_all(dir.join("jobs"))
+            .map_err(|e| format!("creating state dir {}: {e}", dir.display()))?;
+        let path = dir.join("journal.jsonl");
+        let lock = LockFile::acquire(&path)?;
+        let shown = path.display();
+        let mut recovered = Recovered {
+            pending: Vec::new(),
+            finished: Vec::new(),
+        };
+        if !path.exists() {
+            let mut f = std::fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("creating journal {shown}: {e}"))?;
+            f.write_all(
+                format!("{{\"v\":{JOURNAL_VERSION},\"kind\":\"minnetd_journal\"}}\n").as_bytes(),
+            )
+            .and_then(|()| f.flush())
+            .map_err(|e| format!("writing journal {shown}: {e}"))?;
+            return Ok((Journal { file: f, _lock: lock }, recovered));
+        }
+
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading journal {shown}: {e}"))?;
+        let mut lines = content.split_inclusive('\n');
+        let header = lines
+            .next()
+            .ok_or_else(|| format!("journal {shown}: empty file"))?;
+        if !header.ends_with('\n') {
+            return Err(format!("journal {shown}: torn header line"));
+        }
+        match minnet::service::journal_json_u64(header.trim(), "v") {
+            Some(JOURNAL_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "journal {shown}: unsupported version {v} (this build reads {JOURNAL_VERSION})"
+                ))
+            }
+            None => return Err(format!("journal {shown}: malformed header")),
+        }
+
+        // Replay: accepted-order map of unfinished jobs, plus finished
+        // results. A SIGKILL can tear at most the final line — stop at
+        // the first incomplete/unparsable line and drop that tail.
+        let mut accepted: Vec<(String, String, JobSpec)> = Vec::new();
+        let mut done: BTreeMap<String, Result<String, String>> = BTreeMap::new();
+        let mut good_len = header.len();
+        for line in lines {
+            if !line.ends_with('\n') {
+                break;
+            }
+            let t = line.trim();
+            if !t.is_empty() {
+                let Some(ev) = parse_event(t) else { break };
+                match ev {
+                    Event::Accepted { job_id, client, spec } => {
+                        accepted.push((job_id, client, spec));
+                    }
+                    Event::Done { job_id, result } => {
+                        done.insert(job_id, Ok(result));
+                    }
+                    Event::Failed { job_id, error } => {
+                        done.insert(job_id, Err(error));
+                    }
+                }
+            }
+            good_len += line.len();
+        }
+        if good_len < content.len() {
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| format!("opening journal {shown}: {e}"))?;
+            f.set_len(good_len as u64)
+                .map_err(|e| format!("dropping torn tail of journal {shown}: {e}"))?;
+        }
+        for (job_id, client, spec) in accepted {
+            match done.remove(&job_id) {
+                Some(outcome) => recovered.finished.push((job_id, client, outcome)),
+                None => recovered.pending.push((job_id, client, spec)),
+            }
+        }
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening journal {shown}: {e}"))?;
+        Ok((Journal { file: f, _lock: lock }, recovered))
+    }
+
+    /// Append one event — written and flushed whole, so a kill tears at
+    /// most the line in flight.
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("journal append: {e}"))
+    }
+}
+
+enum Event {
+    Accepted {
+        job_id: String,
+        client: String,
+        spec: JobSpec,
+    },
+    Done {
+        job_id: String,
+        result: String,
+    },
+    Failed {
+        job_id: String,
+        error: String,
+    },
+}
+
+fn parse_event(line: &str) -> Option<Event> {
+    use minnet::service::{journal_json_str, journal_raw_tail};
+    match journal_json_str(line, "event")?.as_str() {
+        "accepted" => Some(Event::Accepted {
+            job_id: journal_json_str(line, "job_id")?,
+            client: journal_json_str(line, "client")?,
+            spec: JobSpec::from_json(line)?,
+        }),
+        "done" => Some(Event::Done {
+            job_id: journal_json_str(line, "job_id")?,
+            result: journal_raw_tail(line, "result")?,
+        }),
+        "failed" => Some(Event::Failed {
+            job_id: journal_json_str(line, "job_id")?,
+            error: journal_json_str(line, "error")?,
+        }),
+        _ => None,
+    }
+}
+
+struct State {
+    queue: VecDeque<String>,
+    jobs: BTreeMap<String, Job>,
+    cache: BTreeMap<String, String>,
+    inflight: BTreeMap<String, usize>,
+    draining: bool,
+    running: usize,
+    rejected: u64,
+    cache_hits: u64,
+    journal: Journal,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes workers when the queue grows or drain/stop flips.
+    work: Condvar,
+    /// Wakes drain waiters when a job finishes or the queue empties.
+    idle: Condvar,
+    /// Hard stop (tests, `Drop`): workers exit between jobs, the
+    /// listener closes. Not a drain — queued jobs stay journaled.
+    stop: AtomicBool,
+    cfg: DaemonConfig,
+}
+
+/// A running daemon: listener thread + worker pool over shared state.
+///
+/// Dropping the handle hard-stops the daemon (listener closes, workers
+/// exit after their current job) *without* draining the queue —
+/// exactly the abrupt-exit path the journal recovery covers.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Start a daemon: open (or recover) the journal, bind the
+    /// listener, spawn the workers.
+    ///
+    /// # Errors
+    ///
+    /// Journal lock conflicts (another daemon owns the state dir),
+    /// journal corruption beyond the torn tail, and socket bind
+    /// failures.
+    pub fn start(cfg: DaemonConfig) -> Result<Daemon, String> {
+        let (journal, recovered) = Journal::open(&cfg.state_dir)?;
+        let mut state = State {
+            queue: VecDeque::new(),
+            jobs: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            draining: false,
+            running: 0,
+            rejected: 0,
+            cache_hits: 0,
+            journal,
+        };
+        for (job_id, client, outcome) in recovered.finished {
+            let state_tag = match &outcome {
+                Ok(result) => {
+                    state.cache.insert(job_id.clone(), result.clone());
+                    JobState::Done
+                }
+                Err(e) => JobState::Failed(e.clone()),
+            };
+            state.jobs.insert(
+                job_id,
+                Job {
+                    // The spec is not replayed for finished jobs; a
+                    // placeholder keeps the record shape uniform.
+                    spec: JobSpec::default(),
+                    client,
+                    state: state_tag,
+                },
+            );
+        }
+        for (job_id, client, spec) in recovered.pending {
+            *state.inflight.entry(client.clone()).or_insert(0) += 1;
+            state.jobs.insert(
+                job_id.clone(),
+                Job {
+                    spec,
+                    client,
+                    state: JobState::Queued,
+                },
+            );
+            state.queue.push_back(job_id);
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || listen_loop(&shared, &listener)));
+        }
+        for _ in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Ok(Daemon {
+            shared,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a drain has been requested — over the wire (a `drain`
+    /// request) or by a prior [`Daemon::drain_and_wait`]. The binary
+    /// polls this so a wire-initiated drain also ends the process.
+    pub fn is_draining(&self) -> bool {
+        self.shared.state.lock().unwrap().draining
+    }
+
+    /// Stop admissions and block until every accepted job has finished
+    /// — each bounded by its mandatory budget, so the wait is too.
+    /// The journal is flushed line-by-line as jobs complete; when this
+    /// returns it is complete and consistent.
+    pub fn drain_and_wait(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.draining = true;
+        self.shared.work.notify_all();
+        while !(st.queue.is_empty() && st.running == 0) {
+            st = self.shared.idle.wait(st).unwrap();
+        }
+    }
+
+    /// Hard-stop without draining (queued jobs stay journaled for the
+    /// next start) and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn listen_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                // One short-lived thread per connection: the protocol
+                // is one line in, one line out, a few requests at most.
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // 1 ms keeps the stop flag responsive while bounding
+                // accept latency well below the cache-hit round trip
+                // the service benchmark measures.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Some(req) => handle_request(shared, req),
+            None => Response::Error {
+                kind: "bad_request".into(),
+                message: format!("unparsable request: {line}"),
+            },
+        };
+        let mut out = response.to_line();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Drain => {
+            let mut st = shared.state.lock().unwrap();
+            st.draining = true;
+            shared.work.notify_all();
+            Response::Draining
+        }
+        Request::Stats => {
+            let st = shared.state.lock().unwrap();
+            Response::Stats(ServiceStats {
+                queued: st.queue.len() as u64,
+                running: st.running as u64,
+                done: st
+                    .jobs
+                    .values()
+                    .filter(|j| matches!(j.state, JobState::Done | JobState::Failed(_)))
+                    .count() as u64,
+                rejected: st.rejected,
+                cache_hits: st.cache_hits,
+                draining: st.draining,
+            })
+        }
+        Request::Status { job_id } => {
+            let st = shared.state.lock().unwrap();
+            match st.jobs.get(&job_id) {
+                Some(job) => Response::JobStatus {
+                    job_id,
+                    state: job.state.tag().to_string(),
+                },
+                None => Response::Error {
+                    kind: "not_found".into(),
+                    message: format!("no job {job_id}"),
+                },
+            }
+        }
+        Request::Result { job_id } => {
+            let st = shared.state.lock().unwrap();
+            if let Some(result) = st.cache.get(&job_id) {
+                return Response::JobResult {
+                    job_id,
+                    result: result.clone(),
+                };
+            }
+            match st.jobs.get(&job_id) {
+                Some(Job {
+                    state: JobState::Failed(e),
+                    ..
+                }) => Response::Error {
+                    kind: "job_failed".into(),
+                    message: e.clone(),
+                },
+                Some(job) => Response::JobStatus {
+                    job_id,
+                    state: job.state.tag().to_string(),
+                },
+                None => Response::Error {
+                    kind: "not_found".into(),
+                    message: format!("no job {job_id}"),
+                },
+            }
+        }
+        Request::Submit { client, spec } => handle_submit(shared, client, spec),
+    }
+}
+
+fn handle_submit(shared: &Arc<Shared>, client: String, mut spec: JobSpec) -> Response {
+    // Mandatory budget: a spec that requests none runs under the
+    // daemon's default, so no job can hold a worker unboundedly. The
+    // substitution happens *before* hashing — the budget is part of
+    // the job's identity.
+    let requested = RunBudget {
+        max_cycles: spec.budget_cycles,
+        max_wall_ms: spec.budget_ms,
+    };
+    if requested.is_unlimited() {
+        spec.budget_cycles = shared.cfg.default_budget.max_cycles;
+        spec.budget_ms = shared.cfg.default_budget.max_wall_ms;
+    }
+    // Validate up front: a malformed spec is answered with its
+    // structured engine error, not queued to fail later.
+    let job_id = match spec.job_id() {
+        Ok(id) => id,
+        Err(e) => return Response::from_sim_error(&e),
+    };
+
+    let mut st = shared.state.lock().unwrap();
+    if st.cache.contains_key(&job_id) {
+        st.cache_hits += 1;
+        return Response::Accepted {
+            job_id,
+            cached: true,
+        };
+    }
+    if let Some(job) = st.jobs.get(&job_id) {
+        if matches!(job.state, JobState::Queued | JobState::Running) {
+            // Idempotent duplicate: already on its way.
+            return Response::Accepted {
+                job_id,
+                cached: false,
+            };
+        }
+        if let JobState::Failed(e) = &job.state {
+            return Response::Error {
+                kind: "job_failed".into(),
+                message: e.clone(),
+            };
+        }
+    }
+    let retry_after_ms = 50 * (st.queue.len() as u64 + 1);
+    if st.draining {
+        st.rejected += 1;
+        return Response::Rejected {
+            reason: "draining: admissions are closed".into(),
+            retry_after_ms,
+        };
+    }
+    if st.queue.len() >= shared.cfg.queue_depth {
+        st.rejected += 1;
+        return Response::Rejected {
+            reason: format!("queue full (depth {})", shared.cfg.queue_depth),
+            retry_after_ms,
+        };
+    }
+    let inflight = st.inflight.get(&client).copied().unwrap_or(0);
+    if inflight >= shared.cfg.per_client_inflight {
+        st.rejected += 1;
+        return Response::Rejected {
+            reason: format!(
+                "client {client:?} at in-flight cap ({})",
+                shared.cfg.per_client_inflight
+            ),
+            retry_after_ms,
+        };
+    }
+    // Journal *before* acknowledging: an accepted job survives a kill.
+    let line = format!(
+        "{{\"event\":\"accepted\",\"job_id\":\"{job_id}\",\"client\":\"{}\",\"spec\":{}}}",
+        minnet::service::journal_esc(&client),
+        spec.to_json()
+    );
+    if let Err(e) = st.journal.append(&line) {
+        return Response::Error {
+            kind: "io".into(),
+            message: e,
+        };
+    }
+    *st.inflight.entry(client.clone()).or_insert(0) += 1;
+    st.jobs.insert(
+        job_id.clone(),
+        Job {
+            spec,
+            client,
+            state: JobState::Queued,
+        },
+    );
+    st.queue.push_back(job_id.clone());
+    shared.work.notify_one();
+    Response::Accepted {
+        job_id,
+        cached: false,
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let (job_id, spec) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    st.running += 1;
+                    let job = st.jobs.get_mut(&id).expect("queued job has a record");
+                    job.state = JobState::Running;
+                    break (id, job.spec.clone());
+                }
+                if st.draining {
+                    // Queue empty and no new admissions: drained.
+                    shared.idle.notify_all();
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+
+        let ckpt = shared
+            .cfg
+            .state_dir
+            .join("jobs")
+            .join(format!("{job_id}.ckpt.jsonl"));
+        // Whole-job isolation around the (already per-point-isolated)
+        // executor: a panic that escapes run_job retries with linear
+        // backoff, then downgrades to a failed job — the worker
+        // survives any single poisoned request.
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                run_job(&spec, Some(ckpt.clone()), shared.cfg.job_threads)
+            }));
+            let reason = match res {
+                Ok(Ok(result)) => break Ok(result),
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    if let Some(s) = payload.downcast_ref::<&str>() {
+                        format!("panic: {s}")
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        format!("panic: {s}")
+                    } else {
+                        "panic: (non-string payload)".to_string()
+                    }
+                }
+            };
+            if attempt < JOB_RETRIES {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(10 * u64::from(attempt)));
+                continue;
+            }
+            break Err(reason);
+        };
+
+        let mut st = shared.state.lock().unwrap();
+        let line = match &outcome {
+            Ok(result) => {
+                format!("{{\"event\":\"done\",\"job_id\":\"{job_id}\",\"result\":{result}}}")
+            }
+            Err(e) => format!(
+                "{{\"event\":\"failed\",\"job_id\":\"{job_id}\",\"error\":\"{}\"}}",
+                minnet::service::journal_esc(e)
+            ),
+        };
+        // A journal write failure must not wedge the daemon: the job
+        // still completes in memory (it will rerun after a restart).
+        let _ = st.journal.append(&line);
+        if let Some(job) = st.jobs.get_mut(&job_id) {
+            match outcome {
+                Ok(result) => {
+                    job.state = JobState::Done;
+                    st.cache.insert(job_id.clone(), result);
+                }
+                Err(e) => job.state = JobState::Failed(e),
+            }
+            let client = st
+                .jobs
+                .get(&job_id)
+                .map(|j| j.client.clone())
+                .expect("job record exists");
+            if let Some(n) = st.inflight.get_mut(&client) {
+                *n = n.saturating_sub(1);
+            }
+            // The per-job checkpoint is complete; keep it (cheap, and
+            // byte-identity audits can replay it) — but completed jobs
+            // never reread it.
+        }
+        st.running -= 1;
+        shared.idle.notify_all();
+    }
+}

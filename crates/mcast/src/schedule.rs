@@ -1,6 +1,6 @@
 //! Multicast schedules as trees of chained unicasts.
 
-use minnet_sim::{run_chained, ChainedMsg, EngineConfig, SimReport};
+use minnet_sim::{run_chained, ChainedMsg, EngineConfig, SimError, SimReport};
 use minnet_topology::NetworkGraph;
 
 /// A multicast schedule: the chained unicasts realising one multicast.
@@ -135,18 +135,17 @@ pub fn run_multicast(
     schedule: &McastSchedule,
     overhead: u64,
     cfg: &EngineConfig,
-) -> Result<McastOutcome, String> {
+) -> Result<McastOutcome, SimError> {
     let report = run_chained(net, &schedule.msgs, overhead, cfg)?;
-    let deliveries = report
-        .deliveries
-        .as_ref()
-        .ok_or("chained runs always record deliveries")?;
+    let deliveries = report.deliveries.as_ref().ok_or(SimError::Internal {
+        what: "chained runs always record deliveries",
+    })?;
     if deliveries.len() != schedule.msgs.len() {
-        return Err(format!(
+        return Err(SimError::Config(format!(
             "only {} of {} multicast messages delivered within the horizon",
             deliveries.len(),
             schedule.msgs.len()
-        ));
+        )));
     }
     let completion = deliveries.iter().map(|d| d.done_time).max().unwrap_or(0);
     Ok(McastOutcome { report, completion })

@@ -190,18 +190,19 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// Validate parameter consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        let bad = |msg: &str| Err(crate::SimError::Config(msg.to_string()));
         if self.vcs == 0 {
-            return Err("at least one virtual channel per physical channel".into());
+            return bad("at least one virtual channel per physical channel");
         }
         if self.buffer_depth == 0 {
-            return Err("channel buffers must hold at least one flit".into());
+            return bad("channel buffers must hold at least one flit");
         }
         if self.measure == 0 {
-            return Err("measurement window must be nonempty".into());
+            return bad("measurement window must be nonempty");
         }
         if self.validate_crossbars && self.vcs != 1 {
-            return Err("crossbar validation requires vcs == 1".into());
+            return bad("crossbar validation requires vcs == 1");
         }
         Ok(())
     }

@@ -274,18 +274,18 @@ impl Script {
     /// # Errors
     ///
     /// Reports self-sends, out-of-range nodes, and zero-length messages.
-    pub fn compile(g: Geometry, msgs: &[ScriptedMsg]) -> Result<Script, String> {
+    pub fn compile(g: Geometry, msgs: &[ScriptedMsg]) -> Result<Script, SimError> {
         let mut sorted: Vec<ScriptedMsg> = msgs.to_vec();
         sorted.sort_by_key(|m| m.time);
         for m in &sorted {
             if m.src == m.dst {
-                return Err(format!("scripted message {m:?} sends to itself"));
+                return Err(SimError::Config(format!("scripted message {m:?} sends to itself")));
             }
             if m.src >= g.nodes() || m.dst >= g.nodes() {
-                return Err(format!("scripted message {m:?} addresses a missing node"));
+                return Err(SimError::Config(format!("scripted message {m:?} addresses a missing node")));
             }
             if m.len == 0 {
-                return Err(format!("scripted message {m:?} has no flits"));
+                return Err(SimError::Config(format!("scripted message {m:?} has no flits")));
             }
         }
         Ok(Script {
@@ -335,27 +335,27 @@ impl Chain {
     ///
     /// Reports self-sends, out-of-range nodes, zero-length messages, and
     /// forward dependency references.
-    pub fn compile(g: Geometry, msgs: &[ChainedMsg], overhead: u64) -> Result<Chain, String> {
+    pub fn compile(g: Geometry, msgs: &[ChainedMsg], overhead: u64) -> Result<Chain, SimError> {
         let mut dependents = vec![Vec::new(); msgs.len()];
         let mut roots = vec![None; msgs.len()];
         for (i, m) in msgs.iter().enumerate() {
             if m.src == m.dst {
-                return Err(format!("chained message {i} sends to itself"));
+                return Err(SimError::Config(format!("chained message {i} sends to itself")));
             }
             if m.src >= g.nodes() || m.dst >= g.nodes() {
-                return Err(format!("chained message {i} addresses a missing node"));
+                return Err(SimError::Config(format!("chained message {i} addresses a missing node")));
             }
             if m.len == 0 {
-                return Err(format!("chained message {i} has no flits"));
+                return Err(SimError::Config(format!("chained message {i} has no flits")));
             }
             match m.after {
                 None => roots[i] = Some(m.earliest),
                 Some(parent) if parent < i => dependents[parent].push(i as u32),
                 Some(parent) => {
-                    return Err(format!(
+                    return Err(SimError::Config(format!(
                         "chained message {i} depends on later entry {parent}; \
                          order messages so parents precede children"
-                    ));
+                    )));
                 }
             }
         }

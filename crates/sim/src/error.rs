@@ -9,10 +9,13 @@
 //! on the failure class instead of parsing prose — and a wedged network
 //! terminates with a [`StallDiagnostic`] instead of spinning forever.
 //!
-//! `From<String>` / `Into<String>` conversions keep the older
-//! `Result<_, String>` call sites (examples, the multicast layer)
-//! compiling unchanged: a `SimError` crossing such a boundary degrades to
-//! its display form.
+//! Conversions are deliberately one-way: `From<SimError> for String`
+//! lets legacy `Result<_, String>` surfaces (examples, the sweep
+//! tables) degrade a typed error to its display form at the boundary,
+//! but there is **no** `From<String> for SimError` — every producer
+//! inside the engine constructs a concrete variant, so downstream
+//! consumers (the `minnetd` wire protocol serializes errors as
+//! structured JSON) never receive a stringly-typed grab bag.
 
 use crate::config::SimReport;
 use minnet_topology::{ChannelId, Geometry};
@@ -88,18 +91,6 @@ impl std::error::Error for SimError {
             SimError::BudgetExceeded(p) => Some(&**p),
             _ => None,
         }
-    }
-}
-
-impl From<String> for SimError {
-    fn from(msg: String) -> SimError {
-        SimError::Config(msg)
-    }
-}
-
-impl From<&str> for SimError {
-    fn from(msg: &str) -> SimError {
-        SimError::Config(msg.to_string())
     }
 }
 
@@ -265,13 +256,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn string_conversions_round_trip() {
-        let e: SimError = "bad config".into();
-        assert!(matches!(&e, SimError::Config(m) if m == "bad config"));
+    fn string_conversion_is_one_way() {
+        // The boundary adapter degrades a typed error to its display
+        // form; the reverse direction (String -> SimError) no longer
+        // exists, so every producer must name a concrete variant.
+        let e = SimError::Config("bad config".to_string());
         let s: String = e.into();
         assert_eq!(s, "bad config");
-        let e: SimError = String::from("also bad").into();
-        assert_eq!(String::from(e), "also bad");
+        let s: String = SimError::Routing("no path".to_string()).into();
+        assert_eq!(s, "routing: no path");
     }
 
     fn sample_diag() -> StallDiagnostic {
